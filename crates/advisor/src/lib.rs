@@ -1,0 +1,22 @@
+//! # gpuflow-advisor — toward automated workflow tuning (§5.4.3)
+//!
+//! The paper closes by sketching "an automated method to handle
+//! task-based workflows in modern, high-compute capacity CPU-GPU
+//! engines". This crate is that method's first iteration: a
+//! simulation-backed search over the execution-factor space of Table 1
+//! (block/grid dimension, processor type, storage architecture,
+//! scheduling policy), with static pruning rules that encode the paper's
+//! observations — memory walls (Figs. 7–10), and an upper-bound GPU
+//! speedup test capturing O1/O3 ("GPUs only pay when the parallel
+//! fraction outweighs serial + transfer costs").
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod advisor;
+mod workload;
+
+pub use advisor::{
+    AdviseError, Advisor, Candidate, Evaluation, PruneReason, Recommendation, SearchSpace,
+};
+pub use workload::Workload;

@@ -1,0 +1,244 @@
+//! Workload descriptions the advisor can tune.
+
+use gpuflow_algorithms::{
+    calibration, gemm_cost, knn_partial_cost, CholeskyConfig, FmaConfig, KmeansConfig, KnnConfig,
+    MatmulConfig,
+};
+use gpuflow_data::{DatasetSpec, DsArraySpec, GridDim, PartitionError};
+use gpuflow_runtime::{CostProfile, Workflow};
+
+/// A tunable workload: an algorithm plus its dataset and fixed
+/// algorithm-specific parameters. The advisor varies the execution
+/// factors (grid, processor, storage, policy) around it.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Blocked matrix multiplication (dislib style).
+    Matmul {
+        /// The (square) operand dataset.
+        dataset: DatasetSpec,
+    },
+    /// Fused multiply-add matrix multiplication.
+    MatmulFma {
+        /// The (square) operand dataset.
+        dataset: DatasetSpec,
+    },
+    /// Distributed K-means.
+    Kmeans {
+        /// The sample dataset.
+        dataset: DatasetSpec,
+        /// Cluster count.
+        clusters: u64,
+        /// Lloyd iterations.
+        iterations: u32,
+    },
+    /// Distributed k-nearest neighbours (extension workload).
+    Knn {
+        /// The reference dataset.
+        dataset: DatasetSpec,
+        /// Query points.
+        queries: u64,
+        /// Neighbours per query.
+        k: u64,
+    },
+    /// Blocked Cholesky factorization (extension workload).
+    Cholesky {
+        /// The (square, SPD) matrix dataset.
+        dataset: DatasetSpec,
+    },
+}
+
+impl Workload {
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::Matmul { dataset } => format!("Matmul({})", dataset.name),
+            Workload::MatmulFma { dataset } => format!("MatmulFMA({})", dataset.name),
+            Workload::Kmeans {
+                dataset,
+                clusters,
+                iterations,
+            } => {
+                format!("Kmeans({}, k={clusters}, iters={iterations})", dataset.name)
+            }
+            Workload::Knn {
+                dataset,
+                queries,
+                k,
+            } => {
+                format!("Knn({}, q={queries}, k={k})", dataset.name)
+            }
+            Workload::Cholesky { dataset } => format!("Cholesky({})", dataset.name),
+        }
+    }
+
+    /// The dataset under the workload.
+    pub fn dataset(&self) -> &DatasetSpec {
+        match self {
+            Workload::Matmul { dataset }
+            | Workload::MatmulFma { dataset }
+            | Workload::Kmeans { dataset, .. }
+            | Workload::Knn { dataset, .. }
+            | Workload::Cholesky { dataset } => dataset,
+        }
+    }
+
+    /// Builds the workflow for a grid extent (square grids for the matrix
+    /// workloads, `grid × 1` for K-means).
+    ///
+    /// # Errors
+    /// Propagates partitioning violations.
+    pub fn build(&self, grid: u64) -> Result<Workflow, PartitionError> {
+        Ok(match self {
+            Workload::Matmul { dataset } => {
+                MatmulConfig::new(dataset.clone(), grid)?.build_workflow()
+            }
+            Workload::MatmulFma { dataset } => {
+                FmaConfig::new(dataset.clone(), grid)?.build_workflow()
+            }
+            Workload::Kmeans {
+                dataset,
+                clusters,
+                iterations,
+            } => KmeansConfig::new(dataset.clone(), grid, *clusters, *iterations)?.build_workflow(),
+            Workload::Knn {
+                dataset,
+                queries,
+                k,
+            } => KnnConfig::new(dataset.clone(), grid, *queries, *k)?.build_workflow(),
+            Workload::Cholesky { dataset } => {
+                CholeskyConfig::new(dataset.clone(), grid)?.build_workflow()
+            }
+        })
+    }
+
+    /// The blocked-array descriptor for a grid extent.
+    ///
+    /// # Errors
+    /// Propagates partitioning violations.
+    pub fn array_spec(&self, grid: u64) -> Result<DsArraySpec, PartitionError> {
+        let gd = match self {
+            Workload::Kmeans { .. } | Workload::Knn { .. } => GridDim::row_wise(grid),
+            _ => GridDim::square(grid),
+        };
+        DsArraySpec::partition(self.dataset().clone(), gd)
+    }
+
+    /// Cost profile of the dominant (most expensive) task type at a grid
+    /// extent — the unit the pruning rules reason about.
+    ///
+    /// # Errors
+    /// Propagates partitioning violations.
+    pub fn dominant_cost(&self, grid: u64) -> Result<CostProfile, PartitionError> {
+        let spec = self.array_spec(grid)?;
+        Ok(match self {
+            Workload::Matmul { .. } => {
+                let b = spec.block.rows;
+                calibration::matmul_func_cost(b, b, b)
+            }
+            Workload::MatmulFma { .. } => {
+                let b = spec.block.rows;
+                calibration::fma_func_cost(b, b, b)
+            }
+            Workload::Kmeans { clusters, .. } => {
+                calibration::partial_sum_cost(spec.block.rows, spec.dataset.dim.cols, *clusters)
+            }
+            Workload::Knn { queries, k, .. } => {
+                knn_partial_cost(spec.block.rows, spec.dataset.dim.cols, *queries, *k)
+            }
+            Workload::Cholesky { .. } => gemm_cost(spec.block.rows),
+        })
+    }
+
+    /// Per-task data footprint (inputs + outputs) of the dominant task at
+    /// a grid extent, in bytes.
+    ///
+    /// # Errors
+    /// Propagates partitioning violations.
+    pub fn dominant_io_bytes(&self, grid: u64) -> Result<u64, PartitionError> {
+        let spec = self.array_spec(grid)?;
+        Ok(match self {
+            // matmul/fma: two input blocks + one output block.
+            Workload::Matmul { .. } | Workload::MatmulFma { .. } => 3 * spec.block_bytes(),
+            // kmeans: block + centers in, small tally out.
+            Workload::Kmeans { clusters, .. } => {
+                let n = spec.dataset.dim.cols;
+                spec.block_bytes() + clusters * n * 8 + clusters * (n + 1) * 8
+            }
+            // knn: block + queries in, candidate tally out.
+            Workload::Knn { queries, k, .. } => {
+                let n = spec.dataset.dim.cols;
+                spec.block_bytes() + queries * n * 8 + queries * k * 16
+            }
+            // cholesky gemm: two panel blocks in, one trailing block inout.
+            Workload::Cholesky { .. } => 3 * spec.block_bytes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn km() -> Workload {
+        Workload::Kmeans {
+            dataset: DatasetSpec::uniform("k", 10_000, 100, 1),
+            clusters: 10,
+            iterations: 2,
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert!(km().label().contains("k=10"));
+        let mm = Workload::Matmul {
+            dataset: DatasetSpec::uniform("m", 64, 64, 1),
+        };
+        assert!(mm.label().contains("Matmul"));
+    }
+
+    #[test]
+    fn build_matches_grid_shape() {
+        let wf = km().build(8).unwrap();
+        let ps = wf
+            .tasks()
+            .iter()
+            .filter(|t| t.task_type == "partial_sum")
+            .count();
+        assert_eq!(ps, 16, "8 blocks x 2 iterations");
+    }
+
+    #[test]
+    fn dominant_cost_tracks_block_size() {
+        let w = Workload::Matmul {
+            dataset: DatasetSpec::uniform("m", 1024, 1024, 1),
+        };
+        let fine = w.dominant_cost(8).unwrap();
+        let coarse = w.dominant_cost(2).unwrap();
+        assert!(coarse.parallel.flops > fine.parallel.flops * 10.0);
+    }
+
+    #[test]
+    fn extension_workloads_build_and_cost() {
+        let knn = Workload::Knn {
+            dataset: DatasetSpec::uniform("n", 8_000, 10, 1),
+            queries: 64,
+            k: 5,
+        };
+        assert!(knn.build(8).is_ok());
+        assert!(knn.dominant_cost(8).unwrap().parallel.flops > 0.0);
+        let chol = Workload::Cholesky {
+            dataset: DatasetSpec::uniform("c", 1024, 1024, 1),
+        };
+        assert!(chol.build(4).is_ok());
+        assert!(chol.label().contains("Cholesky"));
+    }
+
+    #[test]
+    fn io_bytes_cover_three_blocks_for_matmul() {
+        let w = Workload::Matmul {
+            dataset: DatasetSpec::uniform("m", 1024, 1024, 1),
+        };
+        let spec = w.array_spec(4).unwrap();
+        assert_eq!(w.dominant_io_bytes(4).unwrap(), 3 * spec.block_bytes());
+    }
+}

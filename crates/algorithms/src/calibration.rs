@@ -1,0 +1,191 @@
+//! Calibrated cost models for the studied task types (§4.4.4).
+//!
+//! Each function maps a task's geometry onto a [`CostProfile`] whose
+//! constants were fitted so that the simulator reproduces the paper's
+//! headline measurements on the Minotauro cluster model:
+//!
+//! * `matmul_func` speedup scaling to ~21× with block size (Fig. 8),
+//! * `add_func` losing on the GPU at every block size (Fig. 8),
+//! * K-means single-task speedups of ~5.7× (parallel fraction) and
+//!   ~1.2× (user code) for the 10 GB / 256-task default (Fig. 1),
+//! * cluster-count scaling and the OOM walls of Fig. 9a.
+//!
+//! Complexity notes: the paper states `partial_sum` as O(M·N·K²); its own
+//! measurements (Fig. 9a: time grows ~100× for 100× clusters) behave
+//! linearly in K, so the *cost* model uses `2·M·N·K` flops (exactly the
+//! distance computation) while [`kmeans_nominal_complexity`] reports the
+//! paper's nominal O(M·N·K²) figure used as a correlation feature.
+
+use gpuflow_cluster::KernelWork;
+use gpuflow_runtime::CostProfile;
+
+/// Bytes per `f64` element.
+const ELEM: f64 = 8.0;
+
+/// Serial-fraction work coefficient of K-means `partial_sum`
+/// (Python-level bookkeeping per sample, in equivalent flops).
+pub const KMEANS_SERIAL_COEFF: f64 = 300.0;
+
+/// Weight of the cluster count in the serial fraction (label handling
+/// grows much slower than distance computation).
+pub const KMEANS_SERIAL_K_WEIGHT: f64 = 0.3;
+
+/// Host-side working-copy multiplier on the distance matrix (NumPy
+/// temporaries), used for the host OOM check.
+pub const HOST_WORKING_MULTIPLIER: f64 = 1.5;
+
+/// Cost of `matmul_func`: one block product `C_partial = A_ik × B_kj`
+/// with blocks of `rows × mid` and `mid × cols` elements. O(N³) and
+/// fully parallel (Fig. 4c).
+pub fn matmul_func_cost(rows: u64, mid: u64, cols: u64) -> CostProfile {
+    let (r, m, c) = (rows as f64, mid as f64, cols as f64);
+    CostProfile::fully_parallel(KernelWork {
+        flops: 2.0 * r * m * c,
+        bytes: (r * m + m * c + r * c) * ELEM,
+        parallelism: r * c,
+    })
+}
+
+/// Cost of `add_func`: element-wise block sum, O(N) per element and
+/// memory-bound (its arithmetic intensity is 1/24 flop per byte), which
+/// is why it degrades on GPUs once PCIe transfers are paid (§5.2.1).
+pub fn add_func_cost(rows: u64, cols: u64) -> CostProfile {
+    let n = (rows * cols) as f64;
+    CostProfile::fully_parallel(KernelWork {
+        flops: n,
+        bytes: 3.0 * n * ELEM,
+        parallelism: n,
+    })
+}
+
+/// Cost of the Matmul-FMA task (Fig. 12): `C += A_ik × B_kj` — same
+/// cubic compute as `matmul_func` plus the extra read of the accumulator.
+pub fn fma_func_cost(rows: u64, mid: u64, cols: u64) -> CostProfile {
+    let (r, m, c) = (rows as f64, mid as f64, cols as f64);
+    CostProfile::fully_parallel(KernelWork {
+        flops: 2.0 * r * m * c,
+        bytes: (r * m + m * c + 2.0 * r * c) * ELEM,
+        parallelism: r * c,
+    })
+}
+
+/// Cost of K-means `partial_sum` over a block of `m` samples × `n`
+/// features against `k` centers: partially parallel (Fig. 4b).
+///
+/// * parallel fraction — the distance computation: `2·m·n·k` flops over
+///   `k/2` effective passes of the block, parallelism `m·k`;
+/// * serial fraction — per-sample bookkeeping on the host;
+/// * device/host intermediates — the `m × k` distance matrix, which is
+///   what drives the OOM walls of Fig. 9a.
+pub fn partial_sum_cost(m: u64, n: u64, k: u64) -> CostProfile {
+    let (mf, nf, kf) = (m as f64, n as f64, k as f64);
+    let serial = KernelWork {
+        flops: KMEANS_SERIAL_COEFF * mf * (nf + KMEANS_SERIAL_K_WEIGHT * kf),
+        bytes: mf * nf * ELEM,
+        parallelism: 1.0,
+    };
+    let parallel = KernelWork {
+        flops: 2.0 * mf * nf * kf,
+        bytes: 4.0 * mf * nf * kf,
+        parallelism: mf * kf,
+    };
+    let dist_matrix = (mf * kf * ELEM) as u64;
+    CostProfile::partially_parallel(serial, parallel)
+        .with_gpu_extra(dist_matrix)
+        .with_host_extra((dist_matrix as f64 * HOST_WORKING_MULTIPLIER) as u64)
+}
+
+/// Cost of merging `arity` K-means partial results (k × (n+1) tallies):
+/// cheap serial bookkeeping kept on the CPU, like dislib's `_merge`.
+pub fn kmeans_merge_cost(k: u64, n: u64, arity: usize) -> CostProfile {
+    let work = (k * (n + 1)) as f64 * arity as f64;
+    CostProfile::serial_only(KernelWork {
+        flops: 20.0 * work,
+        bytes: work * ELEM,
+        parallelism: 1.0,
+    })
+}
+
+/// Cost of recomputing centers from the merged tallies.
+pub fn kmeans_update_cost(k: u64, n: u64) -> CostProfile {
+    let work = (k * (n + 1)) as f64;
+    CostProfile::serial_only(KernelWork {
+        flops: 30.0 * work,
+        bytes: work * ELEM,
+        parallelism: 1.0,
+    })
+}
+
+/// The paper's nominal complexity figure for `partial_sum`, O(M·N·K²),
+/// used as the "computational complexity" correlation feature (Fig. 11).
+pub fn kmeans_nominal_complexity(m: u64, n: u64, k: u64) -> f64 {
+    m as f64 * n as f64 * (k as f64).powi(2)
+}
+
+/// Nominal complexity of `matmul_func`, O(N³) in the block order.
+pub fn matmul_nominal_complexity(order: u64) -> f64 {
+    (order as f64).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_cluster::ClusterSpec;
+
+    #[test]
+    fn matmul_flops_are_cubic() {
+        let c = matmul_func_cost(4, 4, 4);
+        assert_eq!(c.parallel.flops, 128.0);
+        assert_eq!(c.serial.flops, 0.0);
+    }
+
+    #[test]
+    fn add_is_two_orders_cheaper_than_matmul_at_paper_blocks() {
+        // §5.2.1: add_func's complexity is orders of magnitude below
+        // matmul_func's for the studied block sizes.
+        let b = 2048;
+        let mm = matmul_func_cost(b, b, b).parallel.flops;
+        let add = add_func_cost(b, b).parallel.flops;
+        assert!(mm / add >= 100.0);
+    }
+
+    #[test]
+    fn partial_sum_parallel_fraction_grows_with_clusters() {
+        let cpu = ClusterSpec::minotauro().node.cpu;
+        let f10 = partial_sum_cost(48_828, 100, 10).parallel_fraction(&cpu);
+        let f100 = partial_sum_cost(48_828, 100, 100).parallel_fraction(&cpu);
+        let f1000 = partial_sum_cost(48_828, 100, 1000).parallel_fraction(&cpu);
+        assert!(f10 < f100 && f100 < f1000, "{f10} {f100} {f1000}");
+        assert!(f10 < 0.5, "at 10 clusters serial dominates: {f10}");
+        assert!(f1000 > 0.85, "at 1000 clusters parallel dominates: {f1000}");
+    }
+
+    #[test]
+    fn distance_matrix_drives_gpu_oom_walls() {
+        // Fig. 9a: with 1000 clusters the GPU OOMs around the 1250 MB
+        // block (grid 8x1 of the 10 GB dataset), not at 625 MB (16x1).
+        let gpu_mem = ClusterSpec::minotauro().node.gpu.memory_bytes;
+        let block_625mb = partial_sum_cost(781_250, 100, 1000);
+        let block_1250mb = partial_sum_cost(1_562_500, 100, 1000);
+        let fits = |c: &gpuflow_runtime::CostProfile, block: u64| {
+            block + 8_080 + c.gpu_extra_bytes <= gpu_mem
+        };
+        assert!(fits(&block_625mb, 625_000_000));
+        assert!(!fits(&block_1250mb, 1_250_000_000));
+    }
+
+    #[test]
+    fn nominal_complexity_is_quadratic_in_clusters() {
+        let a = kmeans_nominal_complexity(1000, 100, 10);
+        let b = kmeans_nominal_complexity(1000, 100, 100);
+        assert_eq!(b / a, 100.0);
+    }
+
+    #[test]
+    fn fma_streams_more_bytes_than_matmul() {
+        let mm = matmul_func_cost(64, 64, 64);
+        let fma = fma_func_cost(64, 64, 64);
+        assert_eq!(fma.parallel.flops, mm.parallel.flops);
+        assert!(fma.parallel.bytes > mm.parallel.bytes);
+    }
+}

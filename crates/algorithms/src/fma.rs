@@ -1,0 +1,169 @@
+//! Matmul FMA — the fused multiply-add variant from the COMPSs samples
+//! used in the paper's generalizability study (§5.5.1, Fig. 12).
+//!
+//! Instead of materialising `G` partial products per output block and
+//! reducing them with `add_func`, each output block is an accumulator
+//! updated in place: `C[i,j] += A[i,k] · B[k,j]` for `k = 0..G`. The
+//! `InOut` access chains the `G` updates of one output block, so the DAG
+//! is `G²` independent chains of length `G`.
+
+use gpuflow_data::{
+    BlockCoord, DatasetSpec, DsArray, DsArraySpec, GridDim, Matrix, PartitionError,
+};
+use gpuflow_runtime::{Direction, Workflow, WorkflowBuilder};
+
+use crate::calibration::fma_func_cost;
+
+/// Configuration of one Matmul-FMA workflow.
+#[derive(Debug, Clone)]
+pub struct FmaConfig {
+    /// The (square) operand descriptor.
+    pub spec: DsArraySpec,
+}
+
+impl FmaConfig {
+    /// Partitions `dataset` (must be square) into a `grid × grid` layout.
+    ///
+    /// # Errors
+    /// Propagates partitioning violations; rejects non-square datasets.
+    pub fn new(dataset: DatasetSpec, grid: u64) -> Result<Self, PartitionError> {
+        if dataset.dim.rows != dataset.dim.cols {
+            return Err(PartitionError::GridExceedsDataset {
+                grid: dataset.dim.rows.max(dataset.dim.cols),
+                dataset: dataset.dim.rows.min(dataset.dim.cols),
+            });
+        }
+        let spec = DsArraySpec::partition(dataset, GridDim::square(grid))?;
+        Ok(FmaConfig { spec })
+    }
+
+    /// Grid extent `G`.
+    pub fn grid(&self) -> u64 {
+        self.spec.grid.rows
+    }
+
+    /// Number of `fma_func` tasks (`G³`).
+    pub fn task_count(&self) -> u64 {
+        self.grid().pow(3)
+    }
+
+    /// Builds the dependency DAG.
+    pub fn build_workflow(&self) -> Workflow {
+        let g = self.grid();
+        let mut b = WorkflowBuilder::new();
+        let block_bytes = self.spec.block_bytes();
+        let order = self.spec.block.rows;
+
+        let a: Vec<Vec<_>> = (0..g)
+            .map(|i| {
+                (0..g)
+                    .map(|k| b.input(format!("A[{i},{k}]"), block_bytes))
+                    .collect()
+            })
+            .collect();
+        let bb: Vec<Vec<_>> = (0..g)
+            .map(|k| {
+                (0..g)
+                    .map(|j| b.input(format!("B[{k},{j}]"), block_bytes))
+                    .collect()
+            })
+            .collect();
+        // The accumulator starts as a zero-initialised ds_array on storage.
+        let c: Vec<Vec<_>> = (0..g)
+            .map(|i| {
+                (0..g)
+                    .map(|j| b.input(format!("C[{i},{j}]"), block_bytes))
+                    .collect()
+            })
+            .collect();
+
+        for i in 0..g {
+            for j in 0..g {
+                for k in 0..g {
+                    b.submit(
+                        "fma_func",
+                        fma_func_cost(order, order, order),
+                        &[
+                            (a[i as usize][k as usize], Direction::In),
+                            (bb[k as usize][j as usize], Direction::In),
+                            (c[i as usize][j as usize], Direction::InOut),
+                        ],
+                        false,
+                    )
+                    .expect("valid fma task");
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Functional reference: accumulates `C += A·B` block-wise in the same
+/// order as the workflow.
+///
+/// # Panics
+/// Panics on grid/shape mismatches.
+pub fn reference_fma_matmul(a: &DsArray, b: &DsArray) -> Matrix {
+    let g = a.spec().grid.rows;
+    assert_eq!(a.spec().grid, b.spec().grid, "operands must share the grid");
+    let m = a.spec().block.rows as usize;
+    let n = b.spec().block.cols as usize;
+    let mut out = Matrix::zeros(
+        a.spec().dataset.dim.rows as usize,
+        b.spec().dataset.dim.cols as usize,
+    );
+    for i in 0..g {
+        for j in 0..g {
+            let mut acc = Matrix::zeros(m, n);
+            for k in 0..g {
+                acc.fma_accumulate(
+                    a.block(BlockCoord { row: i, col: k }),
+                    b.block(BlockCoord { row: k, col: j }),
+                );
+            }
+            out.set_submatrix(i as usize * m, j as usize * n, &acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::reference_blocked_matmul;
+
+    #[test]
+    fn task_count_is_cubic() {
+        let c = FmaConfig::new(DatasetSpec::uniform("m", 64, 64, 1), 4).unwrap();
+        assert_eq!(c.task_count(), 64);
+        assert_eq!(c.build_workflow().tasks().len(), 64);
+    }
+
+    #[test]
+    fn dag_is_chains_of_length_g() {
+        let c = FmaConfig::new(DatasetSpec::uniform("m", 64, 64, 1), 4).unwrap();
+        let shape = c.build_workflow().shape();
+        assert_eq!(shape.height, 4, "one InOut chain per output block");
+        assert_eq!(shape.max_width, 16, "G^2 chains advance in lockstep");
+    }
+
+    #[test]
+    fn fma_matches_blocked_and_dense_products() {
+        let da = DatasetSpec::uniform("a", 20, 20, 3);
+        let db = DatasetSpec::uniform("b", 20, 20, 4);
+        let (ma, mb) = (da.materialize().unwrap(), db.materialize().unwrap());
+        for g in [1u64, 2, 4] {
+            let arr_a = DsArray::from_matrix(da.clone(), &ma, GridDim::square(g)).unwrap();
+            let arr_b = DsArray::from_matrix(db.clone(), &mb, GridDim::square(g)).unwrap();
+            let fma = reference_fma_matmul(&arr_a, &arr_b);
+            let blocked = reference_blocked_matmul(&arr_a, &arr_b);
+            assert!(fma.max_abs_diff(&ma.matmul(&mb)) < 1e-9);
+            assert!(fma.max_abs_diff(&blocked) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_dataset() {
+        assert!(FmaConfig::new(DatasetSpec::uniform("m", 8, 16, 1), 2).is_err());
+    }
+}

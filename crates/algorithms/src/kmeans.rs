@@ -1,0 +1,269 @@
+//! Distributed K-means (the dislib implementation studied in the paper).
+//!
+//! The dataset is chunked row-wise into a `k × 1` grid (§4.4.4); every
+//! iteration runs one `partial_sum` task per block against the current
+//! centers, merges the partial tallies in a small reduction tree, and
+//! updates the centers — producing the narrow and deep DAG of Fig. 6a
+//! (low task parallelism, high task dependency).
+
+use gpuflow_data::{
+    kmeans_partial_sum, kmeans_update_centers, BlockCoord, DatasetSpec, DsArray, DsArraySpec,
+    GridDim, Matrix, PartitionError,
+};
+use gpuflow_runtime::{DataId, Direction, Workflow, WorkflowBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::calibration::{kmeans_merge_cost, kmeans_update_cost, partial_sum_cost};
+
+/// Configuration of one distributed K-means workflow.
+#[derive(Debug, Clone)]
+pub struct KmeansConfig {
+    /// The row-wise partitioned dataset.
+    pub spec: DsArraySpec,
+    /// Number of clusters (the algorithm-specific parameter of Table 1).
+    pub clusters: u64,
+    /// Lloyd iterations to run.
+    pub iterations: u32,
+    /// Fan-in of the partial-result merge tree.
+    pub merge_arity: usize,
+}
+
+impl KmeansConfig {
+    /// Partitions `dataset` into `grid_rows × 1` row-wise blocks.
+    ///
+    /// # Errors
+    /// Propagates partitioning violations.
+    pub fn new(
+        dataset: DatasetSpec,
+        grid_rows: u64,
+        clusters: u64,
+        iterations: u32,
+    ) -> Result<Self, PartitionError> {
+        let spec = DsArraySpec::partition(dataset, GridDim::row_wise(grid_rows))?;
+        Ok(KmeansConfig {
+            spec,
+            clusters,
+            iterations,
+            merge_arity: 4,
+        })
+    }
+
+    /// Features per sample.
+    pub fn features(&self) -> u64 {
+        self.spec.dataset.dim.cols
+    }
+
+    /// Bytes of one partial tally (k centers × (features + count)).
+    fn partial_bytes(&self) -> u64 {
+        self.clusters * (self.features() + 1) * 8
+    }
+
+    /// Bytes of the centers object.
+    fn centers_bytes(&self) -> u64 {
+        self.clusters * self.features() * 8
+    }
+
+    /// Builds the dependency DAG.
+    pub fn build_workflow(&self) -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let n = self.features();
+        let blocks: Vec<(DataId, u64)> = self
+            .spec
+            .coords()
+            .map(|c| {
+                let dim = self.spec.block_dim_at(c);
+                let bytes = dim.bytes(self.spec.dataset.elem_bytes);
+                (b.input(format!("X[{}]", c.row), bytes), dim.rows)
+            })
+            .collect();
+        let centers = b.input("centers", self.centers_bytes());
+
+        for iter in 0..self.iterations {
+            // One partial_sum per block (Fig. 6a's numbered nodes).
+            let mut partials: Vec<DataId> = blocks
+                .iter()
+                .enumerate()
+                .map(|(i, &(block, rows))| {
+                    let p = b.intermediate(format!("psum[{iter},{i}]"), self.partial_bytes());
+                    b.submit(
+                        "partial_sum",
+                        partial_sum_cost(rows, n, self.clusters),
+                        &[
+                            (block, Direction::In),
+                            (centers, Direction::In),
+                            (p, Direction::Out),
+                        ],
+                        false,
+                    )
+                    .expect("valid partial_sum task");
+                    p
+                })
+                .collect();
+            // Merge tree (dislib's _merge, CPU-side bookkeeping).
+            let mut round = 0;
+            while partials.len() > 1 {
+                let mut next = Vec::with_capacity(partials.len().div_ceil(self.merge_arity));
+                for group in partials.chunks(self.merge_arity) {
+                    if group.len() == 1 {
+                        next.push(group[0]);
+                        continue;
+                    }
+                    let merged = b.intermediate(
+                        format!("merge[{iter},{round},{}]", next.len()),
+                        self.partial_bytes(),
+                    );
+                    let mut accesses: Vec<(DataId, Direction)> =
+                        group.iter().map(|&p| (p, Direction::In)).collect();
+                    accesses.push((merged, Direction::Out));
+                    b.submit(
+                        "merge",
+                        kmeans_merge_cost(self.clusters, n, group.len()),
+                        &accesses,
+                        true,
+                    )
+                    .expect("valid merge task");
+                    next.push(merged);
+                }
+                partials = next;
+                round += 1;
+            }
+            // Update the centers from the merged tally (the sync point of
+            // Fig. 6a; the InOut access serialises iterations).
+            b.submit(
+                "update_centers",
+                kmeans_update_cost(self.clusters, n),
+                &[(partials[0], Direction::In), (centers, Direction::InOut)],
+                true,
+            )
+            .expect("valid update task");
+        }
+        b.build()
+    }
+}
+
+/// Deterministic initial centers: `k` points uniform in the unit cube.
+pub fn initial_centers(clusters: usize, features: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(clusters, features, |_, _| rng.gen::<f64>())
+}
+
+/// Functional reference: runs `iterations` of blocked K-means over real
+/// data, mirroring the workflow's partial-sum/merge/update structure.
+pub fn reference_kmeans(data: &DsArray, centers0: &Matrix, iterations: u32) -> Matrix {
+    let mut centers = centers0.clone();
+    let grid = data.spec().grid;
+    for _ in 0..iterations {
+        let partials: Vec<_> = (0..grid.rows)
+            .map(|row| kmeans_partial_sum(data.block(BlockCoord { row, col: 0 }), &centers))
+            .collect();
+        centers = kmeans_update_centers(&partials, &centers);
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(rows: u64, grid: u64, k: u64, iters: u32) -> KmeansConfig {
+        KmeansConfig::new(DatasetSpec::uniform("km", rows, 4, 1), grid, k, iters).unwrap()
+    }
+
+    #[test]
+    fn task_counts_per_iteration() {
+        // 8 blocks, arity 4: 8 partial_sum + 2 merge + 1 merge + 1 update.
+        let wf = config(64, 8, 3, 1).build_workflow();
+        let by_type = |t: &str| wf.tasks().iter().filter(|x| x.task_type == t).count();
+        assert_eq!(by_type("partial_sum"), 8);
+        assert_eq!(by_type("merge"), 3);
+        assert_eq!(by_type("update_centers"), 1);
+    }
+
+    #[test]
+    fn dag_is_narrow_and_deep() {
+        let three_iters = config(64, 4, 3, 3).build_workflow();
+        let shape = three_iters.shape();
+        assert_eq!(shape.max_width, 4, "width = #blocks (low task parallelism)");
+        // Per iteration: partial_sum -> merge -> update = 3 levels.
+        assert_eq!(shape.height, 9, "iterations stack levels (deep DAG)");
+        three_iters.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iterations_serialise_through_centers() {
+        let wf = config(64, 4, 3, 2).build_workflow();
+        // The second iteration's partial_sums depend on the first update.
+        let update1 = wf
+            .tasks()
+            .iter()
+            .find(|t| t.task_type == "update_centers")
+            .unwrap()
+            .id;
+        let second_ps = wf
+            .tasks()
+            .iter()
+            .filter(|t| t.task_type == "partial_sum")
+            .nth(4)
+            .unwrap();
+        assert!(wf.predecessors(second_ps.id).contains(&update1));
+    }
+
+    #[test]
+    fn merge_and_update_are_cpu_only() {
+        let wf = config(64, 4, 3, 1).build_workflow();
+        for t in wf.tasks() {
+            match t.task_type.as_str() {
+                "partial_sum" => assert!(!t.cpu_only),
+                _ => assert!(t.cpu_only, "{} must stay on the CPU", t.task_type),
+            }
+        }
+    }
+
+    #[test]
+    fn reference_kmeans_converges_on_separated_clusters() {
+        // Two well-separated blobs in 1-D; centers must land on them.
+        let rows = 64;
+        let m = Matrix::from_fn(rows, 1, |i, _| if i % 2 == 0 { 0.1 } else { 10.0 });
+        let ds = DatasetSpec::uniform("sep", rows as u64, 1, 1);
+        let arr = DsArray::from_matrix(ds, &m, GridDim::row_wise(4)).unwrap();
+        let init = Matrix::from_vec(2, 1, vec![1.0, 8.0]);
+        let centers = reference_kmeans(&arr, &init, 5);
+        assert!((centers[(0, 0)] - 0.1).abs() < 1e-9);
+        assert!((centers[(1, 0)] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_kmeans_matches_single_block() {
+        let ds = DatasetSpec::uniform("km", 96, 5, 42);
+        let m = ds.materialize().unwrap();
+        let init = initial_centers(4, 5, 7);
+        let single = DsArray::from_matrix(ds.clone(), &m, GridDim::row_wise(1)).unwrap();
+        let blocked = DsArray::from_matrix(ds, &m, GridDim::row_wise(8)).unwrap();
+        let a = reference_kmeans(&single, &init, 4);
+        let b = reference_kmeans(&blocked, &init, 4);
+        assert!(
+            a.max_abs_diff(&b) < 1e-9,
+            "chunking must not change results"
+        );
+    }
+
+    #[test]
+    fn initial_centers_are_deterministic() {
+        assert_eq!(initial_centers(3, 4, 9), initial_centers(3, 4, 9));
+        assert_ne!(initial_centers(3, 4, 9), initial_centers(3, 4, 10));
+    }
+
+    #[test]
+    fn ragged_paper_grid_builds() {
+        // 10 GB K-means at 256x1 (12.5M rows do not divide by 256).
+        let c = KmeansConfig::new(gpuflow_data::paper::kmeans_10gb(), 256, 10, 1).unwrap();
+        let wf = c.build_workflow();
+        let ps = wf
+            .tasks()
+            .iter()
+            .filter(|t| t.task_type == "partial_sum")
+            .count();
+        assert_eq!(ps, 256);
+    }
+}

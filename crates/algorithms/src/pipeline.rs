@@ -1,0 +1,805 @@
+//! Composable data-science pipelines — the workload class that motivates
+//! the paper (§1: "Data Science pipelines are composed of multiple
+//! processing stages ... the relationship between these stages creates
+//! complex workflows").
+//!
+//! The per-algorithm `*Config` types build one workflow per algorithm;
+//! [`Session`] generalises them into a deferred-execution API where each
+//! operation appends tasks to a *shared* builder and returns an
+//! [`ArrayHandle`] the next stage can consume — so `kmeans(matmul(A, B))`
+//! becomes a single DAG whose stages overlap wherever dependencies allow,
+//! exactly like chained dislib calls under PyCOMPSs.
+//!
+//! ```
+//! use gpuflow_algorithms::Session;
+//! use gpuflow_data::{DatasetSpec, GridDim};
+//!
+//! let mut s = Session::new();
+//! let a = s.load(DatasetSpec::uniform("a", 1024, 1024, 1), GridDim::square(4)).unwrap();
+//! let b = s.load(DatasetSpec::uniform("b", 1024, 1024, 2), GridDim::square(4)).unwrap();
+//! let c = s.matmul(&a, &b).unwrap();
+//! s.kmeans_fit(&c, 8, 2).unwrap();
+//! let workflow = s.build();
+//! assert!(workflow.shape().height > 3, "stages chain in one DAG");
+//! ```
+
+use std::fmt;
+
+use gpuflow_data::{BlockDim, DatasetSpec, DsArraySpec, GridDim, PartitionError};
+use gpuflow_runtime::{CostProfile, DataId, Direction, Workflow, WorkflowBuilder};
+
+use crate::calibration::{
+    add_func_cost, fma_func_cost, kmeans_merge_cost, kmeans_update_cost, matmul_func_cost,
+    partial_sum_cost,
+};
+use crate::cholesky::{gemm_cost, potrf_cost, syrk_cost, trsm_cost};
+use crate::knn::{knn_merge_cost, knn_partial_cost};
+
+/// A handle to a blocked array inside a [`Session`]: its geometry plus
+/// the data ids of its blocks (row-major over the grid).
+#[derive(Debug, Clone)]
+pub struct ArrayHandle {
+    /// Grid shape.
+    pub grid: GridDim,
+    /// Nominal block shape.
+    pub block: BlockDim,
+    /// Bytes per element.
+    pub elem_bytes: u64,
+    blocks: Vec<DataId>,
+}
+
+impl ArrayHandle {
+    /// Block id at grid coordinates.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn block(&self, row: u64, col: u64) -> DataId {
+        assert!(
+            row < self.grid.rows && col < self.grid.cols,
+            "block out of range"
+        );
+        self.blocks[(row * self.grid.cols + col) as usize]
+    }
+
+    /// Bytes of one (nominal) block.
+    pub fn block_bytes(&self) -> u64 {
+        self.block.bytes(self.elem_bytes)
+    }
+
+    /// Logical shape in elements (nominal; trailing blocks may be ragged).
+    pub fn shape(&self) -> (u64, u64) {
+        (
+            self.grid.rows * self.block.rows,
+            self.grid.cols * self.block.cols,
+        )
+    }
+}
+
+/// A handle to a small non-blocked object (centers, candidate sets).
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectHandle {
+    /// The object's data id.
+    pub data: DataId,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// Why a pipeline operation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Operand grids/shapes do not line up.
+    ShapeMismatch(String),
+    /// Invalid partitioning of a loaded dataset.
+    Partition(PartitionError),
+    /// A parameter was out of range.
+    BadParameter(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            PipelineError::Partition(e) => write!(f, "partitioning: {e}"),
+            PipelineError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<PartitionError> for PipelineError {
+    fn from(e: PartitionError) -> Self {
+        PipelineError::Partition(e)
+    }
+}
+
+/// A deferred-execution pipeline builder.
+#[derive(Debug, Default)]
+pub struct Session {
+    builder: WorkflowBuilder,
+    arrays: usize,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_name(&mut self, op: &str) -> String {
+        self.arrays += 1;
+        format!("{op}#{}", self.arrays)
+    }
+
+    /// Loads a dataset from storage as a blocked array (the pipeline's
+    /// sources; version 0 exists on disk).
+    ///
+    /// # Errors
+    /// Propagates partitioning violations.
+    pub fn load(
+        &mut self,
+        dataset: DatasetSpec,
+        grid: GridDim,
+    ) -> Result<ArrayHandle, PipelineError> {
+        let spec = DsArraySpec::partition(dataset, grid)?;
+        let blocks = spec
+            .coords()
+            .map(|c| {
+                let bytes = spec.block_dim_at(c).bytes(spec.dataset.elem_bytes);
+                self.builder
+                    .input(format!("{}[{},{}]", spec.dataset.name, c.row, c.col), bytes)
+            })
+            .collect();
+        Ok(ArrayHandle {
+            grid: spec.grid,
+            block: spec.block,
+            elem_bytes: spec.dataset.elem_bytes,
+            blocks,
+        })
+    }
+
+    fn alloc_array(
+        &mut self,
+        op: &str,
+        grid: GridDim,
+        block: BlockDim,
+        elem_bytes: u64,
+    ) -> ArrayHandle {
+        let name = self.fresh_name(op);
+        let bytes = block.bytes(elem_bytes);
+        let blocks = (0..grid.blocks())
+            .map(|i| self.builder.intermediate(format!("{name}.b{i}"), bytes))
+            .collect();
+        ArrayHandle {
+            grid,
+            block,
+            elem_bytes,
+            blocks,
+        }
+    }
+
+    fn require_square(a: &ArrayHandle, what: &str) -> Result<(), PipelineError> {
+        if a.grid.rows != a.grid.cols || a.block.rows != a.block.cols {
+            return Err(PipelineError::ShapeMismatch(format!(
+                "{what} needs a square grid of square blocks, got grid {} block {}",
+                a.grid, a.block
+            )));
+        }
+        Ok(())
+    }
+
+    /// Blocked matrix product `A × B` (dislib Matmul: `matmul_func` per
+    /// `(i,j,k)` plus an `add_func` reduction).
+    ///
+    /// # Errors
+    /// Operands must share a square grid of square blocks.
+    pub fn matmul(
+        &mut self,
+        a: &ArrayHandle,
+        b: &ArrayHandle,
+    ) -> Result<ArrayHandle, PipelineError> {
+        Self::require_square(a, "matmul")?;
+        if a.grid != b.grid || a.block != b.block {
+            return Err(PipelineError::ShapeMismatch(
+                "matmul operands must share grid and block shapes".into(),
+            ));
+        }
+        let g = a.grid.rows;
+        let order = a.block.rows;
+        let out = self.alloc_array("matmul", a.grid, a.block, a.elem_bytes);
+        if g == 1 {
+            // Single-block grids need no reduction: one multiply writes
+            // the output directly.
+            self.builder
+                .submit(
+                    "matmul_func",
+                    matmul_func_cost(order, order, order),
+                    &[
+                        (a.block(0, 0), Direction::In),
+                        (b.block(0, 0), Direction::In),
+                        (out.block(0, 0), Direction::Out),
+                    ],
+                    false,
+                )
+                .expect("valid matmul task");
+            return Ok(out);
+        }
+        for i in 0..g {
+            for j in 0..g {
+                let mut partials: Vec<DataId> = (0..g)
+                    .map(|k| {
+                        let p = self
+                            .builder
+                            .intermediate(format!("p[{i},{j},{k}]"), a.block_bytes());
+                        self.builder
+                            .submit(
+                                "matmul_func",
+                                matmul_func_cost(order, order, order),
+                                &[
+                                    (a.block(i, k), Direction::In),
+                                    (b.block(k, j), Direction::In),
+                                    (p, Direction::Out),
+                                ],
+                                false,
+                            )
+                            .expect("valid matmul task");
+                        p
+                    })
+                    .collect();
+                while partials.len() > 1 {
+                    let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+                    for pair in partials.chunks(2) {
+                        if let [x, y] = pair {
+                            // The last add of the tree writes the output block.
+                            let target = if partials.len() == 2 {
+                                out.block(i, j)
+                            } else {
+                                self.builder.intermediate(
+                                    format!("s[{i},{j}]n{}", next.len()),
+                                    a.block_bytes(),
+                                )
+                            };
+                            self.builder
+                                .submit(
+                                    "add_func",
+                                    add_func_cost(order, order),
+                                    &[
+                                        (*x, Direction::In),
+                                        (*y, Direction::In),
+                                        (target, Direction::Out),
+                                    ],
+                                    false,
+                                )
+                                .expect("valid add task");
+                            next.push(target);
+                        } else {
+                            next.push(pair[0]);
+                        }
+                    }
+                    partials = next;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `A + B` (`add_func` per block).
+    ///
+    /// # Errors
+    /// Operands must share grid and block shapes.
+    pub fn add(&mut self, a: &ArrayHandle, b: &ArrayHandle) -> Result<ArrayHandle, PipelineError> {
+        if a.grid != b.grid || a.block != b.block {
+            return Err(PipelineError::ShapeMismatch(
+                "add operands must share grid and block shapes".into(),
+            ));
+        }
+        let out = self.alloc_array("add", a.grid, a.block, a.elem_bytes);
+        for r in 0..a.grid.rows {
+            for c in 0..a.grid.cols {
+                self.builder
+                    .submit(
+                        "add_func",
+                        add_func_cost(a.block.rows, a.block.cols),
+                        &[
+                            (a.block(r, c), Direction::In),
+                            (b.block(r, c), Direction::In),
+                            (out.block(r, c), Direction::Out),
+                        ],
+                        false,
+                    )
+                    .expect("valid add task");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise scaling `alpha · A` — a memory-bound unary map with
+    /// the same cost shape as `add_func` (one read stream instead of two).
+    pub fn scale(&mut self, a: &ArrayHandle, _alpha: f64) -> ArrayHandle {
+        let out = self.alloc_array("scale", a.grid, a.block, a.elem_bytes);
+        for r in 0..a.grid.rows {
+            for c in 0..a.grid.cols {
+                let n = (a.block.rows * a.block.cols) as f64;
+                let cost = CostProfile::fully_parallel(gpuflow_cluster::KernelWork {
+                    flops: n,
+                    bytes: 2.0 * n * 8.0,
+                    parallelism: n,
+                });
+                self.builder
+                    .submit(
+                        "scale_func",
+                        cost,
+                        &[
+                            (a.block(r, c), Direction::In),
+                            (out.block(r, c), Direction::Out),
+                        ],
+                        false,
+                    )
+                    .expect("valid scale task");
+            }
+        }
+        out
+    }
+
+    /// In-place fused multiply-add accumulation `C += A × B` (Fig. 12's
+    /// variant); the chain over `k` serialises through the `InOut`
+    /// accesses on `c`.
+    ///
+    /// # Errors
+    /// All three operands must share a square grid of square blocks.
+    pub fn fma_matmul(
+        &mut self,
+        a: &ArrayHandle,
+        b: &ArrayHandle,
+        c: &ArrayHandle,
+    ) -> Result<(), PipelineError> {
+        Self::require_square(a, "fma_matmul")?;
+        if a.grid != b.grid || a.grid != c.grid || a.block != b.block || a.block != c.block {
+            return Err(PipelineError::ShapeMismatch(
+                "fma operands must share grid and block shapes".into(),
+            ));
+        }
+        let g = a.grid.rows;
+        let order = a.block.rows;
+        for i in 0..g {
+            for j in 0..g {
+                for k in 0..g {
+                    self.builder
+                        .submit(
+                            "fma_func",
+                            fma_func_cost(order, order, order),
+                            &[
+                                (a.block(i, k), Direction::In),
+                                (b.block(k, j), Direction::In),
+                                (c.block(i, j), Direction::InOut),
+                            ],
+                            false,
+                        )
+                        .expect("valid fma task");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// K-means over the rows of `x`: `iterations` rounds of per-block
+    /// `partial_sum`, a merge tree, and a centers update. Returns the
+    /// centers handle (written once per iteration).
+    ///
+    /// # Errors
+    /// Rejects zero clusters/iterations.
+    pub fn kmeans_fit(
+        &mut self,
+        x: &ArrayHandle,
+        clusters: u64,
+        iterations: u32,
+    ) -> Result<ObjectHandle, PipelineError> {
+        if clusters == 0 || iterations == 0 {
+            return Err(PipelineError::BadParameter(
+                "clusters and iterations must be positive".into(),
+            ));
+        }
+        let n = x.grid.cols * x.block.cols; // feature count spans the row
+        let centers_bytes = clusters * n * 8;
+        let tally_bytes = clusters * (n + 1) * 8;
+        let centers_name = self.fresh_name("centers");
+        let centers = self.builder.input(centers_name, centers_bytes);
+        for iter in 0..iterations {
+            let mut partials: Vec<DataId> = (0..x.grid.rows)
+                .map(|r| {
+                    let p = self
+                        .builder
+                        .intermediate(format!("psum[{iter},{r}]"), tally_bytes);
+                    // A row of blocks feeds one partial_sum (row-wise
+                    // chunking reads the whole block row).
+                    let mut accesses: Vec<(DataId, Direction)> = (0..x.grid.cols)
+                        .map(|c| (x.block(r, c), Direction::In))
+                        .collect();
+                    accesses.push((centers, Direction::In));
+                    accesses.push((p, Direction::Out));
+                    self.builder
+                        .submit(
+                            "partial_sum",
+                            partial_sum_cost(x.block.rows, n, clusters),
+                            &accesses,
+                            false,
+                        )
+                        .expect("valid partial_sum task");
+                    p
+                })
+                .collect();
+            let mut round = 0;
+            while partials.len() > 1 {
+                let mut next = Vec::with_capacity(partials.len().div_ceil(4));
+                for group in partials.chunks(4) {
+                    if group.len() == 1 {
+                        next.push(group[0]);
+                        continue;
+                    }
+                    let merged = self
+                        .builder
+                        .intermediate(format!("merge[{iter},{round},{}]", next.len()), tally_bytes);
+                    let mut accesses: Vec<(DataId, Direction)> =
+                        group.iter().map(|&p| (p, Direction::In)).collect();
+                    accesses.push((merged, Direction::Out));
+                    self.builder
+                        .submit(
+                            "merge",
+                            kmeans_merge_cost(clusters, n, group.len()),
+                            &accesses,
+                            true,
+                        )
+                        .expect("valid merge task");
+                    next.push(merged);
+                }
+                partials = next;
+                round += 1;
+            }
+            self.builder
+                .submit(
+                    "update_centers",
+                    kmeans_update_cost(clusters, n),
+                    &[(partials[0], Direction::In), (centers, Direction::InOut)],
+                    true,
+                )
+                .expect("valid update task");
+        }
+        Ok(ObjectHandle {
+            data: centers,
+            bytes: centers_bytes,
+        })
+    }
+
+    /// K-nearest-neighbour query of `queries` points against the rows of
+    /// `x`; returns the merged candidate set handle.
+    ///
+    /// # Errors
+    /// Rejects zero queries/neighbours.
+    pub fn knn(
+        &mut self,
+        x: &ArrayHandle,
+        queries: u64,
+        k: u64,
+    ) -> Result<ObjectHandle, PipelineError> {
+        if queries == 0 || k == 0 {
+            return Err(PipelineError::BadParameter(
+                "queries and k must be positive".into(),
+            ));
+        }
+        let n = x.grid.cols * x.block.cols;
+        let queries_name = self.fresh_name("queries");
+        let q_handle = self.builder.input(queries_name, queries * n * 8);
+        let cand_bytes = queries * k * 16;
+        let mut cands: Vec<DataId> = (0..x.grid.rows)
+            .map(|r| {
+                let out = self.builder.intermediate(format!("cand[{r}]"), cand_bytes);
+                let mut accesses: Vec<(DataId, Direction)> = (0..x.grid.cols)
+                    .map(|c| (x.block(r, c), Direction::In))
+                    .collect();
+                accesses.push((q_handle, Direction::In));
+                accesses.push((out, Direction::Out));
+                self.builder
+                    .submit(
+                        "knn_partial",
+                        knn_partial_cost(x.block.rows, n, queries, k),
+                        &accesses,
+                        false,
+                    )
+                    .expect("valid knn task");
+                out
+            })
+            .collect();
+        let mut round = 0;
+        while cands.len() > 1 {
+            let mut next = Vec::with_capacity(cands.len().div_ceil(4));
+            for group in cands.chunks(4) {
+                if group.len() == 1 {
+                    next.push(group[0]);
+                    continue;
+                }
+                let merged = self
+                    .builder
+                    .intermediate(format!("kmerge[{round},{}]", next.len()), cand_bytes);
+                let mut accesses: Vec<(DataId, Direction)> =
+                    group.iter().map(|&p| (p, Direction::In)).collect();
+                accesses.push((merged, Direction::Out));
+                self.builder
+                    .submit(
+                        "knn_merge",
+                        knn_merge_cost(queries, k, group.len()),
+                        &accesses,
+                        true,
+                    )
+                    .expect("valid knn merge");
+                next.push(merged);
+            }
+            cands = next;
+            round += 1;
+        }
+        Ok(ObjectHandle {
+            data: cands[0],
+            bytes: cand_bytes,
+        })
+    }
+
+    /// In-place blocked Cholesky factorization of (the lower triangle of)
+    /// `a`; subsequent stages reading `a`'s blocks see the factored
+    /// versions.
+    ///
+    /// # Errors
+    /// Needs a square grid of square blocks.
+    pub fn cholesky(&mut self, a: &ArrayHandle) -> Result<(), PipelineError> {
+        Self::require_square(a, "cholesky")?;
+        let g = a.grid.rows;
+        let order = a.block.rows;
+        for k in 0..g {
+            self.builder
+                .submit(
+                    "potrf",
+                    potrf_cost(order),
+                    &[(a.block(k, k), Direction::InOut)],
+                    false,
+                )
+                .expect("valid potrf");
+            for i in (k + 1)..g {
+                self.builder
+                    .submit(
+                        "trsm",
+                        trsm_cost(order),
+                        &[
+                            (a.block(k, k), Direction::In),
+                            (a.block(i, k), Direction::InOut),
+                        ],
+                        false,
+                    )
+                    .expect("valid trsm");
+            }
+            for i in (k + 1)..g {
+                self.builder
+                    .submit(
+                        "syrk",
+                        syrk_cost(order),
+                        &[
+                            (a.block(i, k), Direction::In),
+                            (a.block(i, i), Direction::InOut),
+                        ],
+                        false,
+                    )
+                    .expect("valid syrk");
+                for j in (k + 1)..i {
+                    self.builder
+                        .submit(
+                            "gemm",
+                            gemm_cost(order),
+                            &[
+                                (a.block(i, k), Direction::In),
+                                (a.block(j, k), Direction::In),
+                                (a.block(i, j), Direction::InOut),
+                            ],
+                            false,
+                        )
+                        .expect("valid gemm");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalises the pipeline into one workflow.
+    pub fn build(self) -> Workflow {
+        self.builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(name: &str, n: u64, g: u64, s: &mut Session) -> ArrayHandle {
+        s.load(DatasetSpec::uniform(name, n, n, 1), GridDim::square(g))
+            .unwrap()
+    }
+
+    #[test]
+    fn matmul_via_session_matches_config_task_counts() {
+        let mut s = Session::new();
+        let a = square("a", 1024, 4, &mut s);
+        let b = square("b", 1024, 4, &mut s);
+        s.matmul(&a, &b).unwrap();
+        let wf = s.build();
+        let count = |t: &str| wf.tasks().iter().filter(|x| x.task_type == t).count();
+        // Same structure as MatmulConfig: G^3 multiplies, G^2 (G-1) adds.
+        assert_eq!(count("matmul_func"), 64);
+        assert_eq!(count("add_func"), 48);
+        wf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stages_chain_into_one_dag() {
+        let mut s = Session::new();
+        let a = square("a", 1024, 4, &mut s);
+        let b = square("b", 1024, 4, &mut s);
+        let c = s.matmul(&a, &b).unwrap();
+        s.kmeans_fit(&c, 8, 2).unwrap();
+        let wf = s.build();
+        // K-means partial_sums must depend (transitively) on matmul adds:
+        // a partial_sum's level exceeds the adds' levels.
+        let ps_level = wf
+            .tasks()
+            .iter()
+            .filter(|t| t.task_type == "partial_sum")
+            .map(|t| wf.level(t.id))
+            .min()
+            .unwrap();
+        let add_level = wf
+            .tasks()
+            .iter()
+            .filter(|t| t.task_type == "add_func")
+            .map(|t| wf.level(t.id))
+            .min()
+            .unwrap();
+        assert!(ps_level > add_level, "kmeans must wait for matmul output");
+        wf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pipeline_runs_on_the_simulated_cluster() {
+        use gpuflow_cluster::{ClusterSpec, ProcessorKind};
+        use gpuflow_runtime::RunConfig;
+        let mut s = Session::new();
+        let a = square("a", 8192, 4, &mut s);
+        let b = square("b", 8192, 4, &mut s);
+        let c = s.matmul(&a, &b).unwrap();
+        let d = s.add(&c, &a).unwrap();
+        s.kmeans_fit(&d, 10, 2).unwrap();
+        s.knn(&d, 64, 5).unwrap();
+        let wf = s.build();
+        for proc in ProcessorKind::ALL {
+            let report =
+                gpuflow_runtime::run(&wf, &RunConfig::new(ClusterSpec::minotauro(), proc)).unwrap();
+            assert_eq!(report.records.len(), wf.tasks().len());
+        }
+    }
+
+    #[test]
+    fn cholesky_after_matmul_reuses_blocks_in_place() {
+        let mut s = Session::new();
+        let a = square("a", 1024, 2, &mut s);
+        let b = square("b", 1024, 2, &mut s);
+        let c = s.matmul(&a, &b).unwrap();
+        s.cholesky(&c).unwrap();
+        let wf = s.build();
+        // potrf of block (0,0) depends on the add that wrote it.
+        let potrf0 = wf.tasks().iter().find(|t| t.task_type == "potrf").unwrap();
+        assert!(!wf.predecessors(potrf0.id).is_empty());
+        wf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let mut s = Session::new();
+        let a = square("a", 1024, 4, &mut s);
+        let b = square("b", 1024, 2, &mut s);
+        assert!(matches!(
+            s.matmul(&a, &b),
+            Err(PipelineError::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            s.add(&a, &b),
+            Err(PipelineError::ShapeMismatch(_))
+        ));
+        let wide = s
+            .load(
+                DatasetSpec::uniform("w", 64, 128, 1),
+                GridDim { rows: 2, cols: 4 },
+            )
+            .unwrap();
+        assert!(matches!(
+            s.matmul(&wide, &wide),
+            Err(PipelineError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn scale_is_one_task_per_block() {
+        let mut s = Session::new();
+        let a = square("a", 1024, 4, &mut s);
+        let b = s.scale(&a, 2.5);
+        let c = s.add(&a, &b).unwrap();
+        s.kmeans_fit(&c, 4, 1).unwrap();
+        let wf = s.build();
+        let scales = wf
+            .tasks()
+            .iter()
+            .filter(|t| t.task_type == "scale_func")
+            .count();
+        assert_eq!(scales, 16);
+        wf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let mut s = Session::new();
+        let a = square("a", 1024, 2, &mut s);
+        assert!(s.kmeans_fit(&a, 0, 3).is_err());
+        assert!(s.kmeans_fit(&a, 3, 0).is_err());
+        assert!(s.knn(&a, 0, 5).is_err());
+    }
+
+    #[test]
+    fn fma_chains_serialise_per_output_block() {
+        let mut s = Session::new();
+        let a = square("a", 1024, 4, &mut s);
+        let b = square("b", 1024, 4, &mut s);
+        let c = square("c", 1024, 4, &mut s);
+        s.fma_matmul(&a, &b, &c).unwrap();
+        let wf = s.build();
+        assert_eq!(wf.tasks().len(), 64);
+        assert_eq!(wf.shape().height, 4, "InOut chains of length G");
+    }
+
+    #[test]
+    fn kmeans_reads_every_block_of_a_row() {
+        let mut s = Session::new();
+        let x = s
+            .load(
+                DatasetSpec::uniform("x", 4096, 64, 1),
+                GridDim { rows: 4, cols: 2 },
+            )
+            .unwrap();
+        s.kmeans_fit(&x, 5, 1).unwrap();
+        let wf = s.build();
+        let ps = wf
+            .tasks()
+            .iter()
+            .find(|t| t.task_type == "partial_sum")
+            .unwrap();
+        // 2 block columns + centers read.
+        assert_eq!(ps.reads().count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod single_block_tests {
+    use super::*;
+
+    #[test]
+    fn single_block_matmul_writes_output_directly() {
+        let mut s = Session::new();
+        let a = s
+            .load(DatasetSpec::uniform("a", 64, 64, 1), GridDim::square(1))
+            .unwrap();
+        let b = s
+            .load(DatasetSpec::uniform("b", 64, 64, 2), GridDim::square(1))
+            .unwrap();
+        let c = s.matmul(&a, &b).unwrap();
+        // And the result is consumable by a later stage.
+        s.kmeans_fit(&c, 4, 1).unwrap();
+        let wf = s.build();
+        let count = |t: &str| wf.tasks().iter().filter(|x| x.task_type == t).count();
+        assert_eq!(count("matmul_func"), 1);
+        assert_eq!(count("add_func"), 0);
+        assert_eq!(count("partial_sum"), 1);
+        wf.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Calibration tests: the simulator must reproduce the paper's headline
+//! measurements (shape and rough magnitude, not exact seconds).
+
+use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
+use gpuflow_cluster::{ClusterSpec, ProcessorKind};
+use gpuflow_runtime::{RunConfig, RunReport};
+
+fn run(processor: ProcessorKind, wf: &gpuflow_runtime::Workflow) -> RunReport {
+    let cfg = RunConfig::new(ClusterSpec::minotauro(), processor);
+    gpuflow_runtime::run(wf, &cfg).expect("run must succeed")
+}
+
+/// Fig. 1: distributed K-means, 10 GB, 256 tasks, 128 cores / 32 GPUs.
+///
+/// Paper: 5.69x parallel-fraction speedup, 1.24x user-code speedup,
+/// -1.20x parallel-tasks "speedup" (GPU slower end-to-end).
+#[test]
+fn figure1_kmeans_three_stage_speedups() {
+    let wf = KmeansConfig::new(gpuflow_data::paper::kmeans_10gb(), 256, 10, 1)
+        .unwrap()
+        .build_workflow();
+    let cpu = run(ProcessorKind::Cpu, &wf);
+    let gpu = run(ProcessorKind::Gpu, &wf);
+
+    let cpu_ps = cpu.metrics.task_type("partial_sum").unwrap();
+    let gpu_ps = gpu.metrics.task_type("partial_sum").unwrap();
+
+    let pfrac_speedup = cpu_ps.parallel / gpu_ps.parallel;
+    let user_speedup = cpu_ps.user_code / gpu_ps.user_code;
+    // Stage (iii): whole distributed execution.
+    let parallel_ratio = gpu.makespan() / cpu.makespan();
+
+    println!("Fig1 parallel-fraction speedup: {pfrac_speedup:.2} (paper 5.69)");
+    println!("Fig1 user-code speedup:        {user_speedup:.2} (paper 1.24)");
+    println!("Fig1 GPU/CPU parallel tasks:   {parallel_ratio:.2} (paper 1.20x slower)");
+    println!(
+        "     cpu makespan {:.2}s gpu makespan {:.2}s",
+        cpu.makespan(),
+        gpu.makespan()
+    );
+    println!(
+        "     cpu: serial {:.3} parallel {:.3} comm {:.3} | gpu: serial {:.3} parallel {:.3} comm {:.3}",
+        cpu_ps.serial, cpu_ps.parallel, cpu_ps.comm, gpu_ps.serial, gpu_ps.parallel, gpu_ps.comm
+    );
+
+    assert!(
+        (3.5..=8.5).contains(&pfrac_speedup),
+        "parallel fraction speedup {pfrac_speedup} outside the Fig.1 band"
+    );
+    assert!(
+        (1.02..=1.7).contains(&user_speedup),
+        "user code speedup {user_speedup} outside the Fig.1 band"
+    );
+    assert!(
+        parallel_ratio > 1.0,
+        "GPUs must lose end-to-end in the Fig.1 setting, got {parallel_ratio}"
+    );
+    assert!(
+        parallel_ratio < 4.0,
+        "GPU slowdown should stay moderate, got {parallel_ratio}"
+    );
+    // Ordering across stages: the gain shrinks as more overhead enters.
+    assert!(pfrac_speedup > user_speedup);
+    assert!(user_speedup > 1.0 / parallel_ratio);
+}
+
+/// Fig. 8: matmul_func speedup scales with block size up to ~21x; the
+/// low-complexity add_func never wins on the GPU.
+#[test]
+fn figure8_matmul_complexity_split() {
+    let ds = gpuflow_data::paper::matmul_8gb();
+    let mut mm_speedups = Vec::new();
+    // Grids 16x16 (32 MiB) and 4x4 (512 MiB): fine and coarse tasks.
+    for g in [16u64, 4] {
+        let wf = MatmulConfig::new(ds.clone(), g).unwrap().build_workflow();
+        let cpu = run(ProcessorKind::Cpu, &wf);
+        let gpu = run(ProcessorKind::Gpu, &wf);
+        let mm = cpu.metrics.task_type("matmul_func").unwrap().user_code
+            / gpu.metrics.task_type("matmul_func").unwrap().user_code;
+        let add = cpu.metrics.task_type("add_func").unwrap().user_code
+            / gpu.metrics.task_type("add_func").unwrap().user_code;
+        println!("grid {g}x{g}: matmul_func {mm:.2}x, add_func {add:.2}x");
+        mm_speedups.push(mm);
+        assert!(
+            add < 1.0,
+            "add_func must degrade on GPU (grid {g}), got {add}"
+        );
+    }
+    assert!(
+        mm_speedups[1] > mm_speedups[0] * 1.5,
+        "matmul_func speedup must grow with block size: {mm_speedups:?}"
+    );
+    assert!(
+        mm_speedups[1] > 10.0 && mm_speedups[1] < 30.0,
+        "coarse-grained matmul_func speedup should be ~15-21x, got {}",
+        mm_speedups[1]
+    );
+}
+
+/// Fig. 9a: GPU user-code speedup grows with the cluster count.
+#[test]
+fn figure9a_cluster_count_scaling() {
+    let ds = gpuflow_data::paper::kmeans_10gb();
+    let mut speedups = Vec::new();
+    for k in [10u64, 100, 1000] {
+        let wf = KmeansConfig::new(ds.clone(), 256, k, 1)
+            .unwrap()
+            .build_workflow();
+        let cpu = run(ProcessorKind::Cpu, &wf);
+        let gpu = run(ProcessorKind::Gpu, &wf);
+        let s = cpu.metrics.task_type("partial_sum").unwrap().user_code
+            / gpu.metrics.task_type("partial_sum").unwrap().user_code;
+        println!("clusters {k}: user-code speedup {s:.2}x");
+        speedups.push(s);
+    }
+    assert!(speedups[0] < speedups[1] && speedups[1] < speedups[2]);
+    assert!(
+        speedups[0] < 2.0,
+        "10 clusters: marginal speedup, got {}",
+        speedups[0]
+    );
+    assert!(
+        speedups[2] / speedups[0] > 4.0,
+        "1000 clusters should be several times the 10-cluster speedup: {speedups:?}"
+    );
+}

@@ -1,0 +1,327 @@
+//! Feature tables, one-hot encoding, and correlation matrices (§5.4,
+//! Fig. 11).
+//!
+//! Each row of a [`FeatureTable`] is one experiment sample: the factor
+//! and parameter values of Table 1 plus the measured parallel task
+//! execution time. Categorical factors (processor type, storage
+//! architecture, scheduling policy) are one-hot encoded exactly as in the
+//! paper, which is why Fig. 11 shows complementary ±1 column pairs.
+
+use std::fmt::Write as _;
+
+use crate::spearman::{pearson, spearman_pairwise};
+
+/// One-hot encodes `value` against the closed set `categories`.
+///
+/// # Panics
+/// Panics when `value` is not one of `categories`.
+pub fn one_hot(categories: &[&str], value: &str) -> Vec<f64> {
+    assert!(
+        categories.contains(&value),
+        "value '{value}' not in categories {categories:?}"
+    );
+    categories
+        .iter()
+        .map(|c| if *c == value { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// A column-oriented table of named numeric features.
+#[derive(Debug, Clone)]
+pub struct FeatureTable {
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl FeatureTable {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let columns = names.iter().map(|_| Vec::new()).collect();
+        FeatureTable { names, columns }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    /// Panics when the row width does not match the column count.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Number of samples.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// A column by name.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(&self.columns[idx])
+    }
+
+    /// One sample row by index.
+    ///
+    /// # Panics
+    /// Panics when `row` is out of range.
+    pub fn row(&self, row: usize) -> Vec<f64> {
+        assert!(row < self.rows(), "row {row} out of range");
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// The full Spearman correlation matrix of all columns, computed over
+    /// pairwise-complete observations (NaN marks a feature undefined for
+    /// a sample and drops it from correlations involving that feature).
+    pub fn correlation_matrix(&self) -> CorrMatrix {
+        self.correlation_matrix_with(CorrMethod::Spearman)
+    }
+
+    /// Correlation matrix under an explicit method — the paper notes
+    /// that "other measures could be used as well" (§5.4); Pearson is the
+    /// obvious alternative when linearity is plausible.
+    pub fn correlation_matrix_with(&self, method: CorrMethod) -> CorrMatrix {
+        let corr = |a: &[f64], b: &[f64]| match method {
+            CorrMethod::Spearman => spearman_pairwise(a, b),
+            CorrMethod::Pearson => {
+                let (fa, fb): (Vec<f64>, Vec<f64>) = a
+                    .iter()
+                    .zip(b)
+                    .filter(|(x, y)| !x.is_nan() && !y.is_nan())
+                    .map(|(&x, &y)| (x, y))
+                    .unzip();
+                pearson(&fa, &fb)
+            }
+        };
+        let k = self.names.len();
+        let mut values = vec![vec![0.0; k]; k];
+        #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
+        for i in 0..k {
+            values[i][i] = 1.0;
+            for j in (i + 1)..k {
+                let rho = corr(&self.columns[i], &self.columns[j]);
+                values[i][j] = rho;
+                values[j][i] = rho;
+            }
+        }
+        CorrMatrix {
+            names: self.names.clone(),
+            values,
+        }
+    }
+
+    /// CSV export of the raw samples.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.names.join(",");
+        out.push('\n');
+        for r in 0..self.rows() {
+            let row: Vec<String> = self.columns.iter().map(|c| format!("{}", c[r])).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The correlation measure for [`FeatureTable::correlation_matrix_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrMethod {
+    /// Tie-aware rank correlation (the paper's choice, robust to
+    /// monotone non-linearity).
+    Spearman,
+    /// Linear correlation of the raw values.
+    Pearson,
+}
+
+/// A symmetric correlation matrix with named axes (Fig. 11).
+#[derive(Debug, Clone)]
+pub struct CorrMatrix {
+    names: Vec<String>,
+    values: Vec<Vec<f64>>,
+}
+
+impl CorrMatrix {
+    /// Axis names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Correlation between two named features.
+    pub fn get(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.names.iter().position(|n| n == a)?;
+        let j = self.names.iter().position(|n| n == b)?;
+        Some(self.values[i][j])
+    }
+
+    /// All correlations with `name`, strongest absolute value first
+    /// (excluding the self-correlation).
+    pub fn strongest_with(&self, name: &str) -> Vec<(String, f64)> {
+        let Some(i) = self.names.iter().position(|n| n == name) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(String, f64)> = self
+            .names
+            .iter()
+            .zip(&self.values[i])
+            .filter(|(n, _)| n.as_str() != name)
+            .map(|(n, &v)| (n.clone(), v))
+            .collect();
+        out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite rho"));
+        out
+    }
+
+    /// Verifies symmetry, unit diagonal, and bounds (test helper).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let k = self.names.len();
+        for i in 0..k {
+            if (self.values[i][i] - 1.0).abs() > 1e-12 {
+                return Err(format!("diagonal {i} is {}", self.values[i][i]));
+            }
+            for j in 0..k {
+                let v = self.values[i][j];
+                if !(-1.0..=1.0).contains(&v) {
+                    return Err(format!("rho[{i}][{j}] = {v} out of bounds"));
+                }
+                if (v - self.values[j][i]).abs() > 1e-12 {
+                    return Err(format!("asymmetry at [{i}][{j}]"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the matrix as fixed-width ASCII (the Fig. 11 layout).
+    pub fn render(&self, label_width: usize) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{:>label_width$} ", "");
+        for n in &self.names {
+            let short: String = n.chars().take(6).collect();
+            let _ = write!(out, "{short:>7}");
+        }
+        out.push('\n');
+        for (i, n) in self.names.iter().enumerate() {
+            let label: String = n.chars().take(label_width).collect();
+            let _ = write!(out, "{label:>label_width$} ");
+            for v in &self.values[i] {
+                let _ = write!(out, "{v:>7.3}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_encodes_categories() {
+        assert_eq!(one_hot(&["CPU", "GPU"], "CPU"), vec![1.0, 0.0]);
+        assert_eq!(one_hot(&["CPU", "GPU"], "GPU"), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in categories")]
+    fn one_hot_rejects_unknown() {
+        one_hot(&["a", "b"], "c");
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = FeatureTable::new(["x", "y"]);
+        t.push_row(&[1.0, 10.0]);
+        t.push_row(&[2.0, 20.0]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column("y"), Some(&[10.0, 20.0][..]));
+        assert_eq!(t.column("nope"), None);
+    }
+
+    #[test]
+    fn monotone_columns_correlate_fully() {
+        let mut t = FeatureTable::new(["x", "y", "z"]);
+        for i in 0..10 {
+            let v = i as f64;
+            t.push_row(&[v, v * v, -v]);
+        }
+        let m = t.correlation_matrix();
+        m.check_invariants().unwrap();
+        assert!((m.get("x", "y").unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.get("x", "z").unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complementary_one_hot_columns_correlate_minus_one() {
+        // The Fig. 11 pattern: CPU and GPU columns are exact opposites.
+        let mut t = FeatureTable::new(["cpu", "gpu"]);
+        for i in 0..8 {
+            let is_cpu = i % 2 == 0;
+            t.push_row(&[is_cpu as u8 as f64, !is_cpu as u8 as f64]);
+        }
+        let m = t.correlation_matrix();
+        assert!((m.get("cpu", "gpu").unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_and_spearman_differ_on_nonlinear_data() {
+        let mut t = FeatureTable::new(["x", "y"]);
+        for i in 1..=13 {
+            let v = i as f64;
+            t.push_row(&[v, v.exp()]);
+        }
+        let s = t.correlation_matrix_with(CorrMethod::Spearman);
+        let p = t.correlation_matrix_with(CorrMethod::Pearson);
+        // Monotone: Spearman is exactly 1; Pearson is dragged down by
+        // the exponential's curvature.
+        assert!((s.get("x", "y").unwrap() - 1.0).abs() < 1e-12);
+        assert!(p.get("x", "y").unwrap() < 0.95);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn strongest_with_sorts_by_magnitude() {
+        let mut t = FeatureTable::new(["target", "strong", "weak"]);
+        let noise = [0.3, -0.2, 0.4, -0.1, 0.25, -0.35, 0.15, -0.05];
+        for i in 0..8 {
+            let v = i as f64;
+            t.push_row(&[v, v, noise[i as usize]]);
+        }
+        let ranked = t.correlation_matrix().strongest_with("target");
+        assert_eq!(ranked[0].0, "strong");
+    }
+
+    #[test]
+    fn row_extraction_matches_columns() {
+        let mut t = FeatureTable::new(["a", "b"]);
+        t.push_row(&[1.0, 2.0]);
+        t.push_row(&[3.0, 4.0]);
+        assert_eq!(t.row(1), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn csv_export_includes_all_rows() {
+        let mut t = FeatureTable::new(["a", "b"]);
+        t.push_row(&[1.0, 2.0]);
+        t.push_row(&[3.0, 4.0]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("a,b\n1,2\n"));
+    }
+
+    #[test]
+    fn render_contains_labels_and_diagonal() {
+        let mut t = FeatureTable::new(["alpha", "beta"]);
+        t.push_row(&[1.0, 5.0]);
+        t.push_row(&[2.0, 3.0]);
+        let s = t.correlation_matrix().render(8);
+        assert!(s.contains("alpha"));
+        assert!(s.contains("1.000"));
+    }
+}

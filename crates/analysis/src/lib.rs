@@ -1,0 +1,20 @@
+//! # gpuflow-analysis — the paper's statistical toolkit
+//!
+//! Implements the analysis machinery of §5.4: tie-aware Spearman rank
+//! correlation, one-hot encoding of categorical factors, correlation
+//! matrices over experiment feature tables (Fig. 11), the speedup /
+//! summary statistics used throughout the evaluation, and a CART
+//! regression tree for the §5.4.3 "learning models" direction.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod features;
+mod predictor;
+mod spearman;
+mod stats;
+
+pub use features::{one_hot, CorrMatrix, CorrMethod, FeatureTable};
+pub use predictor::{r2_score, train_test_split, Forest, RegressionTree, TreeParams};
+pub use spearman::{pearson, ranks, spearman, spearman_pairwise};
+pub use stats::{confidence_half_width_95, geo_mean, mean, median, signed_speedup, std_dev};

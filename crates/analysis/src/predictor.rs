@@ -1,0 +1,454 @@
+//! A regression-tree predictor for execution time (§5.4.3).
+//!
+//! The paper closes by suggesting that "learning models ... could
+//! identify and predict non-linear trends, as for example, the ideal
+//! block size to maximize the efficiency of each processor". This module
+//! supplies the model: a small CART regression tree (variance-reduction
+//! splits, depth- and leaf-size-bounded) that maps Table 1 feature
+//! vectors to predicted parallel-task execution times, plus the
+//! evaluation utilities (train/test split, R², baseline) used by the
+//! prediction experiment.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters of the tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 8,
+            min_leaf: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted CART regression tree.
+///
+/// ```
+/// use gpuflow_analysis::{RegressionTree, TreeParams};
+///
+/// // A step function: one split recovers it exactly.
+/// let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..10).map(|i| if i < 5 { 1.0 } else { 9.0 }).collect();
+/// let tree = RegressionTree::fit(&x, &y, TreeParams { max_depth: 3, min_leaf: 1 });
+/// assert_eq!(tree.predict(&[2.0]), 1.0);
+/// assert_eq!(tree.predict(&[7.0]), 9.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    root: Node,
+    features: usize,
+}
+
+fn mean(ys: &[f64]) -> f64 {
+    ys.iter().sum::<f64>() / ys.len().max(1) as f64
+}
+
+fn sse(ys: &[f64]) -> f64 {
+    let m = mean(ys);
+    ys.iter().map(|y| (y - m).powi(2)).sum()
+}
+
+impl RegressionTree {
+    /// Fits a tree on row-major samples `x` with targets `y`.
+    ///
+    /// # Panics
+    /// Panics on empty or ragged input, NaN values, or mismatched
+    /// lengths. Impute missing features before fitting.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: TreeParams) -> Self {
+        assert!(!x.is_empty(), "need at least one sample");
+        assert_eq!(x.len(), y.len(), "samples and targets must align");
+        let features = x[0].len();
+        for row in x {
+            assert_eq!(row.len(), features, "ragged feature rows");
+            assert!(
+                row.iter().all(|v| !v.is_nan()),
+                "NaN features; impute first"
+            );
+        }
+        assert!(y.iter().all(|v| !v.is_nan()), "NaN targets");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let root = Self::build(x, y, &idx, params, 0);
+        RegressionTree { root, features }
+    }
+
+    fn build(x: &[Vec<f64>], y: &[f64], idx: &[usize], params: TreeParams, depth: usize) -> Node {
+        let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+        let leaf = Node::Leaf { value: mean(&ys) };
+        if depth >= params.max_depth || idx.len() < 2 * params.min_leaf || sse(&ys) <= 1e-18 {
+            return leaf;
+        }
+        // Best (feature, threshold) by SSE reduction; thresholds are the
+        // midpoints between consecutive distinct sorted values.
+        let parent_sse = sse(&ys);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, child sse)
+        let features = x[0].len();
+        #[allow(clippy::needless_range_loop)] // f indexes columns across rows of x
+        for f in 0..features {
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("finite features"));
+            // Prefix sums for O(n) split scoring along the sorted order.
+            let sorted_y: Vec<f64> = order.iter().map(|&i| y[i]).collect();
+            let mut prefix_sum = 0.0;
+            let mut prefix_sq = 0.0;
+            let total_sum: f64 = sorted_y.iter().sum();
+            let total_sq: f64 = sorted_y.iter().map(|v| v * v).sum();
+            for split in 1..order.len() {
+                prefix_sum += sorted_y[split - 1];
+                prefix_sq += sorted_y[split - 1] * sorted_y[split - 1];
+                if x[order[split - 1]][f] == x[order[split]][f] {
+                    continue; // cannot split between equal values
+                }
+                if split < params.min_leaf || order.len() - split < params.min_leaf {
+                    continue;
+                }
+                let n_l = split as f64;
+                let n_r = (order.len() - split) as f64;
+                let sse_l = prefix_sq - prefix_sum * prefix_sum / n_l;
+                let suffix_sum = total_sum - prefix_sum;
+                let sse_r = (total_sq - prefix_sq) - suffix_sum * suffix_sum / n_r;
+                let child = sse_l + sse_r;
+                if best.as_ref().is_none_or(|b| child < b.2) {
+                    let threshold = (x[order[split - 1]][f] + x[order[split]][f]) / 2.0;
+                    best = Some((f, threshold, child));
+                }
+            }
+        }
+        match best {
+            Some((feature, threshold, child_sse)) if child_sse < parent_sse - 1e-18 => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[i][feature] <= threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::build(x, y, &left_idx, params, depth + 1)),
+                    right: Box::new(Self::build(x, y, &right_idx, params, depth + 1)),
+                }
+            }
+            _ => leaf,
+        }
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    /// Panics on a row of the wrong width.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.features, "feature width mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of leaves (model complexity).
+    pub fn leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+/// Coefficient of determination R² of predictions against truth
+/// (1 = perfect, 0 = as good as the mean, negative = worse than mean).
+pub fn r2_score(truth: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(truth.len(), predicted.len());
+    let total = sse(truth);
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let residual: f64 = truth
+        .iter()
+        .zip(predicted)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum();
+    1.0 - residual / total
+}
+
+/// Deterministic shuffled train/test index split.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_fraction), "fraction in [0, 1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let test_len = ((n as f64) * test_fraction).round() as usize;
+    let test = idx.split_off(n - test_len);
+    (idx, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_xy(f: impl Fn(f64) -> f64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..n).map(|i| f(i as f64)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn depth_zero_tree_predicts_the_mean() {
+        let (x, y) = grid_xy(|v| v, 10);
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                min_leaf: 1,
+            },
+        );
+        assert_eq!(tree.leaves(), 1);
+        assert!((tree.predict(&[3.0]) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let (x, y) = grid_xy(|v| if v < 5.0 { 1.0 } else { 9.0 }, 10);
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 3,
+                min_leaf: 1,
+            },
+        );
+        assert_eq!(tree.predict(&[0.0]), 1.0);
+        assert_eq!(tree.predict(&[9.0]), 9.0);
+        assert_eq!(tree.leaves(), 2, "one split suffices");
+    }
+
+    #[test]
+    fn captures_nonlinear_trends() {
+        // Quadratic: deep tree approximates it well on training data.
+        let (x, y) = grid_xy(|v| v * v, 64);
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 6,
+                min_leaf: 1,
+            },
+        );
+        let r2 = r2_score(&y, &tree.predict_all(&x));
+        assert!(r2 > 0.99, "train R2 {r2}");
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 0 is noise-free signal, feature 1 is constant.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 2,
+                min_leaf: 2,
+            },
+        );
+        assert_eq!(tree.predict(&[2.0, 7.0]), 0.0);
+        assert_eq!(tree.predict(&[15.0, 7.0]), 1.0);
+    }
+
+    #[test]
+    fn min_leaf_bounds_granularity() {
+        let (x, y) = grid_xy(|v| v, 8);
+        let coarse = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 10,
+                min_leaf: 4,
+            },
+        );
+        assert!(coarse.leaves() <= 2);
+    }
+
+    #[test]
+    fn r2_score_semantics() {
+        let truth = [1.0, 2.0, 3.0];
+        assert_eq!(r2_score(&truth, &truth), 1.0);
+        let means = [2.0, 2.0, 2.0];
+        assert!((r2_score(&truth, &means) - 0.0).abs() < 1e-12);
+        let bad = [3.0, 3.0, 0.0];
+        assert!(r2_score(&truth, &bad) < 0.0);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let (train, test) = train_test_split(100, 0.3, 7);
+        let (train2, test2) = train_test_split(100, 0.3, 7);
+        assert_eq!(train, train2);
+        assert_eq!(test, test2);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN features")]
+    fn rejects_nan_features() {
+        RegressionTree::fit(&[vec![f64::NAN]], &[1.0], TreeParams::default());
+    }
+}
+
+/// A bagged ensemble of regression trees (a small random forest):
+/// each tree fits a bootstrap resample; predictions average the trees.
+/// Bagging trades a little bias for a large variance reduction, which is
+/// what the noisy execution-time surface needs.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    trees: Vec<RegressionTree>,
+}
+
+impl Forest {
+    /// Fits `n_trees` trees on bootstrap resamples drawn with `seed`.
+    ///
+    /// # Panics
+    /// Panics on empty input or `n_trees == 0`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: TreeParams, n_trees: usize, seed: u64) -> Self {
+        assert!(n_trees > 0, "need at least one tree");
+        assert!(!x.is_empty(), "need at least one sample");
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = x.len();
+        let trees = (0..n_trees)
+            .map(|_| {
+                let (bx, by): (Vec<Vec<f64>>, Vec<f64>) = (0..n)
+                    .map(|_| {
+                        let i = rng.gen_range(0..n);
+                        (x[i].clone(), y[i])
+                    })
+                    .unzip();
+                RegressionTree::fit(&bx, &by, params)
+            })
+            .collect();
+        Forest { trees }
+    }
+
+    /// Predicts by averaging the trees.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest has no trees (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod forest_tests {
+    use super::*;
+
+    fn noisy_quadratic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Deterministic pseudo-noise via a hash-ish transform.
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let v = i as f64;
+                let noise = ((i.wrapping_mul(2654435761) % 1000) as f64 / 1000.0 - 0.5) * 40.0;
+                v * v / 10.0 + noise
+            })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let (x, y) = noisy_quadratic(64);
+        let a = Forest::fit(&x, &y, TreeParams::default(), 8, 3);
+        let b = Forest::fit(&x, &y, TreeParams::default(), 8, 3);
+        for row in &x {
+            assert_eq!(a.predict(row).to_bits(), b.predict(row).to_bits());
+        }
+        assert_eq!(a.len(), 8);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bagging_reduces_held_out_error_on_noisy_data() {
+        let (x, y) = noisy_quadratic(200);
+        let (train, test) = train_test_split(200, 0.3, 11);
+        let take = |idx: &[usize]| -> (Vec<Vec<f64>>, Vec<f64>) {
+            (
+                idx.iter().map(|&i| x[i].clone()).collect(),
+                idx.iter().map(|&i| y[i]).collect(),
+            )
+        };
+        let (xt, yt) = take(&train);
+        let (xv, yv) = take(&test);
+        let deep = TreeParams {
+            max_depth: 10,
+            min_leaf: 1,
+        };
+        let tree = RegressionTree::fit(&xt, &yt, deep);
+        let forest = Forest::fit(&xt, &yt, deep, 25, 7);
+        let tree_r2 = r2_score(&yv, &tree.predict_all(&xv));
+        let forest_r2 = r2_score(&yv, &forest.predict_all(&xv));
+        assert!(
+            forest_r2 > tree_r2,
+            "bagging must beat a single overfit tree: {forest_r2} vs {tree_r2}"
+        );
+        assert!(
+            forest_r2 > 0.8,
+            "forest should recover the quadratic: {forest_r2}"
+        );
+    }
+}

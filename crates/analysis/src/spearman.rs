@@ -1,0 +1,149 @@
+//! Spearman rank correlation (§5.4).
+//!
+//! The paper uses Spearman's ρ for its robustness to non-linear (but
+//! monotone) relationships between execution factors. We implement the
+//! tie-aware definition: rank both variables with fractional (midrank)
+//! ties, then take the Pearson correlation of the ranks.
+
+/// Assigns fractional ranks (1-based; ties get the midrank).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite samples"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Elements i..=j are tied; midrank = mean of positions (1-based).
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = midrank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation of two equal-length samples; 0 when either is
+/// constant (no variance) or empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must align");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman's ρ of two equal-length samples.
+///
+/// # Panics
+/// Panics when the samples have different lengths.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Spearman's ρ over pairwise-complete observations: sample pairs where
+/// either value is NaN are dropped before ranking — the pandas `corr`
+/// convention the paper's analysis pipeline uses, which matters for
+/// features undefined on some samples (Matmul has no algorithm-specific
+/// parameter).
+pub fn spearman_pairwise(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must align");
+    let (fx, fy): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| !x.is_nan() && !y.is_nan())
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    spearman(&fx, &fy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_simple() {
+        assert_eq!(ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties_use_midrank() {
+        // [1, 2, 2, 3] -> ranks [1, 2.5, 2.5, 4]
+        assert_eq!(ranks(&[1.0, 2.0, 2.0, 3.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn perfect_monotone_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 100.0, 1000.0, 10_000.0]; // non-linear but monotone
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_inverse_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_variable_yields_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let ys = [2.0, 7.0, 1.0, 8.0, 2.0];
+        assert!((spearman(&xs, &ys) - spearman(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value_with_ties() {
+        // Hand-computed: rank(x) = [1, 2, 3.5, 3.5, 5], rank(y) =
+        // [2, 1, 4, 3, 5]; Pearson of the ranks = 8.5 / sqrt(9.5 * 10).
+        let xs = [1.0, 2.0, 3.0, 3.0, 5.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let rho = spearman(&xs, &ys);
+        let expected = 8.5 / (9.5f64 * 10.0).sqrt();
+        assert!((rho - expected).abs() < 1e-12, "{rho} vs {expected}");
+    }
+
+    #[test]
+    fn pairwise_drops_nan_pairs() {
+        let xs = [1.0, f64::NAN, 3.0, 4.0, f64::NAN];
+        let ys = [1.0, 99.0, 3.0, 4.0, -5.0];
+        assert!((spearman_pairwise(&xs, &ys) - 1.0).abs() < 1e-12);
+        // All-NaN column: no observations, rho = 0.
+        let nan = [f64::NAN; 3];
+        assert_eq!(spearman_pairwise(&nan, &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let xs = [0.3, -1.0, 2.5, 8.0, -4.0, 0.0];
+        let ys = [1.0, 0.0, 9.0, -2.0, 4.0, 4.0];
+        let rho = spearman(&xs, &ys);
+        assert!((-1.0..=1.0).contains(&rho));
+    }
+}

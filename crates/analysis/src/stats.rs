@@ -1,0 +1,138 @@
+//! Basic summary statistics used across the experiment reports.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (averaging the middle pair for even lengths); 0 when empty.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Geometric mean; 0 when empty or any sample is non-positive.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Speedup of `baseline` over `candidate`, following the paper's Fig. 1
+/// convention: positive ratios > 1 mean the candidate wins; a candidate
+/// *slower* than baseline is reported as a negative factor (e.g. -1.20x).
+pub fn signed_speedup(baseline: f64, candidate: f64) -> f64 {
+    if candidate <= 0.0 || baseline <= 0.0 {
+        return 0.0;
+    }
+    let ratio = baseline / candidate;
+    if ratio >= 1.0 {
+        ratio
+    } else {
+        -1.0 / ratio
+    }
+}
+
+/// Two-sided 95 % confidence half-width of the mean for small samples,
+/// using the Student t quantiles the paper's six-run protocol needs
+/// (n-1 degrees of freedom, n in 2..=30; falls back to the normal 1.96
+/// beyond the table).
+pub fn confidence_half_width_95(xs: &[f64]) -> f64 {
+    const T_95: [f64; 30] = [
+        0.0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060,
+        2.056, 2.052, 2.048, 2.045,
+    ];
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let t = if n - 1 < T_95.len() {
+        T_95[n - 1]
+    } else {
+        1.96
+    };
+    // Sample (n-1) standard deviation.
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+    t * var.sqrt() / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_basics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // Population sigma of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[1.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_basics() {
+        // Constant samples: zero width.
+        assert_eq!(confidence_half_width_95(&[5.0; 5]), 0.0);
+        // Known case: n=5, sd=1 -> 2.776 / sqrt(5).
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let m = mean(&xs);
+        let sd = (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / 4.0).sqrt();
+        let expected = 2.776 * sd / 5f64.sqrt();
+        assert!((confidence_half_width_95(&xs) - expected).abs() < 1e-9);
+        // Degenerate inputs.
+        assert_eq!(confidence_half_width_95(&[1.0]), 0.0);
+        assert_eq!(confidence_half_width_95(&[]), 0.0);
+    }
+
+    #[test]
+    fn signed_speedup_matches_fig1_convention() {
+        assert!((signed_speedup(5.69, 1.0) - 5.69).abs() < 1e-12);
+        // Candidate 1.2x slower than baseline -> -1.20x.
+        assert!((signed_speedup(1.0, 1.2) + 1.2).abs() < 1e-12);
+        assert_eq!(signed_speedup(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Benchmarks of the statistical toolkit: ranking, Spearman, and full
+//! correlation-matrix construction at Fig. 11 scale and beyond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpuflow_analysis::{spearman, FeatureTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+fn bench_spearman(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spearman");
+    for &n in &[192usize, 1_000, 10_000] {
+        let xs = samples(n, 1);
+        let ys = samples(n, 2);
+        g.bench_with_input(BenchmarkId::new("rho", n), &n, |b, _| {
+            b.iter(|| black_box(spearman(&xs, &ys)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_correlation_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("correlation_matrix");
+    for &(rows, cols) in &[(192usize, 15usize), (1_000, 15), (192, 50)] {
+        let mut table = FeatureTable::new((0..cols).map(|i| format!("f{i}")));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..rows {
+            let row: Vec<f64> = (0..cols).map(|_| rng.gen()).collect();
+            table.push_row(&row);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("build", format!("{rows}x{cols}")),
+            &table,
+            |b, t| b.iter(|| black_box(t.correlation_matrix())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    use gpuflow_analysis::{Forest, RegressionTree, TreeParams};
+    let mut g = c.benchmark_group("predictor");
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 200;
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..14).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>().exp()).collect();
+    g.bench_function("tree_fit_200x14", |b| {
+        b.iter(|| black_box(RegressionTree::fit(&x, &y, TreeParams::default())))
+    });
+    g.bench_function("forest_fit_10_trees", |b| {
+        b.iter(|| black_box(Forest::fit(&x, &y, TreeParams::default(), 10, 1)))
+    });
+    let tree = RegressionTree::fit(&x, &y, TreeParams::default());
+    g.bench_function("tree_predict_200", |b| {
+        b.iter(|| black_box(tree.predict_all(&x)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    analysis,
+    bench_spearman,
+    bench_correlation_matrix,
+    bench_predictor
+);
+criterion_main!(analysis);

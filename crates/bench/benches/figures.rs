@@ -1,0 +1,130 @@
+//! One Criterion group per paper table/figure. Each iteration regenerates
+//! the artifact end-to-end through the same code paths as the `repro`
+//! binary; the heavier sweeps use reduced grids so `cargo bench` stays
+//! tractable (the full-scale rows come from `repro all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpuflow_experiments::{factors, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9, Context};
+use std::hint::black_box;
+
+fn ctx() -> Context {
+    Context::default()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_factors", |b| {
+        b.iter(|| black_box(factors::render()))
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let ctx = ctx();
+    c.bench_function("fig1_kmeans_stages", |b| {
+        b.iter(|| black_box(fig1::run(&ctx)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_dag_shapes", |b| b.iter(|| black_box(fig6::run())));
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("fig7_end_to_end");
+    g.sample_size(10);
+    g.bench_function("matmul_e2e", |b| {
+        b.iter(|| {
+            black_box(fig7::run_matmul(
+                &ctx,
+                &gpuflow_data::paper::matmul_8gb(),
+                &[16, 4, 1],
+            ))
+        })
+    });
+    g.bench_function("kmeans_e2e", |b| {
+        b.iter(|| {
+            black_box(fig7::run_kmeans(
+                &ctx,
+                &gpuflow_data::paper::kmeans_10gb(),
+                &[256, 16, 1],
+                10,
+                fig7::KMEANS_ITERATIONS,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("fig8_complexity");
+    g.sample_size(10);
+    g.bench_function("matmul_vs_add", |b| {
+        b.iter(|| {
+            black_box(fig8::run_with(
+                &ctx,
+                &gpuflow_data::paper::matmul_8gb(),
+                &[16, 4],
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("fig9a_clusters", |b| {
+        b.iter(|| black_box(fig9::run_9a_with(&ctx, &[10, 1000], &[64, 16])))
+    });
+    g.bench_function("fig9b_skew", |b| b.iter(|| black_box(fig9::run_9b(&ctx))));
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("fig10_storage_sched");
+    g.sample_size(10);
+    g.bench_function("matmul", |b| {
+        b.iter(|| black_box(fig10::run_matmul_with(&ctx, &[8, 2])))
+    });
+    g.bench_function("kmeans", |b| {
+        b.iter(|| black_box(fig10::run_kmeans_with(&ctx, &[64, 4])))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("fig11_correlation");
+    g.sample_size(10);
+    g.bench_function("quick_study", |b| {
+        b.iter(|| black_box(fig11::run_quick(&ctx)))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("fig12_fma");
+    g.sample_size(10);
+    g.bench_function("fma_sweep", |b| {
+        b.iter(|| black_box(fig12::run_with(&ctx, &[16, 4])))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig1,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12
+);
+criterion_main!(figures);

@@ -1,0 +1,110 @@
+//! Executor benchmarks and design-choice ablations: task-count scaling,
+//! scheduling policy cost, object-cache on/off, jitter on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpuflow_algorithms::KmeansConfig;
+use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
+use gpuflow_data::DatasetSpec;
+use gpuflow_runtime::{run, RunConfig, SchedulingPolicy, Workflow};
+use std::hint::black_box;
+
+fn kmeans_workflow(blocks: u64, iterations: u32) -> Workflow {
+    KmeansConfig::new(
+        DatasetSpec::uniform("bench", blocks * 4_096, 100, 7),
+        blocks,
+        10,
+        iterations,
+    )
+    .expect("valid grid")
+    .build_workflow()
+}
+
+fn bench_task_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_task_scaling");
+    g.sample_size(10);
+    for &blocks in &[32u64, 128, 512] {
+        let wf = kmeans_workflow(blocks, 2);
+        g.bench_with_input(BenchmarkId::new("kmeans_blocks", blocks), &wf, |b, wf| {
+            let cfg = RunConfig::new(ClusterSpec::minotauro(), ProcessorKind::Cpu);
+            b.iter(|| black_box(run(wf, &cfg).expect("fits")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_ablation");
+    g.sample_size(10);
+    let wf = kmeans_workflow(128, 3);
+    for policy in SchedulingPolicy::ALL {
+        g.bench_with_input(BenchmarkId::new("policy", policy.label()), &wf, |b, wf| {
+            let cfg = RunConfig::new(ClusterSpec::minotauro(), ProcessorKind::Cpu)
+                .with_policy(policy)
+                .with_storage(StorageArchitecture::SharedDisk);
+            b.iter(|| black_box(run(wf, &cfg).expect("fits")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: the per-node object cache is what couples
+    // scheduling policy and storage architecture. Compare simulated
+    // makespans (and harness cost) with the cache effectively disabled.
+    let mut g = c.benchmark_group("cache_ablation");
+    g.sample_size(10);
+    let wf = kmeans_workflow(128, 3);
+    for &(label, fraction) in &[("cache_on", 0.5f64), ("cache_off", 1e-9)] {
+        g.bench_with_input(BenchmarkId::new("kmeans", label), &wf, |b, wf| {
+            let mut cfg = RunConfig::new(ClusterSpec::minotauro(), ProcessorKind::Cpu);
+            cfg.cache_fraction = fraction;
+            b.iter(|| black_box(run(wf, &cfg).expect("fits")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_vs_cpu_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("processor_ablation");
+    g.sample_size(10);
+    let wf = kmeans_workflow(128, 2);
+    for proc in ProcessorKind::ALL {
+        g.bench_with_input(BenchmarkId::new("kmeans", proc.label()), &wf, |b, wf| {
+            let cfg = RunConfig::new(ClusterSpec::minotauro(), proc);
+            b.iter(|| black_box(run(wf, &cfg).expect("fits")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    use gpuflow_advisor::{Advisor, SearchSpace, Workload};
+    let mut g = c.benchmark_group("advisor");
+    g.sample_size(10);
+    let workload = Workload::Kmeans {
+        dataset: DatasetSpec::uniform("bench-adv", 2_000_000, 100, 3),
+        clusters: 100,
+        iterations: 2,
+    };
+    let space = SearchSpace {
+        grids: vec![64, 16, 4],
+        processors: ProcessorKind::ALL.to_vec(),
+        storages: vec![StorageArchitecture::SharedDisk],
+        policies: vec![SchedulingPolicy::GenerationOrder],
+    };
+    let advisor = Advisor::new(ClusterSpec::minotauro());
+    g.bench_function("kmeans_6_candidates", |b| {
+        b.iter(|| black_box(advisor.advise(&workload, &space).expect("feasible")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    runtime,
+    bench_task_scaling,
+    bench_scheduler_ablation,
+    bench_cache_ablation,
+    bench_gpu_vs_cpu_run,
+    bench_advisor
+);
+criterion_main!(runtime);

@@ -1,0 +1,75 @@
+//! Interconnect specifications: the CPU↔GPU bus and the cluster network.
+
+use gpuflow_sim::SimDuration;
+
+/// The host↔device bus of one node (PCIe in the paper's Minotauro nodes).
+///
+/// Bandwidth is the *effective* pageable-memory transfer rate, not the link
+/// peak: dislib/CuPy move unpinned NumPy buffers, which on PCIe 3.0 sustain
+/// roughly a third of the 12 GB/s wire rate. This is the single most
+/// important constant behind the paper's finding that low-intensity tasks
+/// (`add_func`) lose on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieSpec {
+    /// Effective bandwidth shared by all devices of the node, bytes/s.
+    pub bandwidth_bps: f64,
+    /// Per-transfer setup latency (driver + DMA programming).
+    pub latency: SimDuration,
+}
+
+impl PcieSpec {
+    /// PCIe 3.0 x16 with pageable host buffers (K80-era measurement).
+    pub fn gen3_pageable() -> Self {
+        PcieSpec {
+            bandwidth_bps: 4.0e9,
+            latency: SimDuration::from_micros(30),
+        }
+    }
+
+    /// Lower bound on the time to move `bytes` across an uncontended bus.
+    pub fn uncontended_transfer(&self, bytes: f64) -> SimDuration {
+        self.latency + SimDuration::from_secs_f64(bytes / self.bandwidth_bps)
+    }
+}
+
+/// The cluster interconnect in front of the shared file system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkSpec {
+    /// Per-node NIC bandwidth, bytes/s.
+    pub nic_bps: f64,
+    /// One-way message latency.
+    pub latency: SimDuration,
+}
+
+impl NetworkSpec {
+    /// 10 GbE-class fabric as on Minotauro's service network.
+    pub fn ten_gbe() -> Self {
+        NetworkSpec {
+            nic_bps: 1.1e9,
+            latency: SimDuration::from_micros(80),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_transfer_includes_latency() {
+        let pcie = PcieSpec {
+            bandwidth_bps: 1e9,
+            latency: SimDuration::from_micros(100),
+        };
+        let t = pcie.uncontended_transfer(1e9);
+        assert!((t.as_secs_f64() - 1.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let p = PcieSpec::gen3_pageable();
+        assert!(p.bandwidth_bps > 1e9 && p.bandwidth_bps < 16e9);
+        let n = NetworkSpec::ten_gbe();
+        assert!(n.nic_bps > 1e8);
+    }
+}

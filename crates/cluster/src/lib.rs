@@ -1,0 +1,24 @@
+//! # gpuflow-cluster — heterogeneous CPU-GPU cluster hardware models
+//!
+//! Parameterised models of the hardware the paper's experiments ran on
+//! (the BSC Minotauro system, §4.4.1): per-core CPU and per-device GPU
+//! roofline cost models, the PCIe host↔device bus, node-local disks, the
+//! shared GPFS backend behind per-node NICs, and (de)serialization costs.
+//!
+//! These are *specifications*; the dynamic contention state (who is queued
+//! on which core, which transfers share which link) lives in the executor
+//! of `gpuflow-runtime`, built from these specs using `gpuflow-sim`
+//! resources.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod interconnect;
+mod processor;
+mod storage;
+mod topology;
+
+pub use interconnect::{NetworkSpec, PcieSpec};
+pub use processor::{CpuModel, GpuModel, KernelWork};
+pub use storage::{DiskSpec, SerdeCost, StorageArchitecture};
+pub use topology::{ClusterSpec, NodeResources, NodeSpec, ProcessorKind};

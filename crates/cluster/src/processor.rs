@@ -1,0 +1,258 @@
+//! Processor cost models (roofline-style).
+//!
+//! Both models map a [`KernelWork`] — the floating-point work, memory
+//! traffic, and available data parallelism of one task fraction — onto a
+//! simulated duration:
+//!
+//! * **CPU core**: `t = max(flops / peak_flops, bytes / mem_bw)` — the
+//!   core overlaps compute with memory streaming and the slower term
+//!   binds. One task occupies exactly one core (the paper's
+//!   no-oversubscription rule, §3.3).
+//! * **GPU device**: `t = t_launch + max(flops / (eff(p) * peak),
+//!   bytes / mem_bw)` with the occupancy ramp `eff(p) = p / (p + p_half)`:
+//!   small workloads cannot saturate thousands of GPU threads, which is
+//!   exactly why the paper's GPU speedups grow with block size (Fig. 7,
+//!   Fig. 8) and why low-complexity memory-bound tasks (`add_func`) never
+//!   win on the GPU once the PCIe transfer is added.
+
+use gpuflow_sim::SimDuration;
+
+/// The work performed by one fraction (serial or parallel) of a task's
+/// user code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelWork {
+    /// Floating-point operations (or equivalent scalar work).
+    pub flops: f64,
+    /// Bytes of memory the fraction must stream (for roofline AI).
+    pub bytes: f64,
+    /// Available data parallelism (independent work items); drives the
+    /// GPU occupancy ramp. Ignored by the CPU model.
+    pub parallelism: f64,
+}
+
+impl KernelWork {
+    /// Work with the given flops and bytes and parallelism equal to flops
+    /// (fully data-parallel scalar work).
+    pub fn data_parallel(flops: f64, bytes: f64) -> Self {
+        KernelWork {
+            flops,
+            bytes,
+            parallelism: flops,
+        }
+    }
+
+    /// Arithmetic intensity in flops/byte (∞ for pure compute).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// Zero work.
+    pub const NONE: KernelWork = KernelWork {
+        flops: 0.0,
+        bytes: 0.0,
+        parallelism: 0.0,
+    };
+}
+
+/// A single CPU core's execution model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Peak double-precision throughput of one core, flops/s.
+    pub peak_flops: f64,
+    /// Sustainable memory bandwidth of one core, bytes/s.
+    pub mem_bw: f64,
+}
+
+impl CpuModel {
+    /// Time for one core to execute `work`: the slower of the compute and
+    /// memory-streaming terms.
+    pub fn time(&self, work: &KernelWork) -> SimDuration {
+        if work.flops <= 0.0 && work.bytes <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let compute = work.flops / self.peak_flops;
+        let memory = work.bytes / self.mem_bw;
+        SimDuration::from_secs_f64(compute.max(memory))
+    }
+
+    /// Effective execution rate for `work`, flops/s.
+    pub fn rate(&self, work: &KernelWork) -> f64 {
+        let t = self.time(work).as_secs_f64();
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            work.flops / t
+        }
+    }
+}
+
+/// A GPU device's execution model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Peak double-precision throughput at full occupancy, flops/s.
+    pub peak_flops: f64,
+    /// Device memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Parallelism at which the occupancy ramp reaches 50 % of peak.
+    pub half_occupancy_parallelism: f64,
+    /// Fixed kernel-launch latency.
+    pub launch_latency: SimDuration,
+    /// Device memory capacity in bytes (12 GB on the paper's K80s).
+    pub memory_bytes: u64,
+}
+
+impl GpuModel {
+    /// Occupancy efficiency in `(0, 1)` for the given data parallelism.
+    pub fn occupancy(&self, parallelism: f64) -> f64 {
+        if parallelism <= 0.0 {
+            return 0.0;
+        }
+        parallelism / (parallelism + self.half_occupancy_parallelism)
+    }
+
+    /// Kernel execution time for `work` (launch latency included): the
+    /// slower of the occupancy-scaled compute term and the memory term.
+    pub fn time(&self, work: &KernelWork) -> SimDuration {
+        if work.flops <= 0.0 && work.bytes <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let eff = self.occupancy(work.parallelism);
+        debug_assert!(eff > 0.0, "zero occupancy for non-trivial work");
+        let compute = work.flops / (self.peak_flops * eff);
+        let memory = work.bytes / self.mem_bw;
+        self.launch_latency + SimDuration::from_secs_f64(compute.max(memory))
+    }
+
+    /// Effective execution rate for `work`, flops/s (launch excluded).
+    pub fn rate(&self, work: &KernelWork) -> f64 {
+        let eff = self.occupancy(work.parallelism);
+        let compute = work.flops / (self.peak_flops * eff);
+        let memory = work.bytes / self.mem_bw;
+        let t = compute.max(memory);
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            work.flops / t
+        }
+    }
+
+    /// Whether a task footprint fits in device memory.
+    pub fn fits(&self, footprint_bytes: u64) -> bool {
+        footprint_bytes <= self.memory_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuModel {
+        CpuModel {
+            peak_flops: 10e9,
+            mem_bw: 5e9,
+        }
+    }
+
+    fn gpu() -> GpuModel {
+        GpuModel {
+            peak_flops: 400e9,
+            mem_bw: 200e9,
+            half_occupancy_parallelism: 1e6,
+            launch_latency: SimDuration::from_micros(50),
+            memory_bytes: 12 * (1 << 30),
+        }
+    }
+
+    #[test]
+    fn cpu_compute_bound_at_high_ai() {
+        // 100 flops/byte: roofline picks peak flops.
+        let w = KernelWork {
+            flops: 1e10,
+            bytes: 1e8,
+            parallelism: 1.0,
+        };
+        assert!((cpu().time(&w).as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_memory_bound_at_low_ai() {
+        // Memory term: 5e9 bytes / 5e9 B/s = 1 s dominates the 0.05 s of
+        // compute.
+        let w = KernelWork {
+            flops: 5e8,
+            bytes: 5e9,
+            parallelism: 1.0,
+        };
+        assert!((cpu().time(&w).as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_occupancy_ramps_to_one() {
+        let g = gpu();
+        assert!(g.occupancy(0.0) == 0.0);
+        assert!((g.occupancy(1e6) - 0.5).abs() < 1e-12);
+        assert!(g.occupancy(1e12) > 0.999);
+        // Monotone.
+        assert!(g.occupancy(1e5) < g.occupancy(1e6));
+    }
+
+    #[test]
+    fn gpu_speedup_grows_with_parallelism() {
+        let g = gpu();
+        let c = cpu();
+        let small = KernelWork {
+            flops: 1e9,
+            bytes: 1e6,
+            parallelism: 1e4,
+        };
+        let large = KernelWork {
+            flops: 1e9,
+            bytes: 1e6,
+            parallelism: 1e9,
+        };
+        let sp_small = c.time(&small).as_secs_f64() / g.time(&small).as_secs_f64();
+        let sp_large = c.time(&large).as_secs_f64() / g.time(&large).as_secs_f64();
+        assert!(
+            sp_large > sp_small * 10.0,
+            "occupancy ramp must dominate: {sp_small} vs {sp_large}"
+        );
+    }
+
+    #[test]
+    fn gpu_launch_latency_floors_small_kernels() {
+        let g = gpu();
+        let tiny = KernelWork {
+            flops: 1.0,
+            bytes: 1.0,
+            parallelism: 1.0,
+        };
+        assert!(g.time(&tiny) >= SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        assert_eq!(cpu().time(&KernelWork::NONE), SimDuration::ZERO);
+        assert_eq!(gpu().time(&KernelWork::NONE), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn memory_fit_check() {
+        let g = gpu();
+        assert!(g.fits(12 * (1 << 30)));
+        assert!(!g.fits(12 * (1 << 30) + 1));
+    }
+
+    #[test]
+    fn arithmetic_intensity_of_pure_compute_is_infinite() {
+        let w = KernelWork {
+            flops: 10.0,
+            bytes: 0.0,
+            parallelism: 1.0,
+        };
+        assert!(w.arithmetic_intensity().is_infinite());
+    }
+}

@@ -1,0 +1,135 @@
+//! Storage architecture models: node-local disks vs. a shared parallel
+//! file system (GPFS in the paper, §3.4).
+//!
+//! * **Local disk**: each node owns an independent disk; reads/writes
+//!   contend only with the node's own I/O.
+//! * **Shared disk**: every access crosses the node NIC and then the GPFS
+//!   backend, whose aggregate bandwidth is shared cluster-wide — the
+//!   two-level contention that makes fine-grained task storms so expensive
+//!   in the paper's end-to-end results (§5.1.2).
+
+use gpuflow_sim::SimDuration;
+
+/// Which storage architecture a run uses (a factor in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageArchitecture {
+    /// Data on per-node local disks.
+    LocalDisk,
+    /// Data on a shared parallel file system reached over the network.
+    SharedDisk,
+}
+
+impl StorageArchitecture {
+    /// All architectures, in the paper's presentation order.
+    pub const ALL: [StorageArchitecture; 2] = [
+        StorageArchitecture::LocalDisk,
+        StorageArchitecture::SharedDisk,
+    ];
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageArchitecture::LocalDisk => "local disk",
+            StorageArchitecture::SharedDisk => "shared disk",
+        }
+    }
+}
+
+/// A single disk (or disk array) endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskSpec {
+    /// Sustained sequential bandwidth, bytes/s.
+    pub bandwidth_bps: f64,
+    /// Per-operation seek/queue latency.
+    pub latency: SimDuration,
+}
+
+impl DiskSpec {
+    /// A node-local disk of the Minotauro era. The effective rate is
+    /// page-cache-assisted local I/O, not raw platter speed — which is
+    /// why the paper finds local-disk runs uniformly faster than GPFS
+    /// ones (§5.3) despite GPFS's larger aggregate bandwidth.
+    pub fn node_local() -> Self {
+        DiskSpec {
+            bandwidth_bps: 2.0e9,
+            latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// The GPFS backend: high aggregate bandwidth, shared by everyone.
+    pub fn gpfs_backend() -> Self {
+        DiskSpec {
+            bandwidth_bps: 8.0e9,
+            latency: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Serialization/deserialization CPU cost model (§4.2 "data movement").
+///
+/// Moving a Python object between storage and memory costs CPU time
+/// proportional to its size: pickling NumPy arrays runs at roughly memcpy
+/// speed minus interpreter overhead. This per-core cost cannot be
+/// parallelized beyond one core per task, which is the root of the paper's
+/// Observation O2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerdeCost {
+    /// Decode (deserialize) rate on one core, bytes/s.
+    pub deserialize_bps: f64,
+    /// Encode (serialize) rate on one core, bytes/s.
+    pub serialize_bps: f64,
+    /// Fixed per-object overhead (interpreter, header parsing).
+    pub per_object: SimDuration,
+}
+
+impl SerdeCost {
+    /// Pickle-protocol-5-ish rates measured for large float64 arrays.
+    pub fn pickle() -> Self {
+        SerdeCost {
+            deserialize_bps: 1.6e9,
+            serialize_bps: 1.2e9,
+            per_object: SimDuration::from_micros(200),
+        }
+    }
+
+    /// CPU time to deserialize `bytes`.
+    pub fn deserialize_time(&self, bytes: f64) -> SimDuration {
+        self.per_object + SimDuration::from_secs_f64(bytes / self.deserialize_bps)
+    }
+
+    /// CPU time to serialize `bytes`.
+    pub fn serialize_time(&self, bytes: f64) -> SimDuration {
+        self.per_object + SimDuration::from_secs_f64(bytes / self.serialize_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StorageArchitecture::LocalDisk.label(), "local disk");
+        assert_eq!(StorageArchitecture::SharedDisk.label(), "shared disk");
+    }
+
+    #[test]
+    fn serde_cost_scales_linearly() {
+        let c = SerdeCost::pickle();
+        let t1 = c.deserialize_time(1e9).as_secs_f64();
+        let t2 = c.deserialize_time(2e9).as_secs_f64();
+        let fixed = c.per_object.as_secs_f64();
+        assert!(((t2 - fixed) - 2.0 * (t1 - fixed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialize_slower_than_deserialize() {
+        let c = SerdeCost::pickle();
+        assert!(c.serialize_time(1e9) > c.deserialize_time(1e9));
+    }
+
+    #[test]
+    fn gpfs_faster_aggregate_than_local() {
+        assert!(DiskSpec::gpfs_backend().bandwidth_bps > DiskSpec::node_local().bandwidth_bps);
+    }
+}

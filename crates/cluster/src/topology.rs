@@ -1,0 +1,307 @@
+//! Cluster topology: nodes and the whole machine.
+
+use gpuflow_sim::SimDuration;
+
+use crate::interconnect::{NetworkSpec, PcieSpec};
+use crate::processor::{CpuModel, GpuModel};
+use crate::storage::{DiskSpec, SerdeCost};
+
+/// Which processor executes a task's parallel fraction (a factor in
+/// Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessorKind {
+    /// The whole task runs on one CPU core.
+    Cpu,
+    /// The parallel fraction is offloaded to a GPU device; (de)ser and the
+    /// serial fraction still run on a host CPU core.
+    Gpu,
+}
+
+impl ProcessorKind {
+    /// Both kinds, CPU first (the paper's baseline).
+    pub const ALL: [ProcessorKind; 2] = [ProcessorKind::Cpu, ProcessorKind::Gpu];
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcessorKind::Cpu => "CPU",
+            ProcessorKind::Gpu => "GPU",
+        }
+    }
+}
+
+/// One compute node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// CPU cores per node.
+    pub cpu_cores: usize,
+    /// GPU devices per node.
+    pub gpus: usize,
+    /// Host RAM in bytes.
+    pub ram_bytes: u64,
+    /// Model of one CPU core.
+    pub cpu: CpuModel,
+    /// Model of one GPU device.
+    pub gpu: GpuModel,
+    /// Host↔device bus shared by the node's GPUs.
+    pub pcie: PcieSpec,
+    /// The node's local disk.
+    pub local_disk: DiskSpec,
+}
+
+impl NodeSpec {
+    /// Maximum concurrent tasks this node can host for `kind`.
+    pub fn slots(&self, kind: ProcessorKind) -> usize {
+        match kind {
+            ProcessorKind::Cpu => self.cpu_cores,
+            // A GPU task holds one device *and* one host core.
+            ProcessorKind::Gpu => self.gpus.min(self.cpu_cores),
+        }
+    }
+}
+
+/// Per-node resource counts for heterogeneous clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeResources {
+    /// CPU cores on this node.
+    pub cpu_cores: usize,
+    /// GPU devices on this node.
+    pub gpus: usize,
+}
+
+/// The whole cluster under test plus its runtime cost constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node hardware template (cost models, RAM, bus, disk). With
+    /// [`ClusterSpec::overrides`] set, per-node *resource counts* may
+    /// differ; the device models stay uniform.
+    pub node: NodeSpec,
+    /// Optional per-node resource counts (length must equal `nodes`).
+    /// Empty means every node follows the template — the paper's
+    /// homogeneous Minotauro partition.
+    pub overrides: Vec<NodeResources>,
+    /// Inter-node network (feeds the shared file system).
+    pub network: NetworkSpec,
+    /// Shared parallel file system backend.
+    pub shared_disk: DiskSpec,
+    /// (De)serialization cost model.
+    pub serde: SerdeCost,
+    /// Master-side scheduling decision cost for the generation-order
+    /// policy (low: pop the next ready task).
+    pub sched_overhead_fifo: SimDuration,
+    /// Master-side scheduling decision cost for the data-locality policy
+    /// (higher: score candidate nodes by cached bytes).
+    pub sched_overhead_locality: SimDuration,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed (§4.4.1): 8 Minotauro nodes, each 16 Xeon
+    /// E5-2630 cores + 4 NVIDIA K80 devices (12 GB each), PCIe 3.0,
+    /// local disks and a GPFS shared file system.
+    pub fn minotauro() -> Self {
+        ClusterSpec {
+            nodes: 8,
+            overrides: Vec::new(),
+            node: NodeSpec {
+                cpu_cores: 16,
+                gpus: 4,
+                ram_bytes: 128 * (1 << 30),
+                cpu: CpuModel {
+                    // One Sandy-Bridge-class core running NumPy/BLAS:
+                    // near-peak on DGEMM, memory-bound on streaming ops.
+                    peak_flops: 15.0e9,
+                    mem_bw: 5.0e9,
+                },
+                gpu: GpuModel {
+                    // One GK210 die of a K80 as driven by CuPy FP64.
+                    peak_flops: 330.0e9,
+                    mem_bw: 200.0e9,
+                    half_occupancy_parallelism: 1.2e7,
+                    launch_latency: SimDuration::from_micros(50),
+                    memory_bytes: 12 * (1 << 30),
+                },
+                pcie: PcieSpec::gen3_pageable(),
+                local_disk: DiskSpec::node_local(),
+            },
+            network: NetworkSpec::ten_gbe(),
+            shared_disk: DiskSpec::gpfs_backend(),
+            serde: SerdeCost::pickle(),
+            sched_overhead_fifo: SimDuration::from_micros(800),
+            sched_overhead_locality: SimDuration::from_micros(3500),
+        }
+    }
+
+    /// A two-node toy cluster for fast unit tests.
+    pub fn tiny() -> Self {
+        let mut spec = Self::minotauro();
+        spec.nodes = 2;
+        spec.node.cpu_cores = 4;
+        spec.node.gpus = 1;
+        spec
+    }
+
+    /// CPU cores of one node (honouring heterogeneity overrides).
+    pub fn cores_of(&self, node: usize) -> usize {
+        self.overrides
+            .get(node)
+            .map_or(self.node.cpu_cores, |o| o.cpu_cores)
+    }
+
+    /// GPU devices of one node (honouring heterogeneity overrides).
+    pub fn gpus_of(&self, node: usize) -> usize {
+        self.overrides.get(node).map_or(self.node.gpus, |o| o.gpus)
+    }
+
+    /// Replaces the per-node resource counts (heterogeneous clusters).
+    ///
+    /// # Panics
+    /// Panics unless one entry per node is supplied.
+    pub fn with_overrides(mut self, overrides: Vec<NodeResources>) -> Self {
+        assert_eq!(overrides.len(), self.nodes, "one override per node");
+        self.overrides = overrides;
+        self
+    }
+
+    /// Total CPU cores in the cluster (128 on Minotauro).
+    pub fn total_cpu_cores(&self) -> usize {
+        (0..self.nodes).map(|n| self.cores_of(n)).sum()
+    }
+
+    /// Total GPU devices in the cluster (32 on Minotauro).
+    pub fn total_gpus(&self) -> usize {
+        (0..self.nodes).map(|n| self.gpus_of(n)).sum()
+    }
+
+    /// Maximum task-level parallelism for `kind` (§3.3: 128 CPU tasks vs.
+    /// 32 GPU tasks on the paper's testbed).
+    pub fn max_task_parallelism(&self, kind: ProcessorKind) -> usize {
+        (0..self.nodes)
+            .map(|n| match kind {
+                ProcessorKind::Cpu => self.cores_of(n),
+                ProcessorKind::Gpu => self.gpus_of(n).min(self.cores_of(n)),
+            })
+            .sum()
+    }
+
+    /// Validates internal consistency; returns a list of violated rules.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        if self.nodes == 0 {
+            errs.push("cluster must have at least one node".into());
+        }
+        if self.node.cpu_cores == 0 {
+            errs.push("nodes must have at least one CPU core".into());
+        }
+        if self.node.ram_bytes == 0 {
+            errs.push("nodes must have RAM".into());
+        }
+        for (name, v) in [
+            ("cpu.peak_flops", self.node.cpu.peak_flops),
+            ("cpu.mem_bw", self.node.cpu.mem_bw),
+            ("gpu.peak_flops", self.node.gpu.peak_flops),
+            ("gpu.mem_bw", self.node.gpu.mem_bw),
+            ("pcie.bandwidth", self.node.pcie.bandwidth_bps),
+            ("network.nic", self.network.nic_bps),
+            ("shared_disk.bw", self.shared_disk.bandwidth_bps),
+            ("local_disk.bw", self.node.local_disk.bandwidth_bps),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                errs.push(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if !self.overrides.is_empty() && self.overrides.len() != self.nodes {
+            errs.push(format!(
+                "{} overrides for {} nodes",
+                self.overrides.len(),
+                self.nodes
+            ));
+        }
+        if self.overrides.iter().any(|o| o.cpu_cores == 0) {
+            errs.push("every node needs at least one CPU core".into());
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minotauro_matches_paper_counts() {
+        let c = ClusterSpec::minotauro();
+        assert_eq!(c.total_cpu_cores(), 128);
+        assert_eq!(c.total_gpus(), 32);
+        assert_eq!(c.max_task_parallelism(ProcessorKind::Cpu), 128);
+        assert_eq!(c.max_task_parallelism(ProcessorKind::Gpu), 32);
+        assert_eq!(c.node.gpu.memory_bytes, 12 * (1 << 30));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn gpu_slots_capped_by_cores() {
+        let mut spec = ClusterSpec::tiny();
+        spec.node.gpus = 8;
+        spec.node.cpu_cores = 2;
+        assert_eq!(spec.node.slots(ProcessorKind::Gpu), 2);
+    }
+
+    #[test]
+    fn validate_catches_bad_rates() {
+        let mut c = ClusterSpec::tiny();
+        c.node.cpu.peak_flops = 0.0;
+        c.nodes = 0;
+        let errs = c.validate().unwrap_err();
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn scheduler_overheads_ordered() {
+        let c = ClusterSpec::minotauro();
+        assert!(c.sched_overhead_locality > c.sched_overhead_fifo);
+    }
+
+    #[test]
+    fn heterogeneous_overrides_change_totals() {
+        let c = ClusterSpec::tiny().with_overrides(vec![
+            NodeResources {
+                cpu_cores: 8,
+                gpus: 0,
+            },
+            NodeResources {
+                cpu_cores: 2,
+                gpus: 4,
+            },
+        ]);
+        assert_eq!(c.total_cpu_cores(), 10);
+        assert_eq!(c.total_gpus(), 4);
+        assert_eq!(c.cores_of(0), 8);
+        assert_eq!(c.gpus_of(0), 0);
+        // GPU slots on node 1 are core-capped.
+        assert_eq!(c.max_task_parallelism(ProcessorKind::Gpu), 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_overrides() {
+        let mut c = ClusterSpec::tiny();
+        c.overrides = vec![NodeResources {
+            cpu_cores: 0,
+            gpus: 1,
+        }];
+        let errs = c.validate().unwrap_err();
+        assert_eq!(errs.len(), 2, "length mismatch and zero cores: {errs:?}");
+    }
+
+    #[test]
+    fn processor_labels() {
+        assert_eq!(ProcessorKind::Cpu.label(), "CPU");
+        assert_eq!(ProcessorKind::Gpu.label(), "GPU");
+    }
+}

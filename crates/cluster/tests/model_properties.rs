@@ -1,0 +1,114 @@
+//! Property suites for the hardware cost models: the monotonicity and
+//! bound properties every figure of the paper implicitly relies on.
+
+use gpuflow_cluster::{ClusterSpec, CpuModel, GpuModel, KernelWork, PcieSpec};
+use gpuflow_sim::SimDuration;
+use proptest::prelude::*;
+
+fn cpu() -> CpuModel {
+    ClusterSpec::minotauro().node.cpu
+}
+
+fn gpu() -> GpuModel {
+    ClusterSpec::minotauro().node.gpu
+}
+
+proptest! {
+    /// CPU time is monotone in both flops and bytes, and bounded below by
+    /// each roofline term alone.
+    #[test]
+    fn cpu_roofline_monotone(
+        flops in 1e3f64..1e13,
+        bytes in 1e3f64..1e12,
+        scale in 1.0f64..10.0,
+    ) {
+        let c = cpu();
+        let w = KernelWork { flops, bytes, parallelism: 1.0 };
+        let t = c.time(&w).as_secs_f64();
+        prop_assert!(t + 1e-9 >= flops / c.peak_flops, "ns rounding tolerance");
+        prop_assert!(t + 1e-9 >= bytes / c.mem_bw);
+        let more_flops = KernelWork { flops: flops * scale, ..w };
+        prop_assert!(c.time(&more_flops) >= c.time(&w));
+        let more_bytes = KernelWork { bytes: bytes * scale, ..w };
+        prop_assert!(c.time(&more_bytes) >= c.time(&w));
+    }
+
+    /// GPU occupancy is monotone in parallelism and bounded by (0, 1);
+    /// more parallelism never slows a kernel.
+    #[test]
+    fn gpu_occupancy_monotone(
+        flops in 1e6f64..1e13,
+        p_small in 1e2f64..1e6,
+        factor in 1.5f64..1e4,
+    ) {
+        let g = gpu();
+        prop_assert!(g.occupancy(p_small) > 0.0 && g.occupancy(p_small) < 1.0);
+        prop_assert!(g.occupancy(p_small * factor) > g.occupancy(p_small));
+        let slow = KernelWork { flops, bytes: 1.0, parallelism: p_small };
+        let fast = KernelWork { flops, bytes: 1.0, parallelism: p_small * factor };
+        prop_assert!(g.time(&fast) <= g.time(&slow));
+    }
+
+    /// The GPU never beats its own launch latency, and at saturating
+    /// parallelism it approaches peak throughput from below.
+    #[test]
+    fn gpu_bounded_by_launch_and_peak(flops in 1e6f64..1e14) {
+        let g = gpu();
+        let w = KernelWork { flops, bytes: 1.0, parallelism: 1e15 };
+        let t = g.time(&w);
+        prop_assert!(t >= g.launch_latency);
+        let compute_floor = SimDuration::from_secs_f64(flops / g.peak_flops);
+        prop_assert!(t + SimDuration::from_nanos(1) >= compute_floor);
+    }
+
+    /// The CPU-over-GPU speedup of a compute-dense kernel grows with
+    /// block volume — the monotone backbone of Fig. 7/8.
+    #[test]
+    fn speedup_monotone_in_block_volume(order in 64u64..2048, factor in 2u64..4) {
+        let (c, g) = (cpu(), gpu());
+        let work = |b: u64| {
+            let bf = b as f64;
+            KernelWork {
+                flops: 2.0 * bf * bf * bf,
+                bytes: 3.0 * bf * bf * 8.0,
+                parallelism: bf * bf,
+            }
+        };
+        let small = work(order);
+        let large = work(order * factor);
+        let sp = |w: &KernelWork| c.time(w).as_secs_f64() / g.time(w).as_secs_f64();
+        prop_assert!(sp(&large) >= sp(&small) * 0.999);
+    }
+
+    /// Uncontended PCIe transfers are additive-monotone in bytes.
+    #[test]
+    fn pcie_transfer_monotone(a in 1e3f64..1e10, b in 1e3f64..1e10) {
+        let p = PcieSpec::gen3_pageable();
+        let ta = p.uncontended_transfer(a);
+        let tb = p.uncontended_transfer(a + b);
+        prop_assert!(tb >= ta);
+        // Superadditive in latency: one big transfer beats two small ones.
+        let two = p.uncontended_transfer(a) + p.uncontended_transfer(b);
+        prop_assert!(p.uncontended_transfer(a + b) <= two);
+    }
+
+    /// Heterogeneous override totals always match the per-node sums.
+    #[test]
+    fn override_totals_consistent(
+        counts in prop::collection::vec((1usize..32, 0usize..8), 1..12),
+    ) {
+        let mut spec = ClusterSpec::minotauro();
+        spec.nodes = counts.len();
+        let overrides = counts
+            .iter()
+            .map(|&(c, g)| gpuflow_cluster::NodeResources { cpu_cores: c, gpus: g })
+            .collect();
+        let spec = spec.with_overrides(overrides);
+        prop_assert_eq!(
+            spec.total_cpu_cores(),
+            counts.iter().map(|c| c.0).sum::<usize>()
+        );
+        prop_assert_eq!(spec.total_gpus(), counts.iter().map(|c| c.1).sum::<usize>());
+        prop_assert!(spec.validate().is_ok());
+    }
+}

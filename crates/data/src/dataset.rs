@@ -1,0 +1,219 @@
+//! Dataset specifications and synthetic generators (§4.4.5).
+//!
+//! At paper scale (8–100 GB) datasets exist only as descriptors: the
+//! simulator needs shapes and byte counts, never values (the paper's own
+//! skew experiment, §5.2.3, confirms value-independence). At test scale
+//! the generators materialise real matrices — uniform or skewed float64,
+//! from a fixed random state — to validate algorithm correctness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::grid::DatasetDim;
+use crate::matrix::Matrix;
+
+/// Size of one `f64` element in bytes.
+pub const F64_BYTES: u64 = 8;
+
+/// Safety valve: the largest dataset [`DatasetSpec::materialize`] will
+/// build for real (64 M elements ≈ 512 MB).
+pub const MAX_MATERIALIZE_ELEMENTS: u64 = 1 << 26;
+
+/// A synthetic dataset: shape, element width, skew, and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Human-readable name used in reports (e.g. `"matmul-8gb"`).
+    pub name: String,
+    /// Logical shape in elements.
+    pub dim: DatasetDim,
+    /// Bytes per element (8 for the paper's float64 data).
+    pub elem_bytes: u64,
+    /// Fraction of elements moved into clustered regions of the value
+    /// distribution (0.0 = uniform; the paper's skewed sets use 0.5).
+    pub skew: f64,
+    /// Random state for reproducibility across executions.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// A uniform float64 dataset.
+    pub fn uniform(name: &str, rows: u64, cols: u64, seed: u64) -> Self {
+        DatasetSpec {
+            name: name.to_owned(),
+            dim: DatasetDim { rows, cols },
+            elem_bytes: F64_BYTES,
+            skew: 0.0,
+            seed,
+        }
+    }
+
+    /// Same shape, but with `skew` fraction of elements forced into
+    /// clustered value regions (§5.2.3's adapted NumPy routine).
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        assert!((0.0..=1.0).contains(&skew), "skew must be in [0, 1]");
+        self.skew = skew;
+        self
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.dim.elements() * self.elem_bytes
+    }
+
+    /// Total elements.
+    pub fn elements(&self) -> u64 {
+        self.dim.elements()
+    }
+
+    /// Builds the actual matrix. Intended for test scale; refuses to
+    /// allocate monsters.
+    ///
+    /// # Errors
+    /// Returns the element count when it exceeds
+    /// [`MAX_MATERIALIZE_ELEMENTS`].
+    pub fn materialize(&self) -> Result<Matrix, u64> {
+        let n = self.elements();
+        if n > MAX_MATERIALIZE_ELEMENTS {
+            return Err(n);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Skew model: with probability `skew`, the value is drawn from one
+        // of a few narrow bands (clustered regions); otherwise uniform in
+        // [0, 1). Mirrors the paper's "move 50% of the elements to certain
+        // regions of the distribution".
+        const BANDS: [(f64, f64); 4] = [(0.05, 0.08), (0.35, 0.38), (0.6, 0.63), (0.9, 0.93)];
+        let data: Vec<f64> = (0..n)
+            .map(|_| {
+                if self.skew > 0.0 && rng.gen::<f64>() < self.skew {
+                    let (lo, hi) = BANDS[rng.gen_range(0..BANDS.len())];
+                    rng.gen_range(lo..hi)
+                } else {
+                    rng.gen::<f64>()
+                }
+            })
+            .collect();
+        Ok(Matrix::from_vec(
+            self.dim.rows as usize,
+            self.dim.cols as usize,
+            data,
+        ))
+    }
+}
+
+/// The paper's dataset inventory (§4.4.5 and §5.4).
+pub mod paper {
+    use super::DatasetSpec;
+
+    /// Matmul 8 GB: 32K × 32K (1024 M elements).
+    pub fn matmul_8gb() -> DatasetSpec {
+        DatasetSpec::uniform("matmul-8gb", 32_768, 32_768, 0xD151B)
+    }
+
+    /// Matmul 32 GB: 64K × 64K (4 B elements).
+    pub fn matmul_32gb() -> DatasetSpec {
+        DatasetSpec::uniform("matmul-32gb", 65_536, 65_536, 0xD151B)
+    }
+
+    /// Matmul 2 GB skew experiment: 16K × 16K (256 M elements).
+    pub fn matmul_2gb_skewed(skew: f64) -> DatasetSpec {
+        DatasetSpec::uniform("matmul-2gb-skew", 16_384, 16_384, 0xD151B).with_skew(skew)
+    }
+
+    /// Matmul 128 MB supplement for the correlation study: 4000 × 4000.
+    pub fn matmul_128mb() -> DatasetSpec {
+        DatasetSpec::uniform("matmul-128mb", 4_000, 4_000, 0xD151B)
+    }
+
+    /// K-means 10 GB: 12.5 M samples × 100 features (1250 M elements).
+    pub fn kmeans_10gb() -> DatasetSpec {
+        DatasetSpec::uniform("kmeans-10gb", 12_500_000, 100, 0xD151B)
+    }
+
+    /// K-means 100 GB: 125 M samples × 100 features (12.5 B elements).
+    pub fn kmeans_100gb() -> DatasetSpec {
+        DatasetSpec::uniform("kmeans-100gb", 125_000_000, 100, 0xD151B)
+    }
+
+    /// K-means 1 GB skew experiment: 1.25 M samples × 100 features.
+    pub fn kmeans_1gb_skewed(skew: f64) -> DatasetSpec {
+        DatasetSpec::uniform("kmeans-1gb-skew", 1_250_000, 100, 0xD151B).with_skew(skew)
+    }
+
+    /// K-means 100 MB supplement for the correlation study: 125000 × 100.
+    pub fn kmeans_100mb() -> DatasetSpec {
+        DatasetSpec::uniform("kmeans-100mb", 125_000, 100, 0xD151B)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_section_4_4_5() {
+        assert_eq!(paper::matmul_8gb().elements(), 1_073_741_824); // 1024M
+        assert_eq!(paper::matmul_8gb().bytes(), 8 << 30);
+        assert_eq!(paper::matmul_32gb().elements(), 4_294_967_296); // 4B
+        assert_eq!(paper::kmeans_10gb().bytes(), 10_000_000_000);
+        assert_eq!(paper::kmeans_100gb().elements(), 12_500_000_000); // 12.5B
+        assert_eq!(paper::kmeans_100mb().bytes(), 100_000_000);
+    }
+
+    #[test]
+    fn materialize_is_reproducible() {
+        let spec = DatasetSpec::uniform("t", 64, 32, 7);
+        let a = spec.materialize().unwrap();
+        let b = spec.materialize().unwrap();
+        assert_eq!(a, b, "same seed must generate identical data");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetSpec::uniform("t", 16, 16, 1).materialize().unwrap();
+        let b = DatasetSpec::uniform("t", 16, 16, 2).materialize().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn materialize_refuses_paper_scale() {
+        let err = paper::matmul_8gb().materialize().unwrap_err();
+        assert_eq!(err, 1_073_741_824);
+    }
+
+    #[test]
+    fn skewed_data_clusters_values() {
+        let uniform = DatasetSpec::uniform("u", 256, 256, 3)
+            .materialize()
+            .unwrap();
+        let skewed = DatasetSpec::uniform("s", 256, 256, 3)
+            .with_skew(0.5)
+            .materialize()
+            .unwrap();
+        // Count values in the first band [0.05, 0.08): the skewed dataset
+        // must have far more of them than 3% of elements.
+        let in_band = |m: &Matrix| {
+            m.as_slice()
+                .iter()
+                .filter(|v| (0.05..0.08).contains(*v))
+                .count()
+        };
+        let n = 256 * 256;
+        assert!(in_band(&uniform) < n / 20);
+        assert!(in_band(&skewed) > n / 16, "band should hold ~12.5%");
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let m = DatasetSpec::uniform("t", 128, 8, 11)
+            .with_skew(0.5)
+            .materialize()
+            .unwrap();
+        assert!(m.as_slice().iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be in")]
+    fn rejects_bad_skew() {
+        DatasetSpec::uniform("t", 2, 2, 0).with_skew(1.5);
+    }
+}

@@ -1,0 +1,20 @@
+//! # gpuflow-data — distributed blocked arrays (the dislib substrate)
+//!
+//! The data layer of the reproduction: the partitioning algebra of §3.5
+//! (datasets, grids, blocks, Eq. 1–2), dataset specifications matching the
+//! paper's inventory (§4.4.5), seeded synthetic generators (uniform and
+//! skewed), and dense-matrix kernels used to validate the blocked
+//! algorithms functionally at test scale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dataset;
+mod dsarray;
+mod grid;
+mod matrix;
+
+pub use dataset::{paper, DatasetSpec, F64_BYTES, MAX_MATERIALIZE_ELEMENTS};
+pub use dsarray::{BlockCoord, ChunkingPolicy, DsArray, DsArraySpec};
+pub use grid::{BlockDim, DatasetDim, GridDim, PartitionError};
+pub use matrix::{kmeans_partial_sum, kmeans_update_centers, squared_distance, Matrix};

@@ -1,0 +1,340 @@
+//! Dense row-major `f64` matrices and the numeric kernels of the studied
+//! algorithms.
+//!
+//! These run *real* computation and exist to validate functionally that
+//! our blocked implementations (matmul, matmul-FMA, K-means) compute the
+//! same answers as their straightforward dense counterparts at test scale.
+//! Performance at paper scale is produced by the simulator, not by these
+//! kernels.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major data slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams rhs rows, decent cache behaviour.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + rhs` (the paper's `add_func`).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Fused multiply-add accumulation `self += a × b` (the paper's
+    /// Matmul-FMA variant, Fig. 12).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn fma_accumulate(&mut self, a: &Matrix, b: &Matrix) {
+        assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+        assert_eq!((self.rows, self.cols), (a.rows, b.cols), "output shape");
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let av = a[(i, k)];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k);
+                let out_row = &mut self.data[i * b.cols..(i + 1) * b.cols];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Extracts the sub-matrix at (`row0..row0+rows`, `col0..col0+cols`).
+    ///
+    /// # Panics
+    /// Panics when the window exceeds the matrix bounds.
+    pub fn submatrix(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(row0 + rows <= self.rows && col0 + cols <= self.cols);
+        Matrix::from_fn(rows, cols, |i, j| self[(row0 + i, col0 + j)])
+    }
+
+    /// Writes `block` into this matrix at offset (`row0`, `col0`).
+    ///
+    /// # Panics
+    /// Panics when the block exceeds the matrix bounds.
+    pub fn set_submatrix(&mut self, row0: usize, col0: usize, block: &Matrix) {
+        assert!(row0 + block.rows <= self.rows && col0 + block.cols <= self.cols);
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                self[(row0 + i, col0 + j)] = block[(i, j)];
+            }
+        }
+    }
+
+    /// Largest absolute element-wise difference to `rhs`.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Squared Euclidean distance between two equal-length points.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// The K-means `partial_sum` kernel (§4.4.4): assigns each row of `block`
+/// to its nearest center and returns, per center, the sum of assigned rows
+/// and their count. This is the per-task unit the paper's K-means
+/// distributes.
+pub fn kmeans_partial_sum(block: &Matrix, centers: &Matrix) -> (Matrix, Vec<u64>) {
+    assert_eq!(block.cols(), centers.cols(), "feature count mismatch");
+    let k = centers.rows();
+    let mut sums = Matrix::zeros(k, block.cols());
+    let mut counts = vec![0u64; k];
+    for i in 0..block.rows() {
+        let row = block.row(i);
+        let (best, _) = (0..k)
+            .map(|c| (c, squared_distance(row, centers.row(c))))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("at least one center");
+        counts[best] += 1;
+        for j in 0..block.cols() {
+            sums[(best, j)] += row[j];
+        }
+    }
+    (sums, counts)
+}
+
+/// Merges partial sums/counts and produces updated centers. Centers with
+/// no assigned points keep their previous position (dislib behaviour).
+pub fn kmeans_update_centers(partials: &[(Matrix, Vec<u64>)], previous: &Matrix) -> Matrix {
+    let k = previous.rows();
+    let n = previous.cols();
+    let mut sums = Matrix::zeros(k, n);
+    let mut counts = vec![0u64; k];
+    for (s, c) in partials {
+        sums = sums.add(s);
+        for (tot, add) in counts.iter_mut().zip(c) {
+            *tot += add;
+        }
+    }
+    Matrix::from_fn(k, n, |c, j| {
+        if counts[c] == 0 {
+            previous[(c, j)]
+        } else {
+            sums[(c, j)] / counts[c] as f64
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+        assert_eq!(Matrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_vec(2, 2, vec![58., 64., 139., 154.]));
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 2, vec![10., 20., 30., 40.]);
+        assert_eq!(a.add(&b), Matrix::from_vec(2, 2, vec![11., 22., 33., 44.]));
+    }
+
+    #[test]
+    fn fma_matches_matmul_plus_add() {
+        let a = Matrix::from_fn(4, 5, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(5, 3, |i, j| (i * j) as f64 - 1.0);
+        let mut acc = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let expected = acc.add(&a.matmul(&b));
+        acc.fma_accumulate(&a, &b);
+        assert!(acc.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn submatrix_roundtrip() {
+        let a = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let block = a.submatrix(2, 3, 2, 3);
+        assert_eq!(block[(0, 0)], a[(2, 3)]);
+        let mut rebuilt = Matrix::zeros(6, 6);
+        for bi in 0..3 {
+            for bj in 0..2 {
+                rebuilt.set_submatrix(bi * 2, bj * 3, &a.submatrix(bi * 2, bj * 3, 2, 3));
+            }
+        }
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn partial_sum_assigns_to_nearest_center() {
+        // Two obvious clusters around (0,0) and (10,10).
+        let block = Matrix::from_vec(4, 2, vec![0., 0., 1., 1., 10., 10., 11., 9.]);
+        let centers = Matrix::from_vec(2, 2, vec![0., 0., 10., 10.]);
+        let (sums, counts) = kmeans_partial_sum(&block, &centers);
+        assert_eq!(counts, vec![2, 2]);
+        assert_eq!(sums, Matrix::from_vec(2, 2, vec![1., 1., 21., 19.]));
+    }
+
+    #[test]
+    fn update_centers_averages_partials() {
+        let centers = Matrix::from_vec(2, 1, vec![0., 100.]);
+        let partials = vec![
+            (Matrix::from_vec(2, 1, vec![4., 0.]), vec![2, 0]),
+            (Matrix::from_vec(2, 1, vec![2., 0.]), vec![1, 0]),
+        ];
+        let updated = kmeans_update_centers(&partials, &centers);
+        assert_eq!(updated[(0, 0)], 2.0);
+        // Empty cluster keeps its previous center.
+        assert_eq!(updated[(1, 0)], 100.0);
+    }
+
+    #[test]
+    fn squared_distance_basic() {
+        assert_eq!(squared_distance(&[0., 0.], &[3., 4.]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        a.matmul(&b);
+    }
+}

@@ -1,0 +1,247 @@
+//! Scheduler ablation and measurement-variance studies (extensions).
+//!
+//! * **Scheduler ablation** — adds the HEFT-style critical-path policy to
+//!   the paper's two and compares all three across DAG shapes: the
+//!   wide-shallow Matmul (ordering barely matters), the staircase
+//!   Cholesky (ordering matters a lot), and iterative K-means (placement
+//!   matters more than ordering).
+//! * **Run variance** — reproduces the paper's measurement protocol
+//!   (§4.4.5: six runs, first discarded) against the simulator's seeded
+//!   jitter and reports mean/σ/CV per configuration.
+
+use gpuflow_algorithms::{CholeskyConfig, KmeansConfig, MatmulConfig};
+use gpuflow_analysis::{confidence_half_width_95, mean, std_dev};
+use gpuflow_cluster::{ClusterSpec, ProcessorKind};
+use gpuflow_data::DatasetSpec;
+use gpuflow_runtime::{RunConfig, SchedulingPolicy, Workflow};
+
+use crate::table::TextTable;
+
+/// The three policies of the ablation.
+pub const POLICIES: [SchedulingPolicy; 3] = [
+    SchedulingPolicy::GenerationOrder,
+    SchedulingPolicy::DataLocality,
+    SchedulingPolicy::CriticalPath,
+];
+
+/// Makespans of one workload under every policy.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Workload label.
+    pub workload: String,
+    /// `(policy, makespan seconds)`, in [`POLICIES`] order.
+    pub makespans: Vec<(SchedulingPolicy, f64)>,
+}
+
+impl AblationRow {
+    /// The fastest policy for this workload.
+    pub fn best(&self) -> (SchedulingPolicy, f64) {
+        self.makespans
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite makespans"))
+            .expect("non-empty")
+    }
+
+    /// Makespan under one policy.
+    pub fn under(&self, policy: SchedulingPolicy) -> f64 {
+        self.makespans
+            .iter()
+            .find(|(p, _)| *p == policy)
+            .expect("policy measured")
+            .1
+    }
+}
+
+/// The scheduler-ablation result.
+#[derive(Debug, Clone)]
+pub struct SchedulerAblation {
+    /// One row per workload.
+    pub rows: Vec<AblationRow>,
+}
+
+fn ablate(workload: &str, wf: &Workflow, processor: ProcessorKind) -> AblationRow {
+    let makespans = POLICIES
+        .iter()
+        .map(|&policy| {
+            let cfg = RunConfig::new(ClusterSpec::minotauro(), processor).with_policy(policy);
+            let report = gpuflow_runtime::run(wf, &cfg).expect("workload fits");
+            (policy, report.makespan())
+        })
+        .collect();
+    AblationRow {
+        workload: workload.to_string(),
+        makespans,
+    }
+}
+
+/// Runs the three-policy comparison across the three DAG shapes.
+pub fn run_scheduler_ablation() -> SchedulerAblation {
+    let mut rows = Vec::new();
+    let chol = CholeskyConfig::new(DatasetSpec::uniform("abl-chol", 32_768, 32_768, 1), 8)
+        .expect("valid grid")
+        .build_workflow();
+    rows.push(ablate("Cholesky 8GB 8x8 (CPU)", &chol, ProcessorKind::Cpu));
+    rows.push(ablate("Cholesky 8GB 8x8 (GPU)", &chol, ProcessorKind::Gpu));
+    let mm = MatmulConfig::new(gpuflow_data::paper::matmul_8gb(), 8)
+        .expect("valid grid")
+        .build_workflow();
+    rows.push(ablate("Matmul 8GB 8x8 (GPU)", &mm, ProcessorKind::Gpu));
+    let km = KmeansConfig::new(gpuflow_data::paper::kmeans_10gb(), 64, 10, 5)
+        .expect("valid grid")
+        .build_workflow();
+    rows.push(ablate("K-means 10GB 64x1 (CPU)", &km, ProcessorKind::Cpu));
+    SchedulerAblation { rows }
+}
+
+impl SchedulerAblation {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Scheduler ablation: generation order vs locality vs critical path",
+            [
+                "workload",
+                "gen. order s",
+                "locality s",
+                "crit. path s",
+                "best",
+            ],
+        );
+        for r in &self.rows {
+            t.push([
+                r.workload.clone(),
+                format!("{:.2}", r.under(SchedulingPolicy::GenerationOrder)),
+                format!("{:.2}", r.under(SchedulingPolicy::DataLocality)),
+                format!("{:.2}", r.under(SchedulingPolicy::CriticalPath)),
+                r.best().0.label().to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Mean/σ statistics of repeated runs of one configuration.
+#[derive(Debug, Clone)]
+pub struct VarianceRow {
+    /// Configuration label.
+    pub label: String,
+    /// Per-seed makespans after discarding the warm-up run.
+    pub makespans: Vec<f64>,
+}
+
+impl VarianceRow {
+    /// Mean makespan.
+    pub fn mean(&self) -> f64 {
+        mean(&self.makespans)
+    }
+
+    /// Coefficient of variation (σ / mean).
+    pub fn cv(&self) -> f64 {
+        std_dev(&self.makespans) / self.mean().max(1e-12)
+    }
+}
+
+/// Runs the paper's six-run protocol (first run discarded as warm-up)
+/// for the Fig. 1 K-means configuration on both processors.
+pub fn run_variance() -> Vec<VarianceRow> {
+    let wf = KmeansConfig::new(gpuflow_data::paper::kmeans_10gb(), 256, 10, 1)
+        .expect("valid grid")
+        .build_workflow();
+    ProcessorKind::ALL
+        .iter()
+        .map(|&p| {
+            let makespans: Vec<f64> = (0..6u64)
+                .map(|rep| {
+                    let cfg =
+                        RunConfig::new(ClusterSpec::minotauro(), p).with_seed(0x5EED_0000 + rep);
+                    gpuflow_runtime::run(&wf, &cfg).expect("fits").makespan()
+                })
+                .skip(1) // discard the warm-up, like the paper
+                .collect();
+            VarianceRow {
+                label: format!("K-means Fig.1 ({})", p.label()),
+                makespans,
+            }
+        })
+        .collect()
+}
+
+/// Renders the variance study with 95 % confidence intervals (Student t,
+/// n−1 degrees of freedom — the small-sample treatment the paper's
+/// six-run protocol calls for).
+pub fn render_variance() -> String {
+    let mut t = TextTable::new(
+        "Run-to-run variance (6 seeded runs, warm-up discarded)",
+        ["configuration", "mean s", "sigma s", "CV %", "95% CI"],
+    );
+    for row in run_variance() {
+        let half = confidence_half_width_95(&row.makespans);
+        t.push([
+            row.label.clone(),
+            format!("{:.3}", row.mean()),
+            format!("{:.4}", std_dev(&row.makespans)),
+            format!("{:.2}", row.cv() * 100.0),
+            format!("±{half:.4}"),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_path_is_competitive_everywhere_and_wins_on_cholesky_cpu() {
+        let ab = run_scheduler_ablation();
+        for row in &ab.rows {
+            let best = row.best().1;
+            let cp = row.under(SchedulingPolicy::CriticalPath);
+            assert!(
+                cp <= best * 1.35,
+                "{}: critical path too far from best ({cp} vs {best})",
+                row.workload
+            );
+        }
+        // On the staircase DAG the ordering policy should not lose to
+        // plain FIFO.
+        let chol = &ab.rows[0];
+        assert!(
+            chol.under(SchedulingPolicy::CriticalPath)
+                <= chol.under(SchedulingPolicy::GenerationOrder) * 1.05,
+            "{:?}",
+            chol.makespans
+        );
+        assert!(ab.render().contains("crit. path"));
+    }
+
+    #[test]
+    fn run_variance_is_small_and_nonzero() {
+        for row in run_variance() {
+            assert_eq!(row.makespans.len(), 5, "six runs minus the warm-up");
+            assert!(
+                row.cv() > 0.0,
+                "{}: jitter must produce variance",
+                row.label
+            );
+            assert!(
+                row.cv() < 0.1,
+                "{}: CV {:.3} should stay below 10%",
+                row.label,
+                row.cv()
+            );
+            // The CI must cover the sample spread plausibly: every run
+            // within a few half-widths of the mean.
+            let half = confidence_half_width_95(&row.makespans);
+            assert!(half > 0.0);
+            for &m in &row.makespans {
+                assert!(
+                    (m - row.mean()).abs() < 4.0 * half,
+                    "{}: outlier {m}",
+                    row.label
+                );
+            }
+        }
+        assert!(render_variance().contains("95% CI"));
+    }
+}

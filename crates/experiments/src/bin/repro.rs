@@ -1,0 +1,145 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all              # every artifact, paper-scale parameters
+//! repro fig1             # one artifact
+//! repro fig7a fig7b ...  # several
+//! repro fig11 --quick    # reduced sample set
+//! repro all --out DIR    # additionally write one text file per artifact
+//! ```
+//!
+//! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
+//! fig10a, fig10b, fig11, fig12, plus the extensions `sensitivity`
+//! (resource-parameter sweeps the paper defers to future work) and
+//! `generalizability` (the §5.5.1 parallel-fraction spectrum).
+
+use std::time::Instant;
+
+use gpuflow_experiments::{
+    ablation, factors, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9, generalizability, memory,
+    prediction, sensitivity, Context,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let skip_values: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| vec![i, i + 1])
+        .unwrap_or_default();
+    let mut targets: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !skip_values.contains(i))
+        .map(|(_, a)| a.as_str())
+        .collect();
+    if targets.is_empty() || targets.contains(&"all") {
+        let paper = [
+            "table1", "fig1", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "fig10a",
+            "fig10b", "fig11", "fig12",
+        ];
+        let extras: Vec<&str> = targets.iter().copied().filter(|t| *t != "all").collect();
+        targets = paper.into_iter().chain(extras).collect();
+    }
+
+    let ctx = Context::default();
+    for target in targets {
+        let t0 = Instant::now();
+        let output = match target {
+            "table1" => factors::render(),
+            "fig1" => fig1::run(&ctx).render(),
+            "fig6" => {
+                let f = fig6::run();
+                format!(
+                    "{}\n--- kmeans DOT ---\n{}\n--- matmul DOT ---\n{}",
+                    f.render(),
+                    f.kmeans_dot,
+                    f.matmul_dot
+                )
+            }
+            "fig7a" => {
+                let mut out = fig7::run_matmul(
+                    &ctx,
+                    &gpuflow_data::paper::matmul_8gb(),
+                    &fig7::MATMUL_GRIDS,
+                )
+                .render();
+                out.push('\n');
+                out.push_str(
+                    &fig7::run_matmul(
+                        &ctx,
+                        &gpuflow_data::paper::matmul_32gb(),
+                        &fig7::MATMUL_GRIDS,
+                    )
+                    .render(),
+                );
+                out
+            }
+            "fig7b" => {
+                let mut out = fig7::run_kmeans(
+                    &ctx,
+                    &gpuflow_data::paper::kmeans_10gb(),
+                    &fig7::KMEANS_GRIDS,
+                    10,
+                    fig7::KMEANS_ITERATIONS,
+                )
+                .render();
+                out.push('\n');
+                out.push_str(
+                    &fig7::run_kmeans(
+                        &ctx,
+                        &gpuflow_data::paper::kmeans_100gb(),
+                        &fig7::KMEANS_GRIDS,
+                        10,
+                        fig7::KMEANS_ITERATIONS,
+                    )
+                    .render(),
+                );
+                out
+            }
+            "fig8" => fig8::run(&ctx).render(),
+            "fig9a" => fig9::run_9a(&ctx).render(),
+            "fig9b" => fig9::run_9b(&ctx).render(),
+            "fig10a" => fig10::run_matmul(&ctx).render(),
+            "fig10b" => fig10::run_kmeans(&ctx).render(),
+            "fig11" => {
+                if quick {
+                    fig11::run_quick(&ctx).render()
+                } else {
+                    fig11::run(&ctx).render()
+                }
+            }
+            "fig12" => fig12::run(&ctx).render(),
+            "sensitivity" => sensitivity::render_all(),
+            "generalizability" => generalizability::run(&ctx).render(),
+            "prediction" => prediction::run(&ctx).render(),
+            "memory" => memory::run(&ctx).render(),
+            "ablation" => format!(
+                "{}
+{}",
+                ablation::run_scheduler_ablation().render(),
+                ablation::render_variance()
+            ),
+            other => {
+                eprintln!("unknown artifact '{other}' (see --help in the source header)");
+                continue;
+            }
+        };
+        println!("{output}");
+        if let Some(dir) = &out_dir {
+            let path = std::path::Path::new(dir).join(format!("{target}.txt"));
+            std::fs::write(&path, &output).expect("write artifact file");
+            eprintln!("[{target} -> {}]", path.display());
+        }
+        eprintln!("[{target} regenerated in {:.2?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,192 @@
+//! The factor taxonomy of Table 1, as a typed model.
+//!
+//! Besides regenerating the paper's table, this is the ground truth for
+//! which features enter the correlation study (Fig. 11).
+
+use crate::table::TextTable;
+
+/// The four factor dimensions of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dimension {
+    /// Properties of the task algorithm.
+    TaskAlgorithm,
+    /// Properties of the input dataset.
+    Dataset,
+    /// Properties of the cluster resources.
+    Resources,
+    /// Properties of the distributed system.
+    System,
+}
+
+impl Dimension {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dimension::TaskAlgorithm => "Task algorithm",
+            Dimension::Dataset => "Dataset",
+            Dimension::Resources => "Resources",
+            Dimension::System => "System",
+        }
+    }
+}
+
+/// System functions a factor affects (the footnote symbols of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemFunction {
+    /// Device speedup (∥).
+    DeviceSpeedup,
+    /// Storage I/O (†).
+    StorageIo,
+    /// Network I/O (‡).
+    NetworkIo,
+    /// CPU-GPU data transfer (∗).
+    CpuGpuTransfer,
+    /// Task scheduling (§).
+    TaskScheduling,
+}
+
+impl SystemFunction {
+    /// The footnote symbol used in the paper.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            SystemFunction::DeviceSpeedup => "||",
+            SystemFunction::StorageIo => "+",
+            SystemFunction::NetworkIo => "++",
+            SystemFunction::CpuGpuTransfer => "*",
+            SystemFunction::TaskScheduling => "$",
+        }
+    }
+}
+
+/// One factor row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Factor {
+    /// Factor name (e.g. "block dimension").
+    pub name: &'static str,
+    /// Dimension it belongs to.
+    pub dimension: Dimension,
+    /// Parameters the factor determines.
+    pub parameters: &'static [&'static str],
+    /// System functions it affects.
+    pub affects: &'static [SystemFunction],
+}
+
+/// All factors of Table 1, in the paper's order.
+pub fn factors() -> Vec<Factor> {
+    use Dimension::*;
+    use SystemFunction::*;
+    vec![
+        Factor {
+            name: "block dimension",
+            dimension: TaskAlgorithm,
+            parameters: &["block size", "grid dimension", "DAG shape"],
+            affects: &[
+                CpuGpuTransfer,
+                DeviceSpeedup,
+                StorageIo,
+                NetworkIo,
+                TaskScheduling,
+            ],
+        },
+        Factor {
+            name: "computational complexity",
+            dimension: TaskAlgorithm,
+            parameters: &[],
+            affects: &[DeviceSpeedup],
+        },
+        Factor {
+            name: "parallel fraction",
+            dimension: TaskAlgorithm,
+            parameters: &[],
+            affects: &[DeviceSpeedup],
+        },
+        Factor {
+            name: "algorithm-specific parameter",
+            dimension: TaskAlgorithm,
+            parameters: &[],
+            affects: &[DeviceSpeedup],
+        },
+        Factor {
+            name: "dataset dimension",
+            dimension: Dataset,
+            parameters: &["dataset size"],
+            affects: &[
+                CpuGpuTransfer,
+                DeviceSpeedup,
+                StorageIo,
+                NetworkIo,
+                TaskScheduling,
+            ],
+        },
+        Factor {
+            name: "processor type",
+            dimension: Resources,
+            parameters: &["max #CPU cores by processor type"],
+            affects: &[DeviceSpeedup],
+        },
+        Factor {
+            name: "storage architecture",
+            dimension: Resources,
+            parameters: &[],
+            affects: &[StorageIo],
+        },
+        Factor {
+            name: "scheduling policy",
+            dimension: System,
+            parameters: &[],
+            affects: &[NetworkIo, TaskScheduling],
+        },
+    ]
+}
+
+/// Renders Table 1.
+pub fn render() -> String {
+    let mut t = TextTable::new(
+        "Table 1: factors and parameters",
+        ["dimension", "factor", "parameters", "affects"],
+    );
+    for f in factors() {
+        let affects: Vec<&str> = f.affects.iter().map(|a| a.symbol()).collect();
+        t.push([
+            f.dimension.label().to_string(),
+            f.name.to_string(),
+            f.parameters.join(", "),
+            affects.join(" "),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_factors_in_four_dimensions() {
+        let fs = factors();
+        assert_eq!(fs.len(), 8);
+        for d in [
+            Dimension::TaskAlgorithm,
+            Dimension::Dataset,
+            Dimension::Resources,
+            Dimension::System,
+        ] {
+            assert!(fs.iter().any(|f| f.dimension == d), "missing {d:?}");
+        }
+    }
+
+    #[test]
+    fn block_dimension_affects_all_five_functions() {
+        let fs = factors();
+        let bd = fs.iter().find(|f| f.name == "block dimension").unwrap();
+        assert_eq!(bd.affects.len(), 5);
+    }
+
+    #[test]
+    fn render_mentions_every_factor() {
+        let s = render();
+        for f in factors() {
+            assert!(s.contains(f.name), "missing {}", f.name);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 6: DAG shapes of the two algorithm families.
+//!
+//! Regenerates the PyCOMPSs DAG dumps: K-means with grid 4×1 over three
+//! iterations (narrow and deep) and Matmul with a 4×4 grid (wide and
+//! shallow), as Graphviz DOT plus shape statistics.
+
+use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
+use gpuflow_data::DatasetSpec;
+use gpuflow_runtime::DagShape;
+
+/// The Figure 6 reproduction: DOT sources and shapes for both DAGs.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// K-means DAG in DOT format.
+    pub kmeans_dot: String,
+    /// K-means DAG shape.
+    pub kmeans_shape: DagShape,
+    /// Matmul DAG in DOT format.
+    pub matmul_dot: String,
+    /// Matmul DAG shape.
+    pub matmul_shape: DagShape,
+}
+
+/// Builds both DAGs (metadata only; dataset contents are irrelevant).
+pub fn run() -> Fig6 {
+    let kmeans = KmeansConfig::new(DatasetSpec::uniform("fig6-kmeans", 4096, 16, 1), 4, 4, 3)
+        .expect("valid grid")
+        .build_workflow();
+    let matmul = MatmulConfig::new(DatasetSpec::uniform("fig6-matmul", 1024, 1024, 1), 4)
+        .expect("valid grid")
+        .build_workflow();
+    Fig6 {
+        kmeans_dot: kmeans.to_dot("kmeans_4x1_3iters"),
+        kmeans_shape: kmeans.shape(),
+        matmul_dot: matmul.to_dot("matmul_4x4"),
+        matmul_shape: matmul.shape(),
+    }
+}
+
+impl Fig6 {
+    /// Renders the shape comparison (the figure's caption numbers).
+    pub fn render(&self) -> String {
+        format!(
+            "== Figure 6: DAG shapes ==\n\
+             K-means 4x1, 3 iterations: {} tasks, width {}, height {} (narrow & deep)\n\
+             Matmul 4x4:                {} tasks, width {}, height {} (wide & shallow)\n",
+            self.kmeans_shape.tasks,
+            self.kmeans_shape.max_width,
+            self.kmeans_shape.height,
+            self.matmul_shape.tasks,
+            self.matmul_shape.max_width,
+            self.matmul_shape.height,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper_characterisation() {
+        let fig = run();
+        // Matmul: wide and shallow — width far exceeds height.
+        assert!(fig.matmul_shape.max_width > 10 * fig.matmul_shape.height);
+        // K-means: narrow and deep — height exceeds width.
+        assert!(fig.kmeans_shape.height > fig.kmeans_shape.max_width);
+        // Matmul 4x4: 64 multiplies at level 0 (Fig. 6b shows 64 blue nodes).
+        assert_eq!(fig.matmul_shape.max_width, 64);
+        assert!(fig.kmeans_dot.contains("partial_sum"));
+        assert!(fig.matmul_dot.contains("matmul_func"));
+        assert!(fig.render().contains("narrow & deep"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # gpuflow-experiments — the paper's evaluation, regenerated
+//!
+//! One module per table/figure of the evaluation section:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — K-means three-stage CPU/GPU comparison |
+//! | [`fig6`] | Fig. 6 — DAG shapes (DOT export) |
+//! | [`fig7`] | Fig. 7 — end-to-end analysis (Matmul & K-means) |
+//! | [`fig8`] | Fig. 8 — task computational complexity in Matmul |
+//! | [`fig9`] | Fig. 9 — #clusters and data skew |
+//! | [`fig10`] | Fig. 10 — storage × scheduling |
+//! | [`fig11`] | Fig. 11 — Spearman correlation matrix |
+//! | [`fig12`] | Fig. 12 — Matmul FMA generalizability |
+//! | [`factors`] | Table 1 — factor/parameter taxonomy |
+//! | [`sensitivity`] | extension: the resource parameters Table 1 defers to future work |
+//! | [`generalizability`] | extension: the §5.5.1 parallel-fraction spectrum (KNN between the extremes) |
+//! | [`prediction`] | extension: the §5.4.3 learning-model direction (regression-tree time predictor) |
+//! | [`ablation`] | extension: scheduler ablation (incl. critical-path policy) and run-variance study |
+//! | [`memory`] | extension: the §1 "memory robustness" claim, quantified |
+//!
+//! Each module exposes `run(&Context)` returning structured results with
+//! a `render()` text table, so the `repro` binary, the Criterion benches,
+//! and the integration tests all share one implementation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod factors;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod generalizability;
+mod measure;
+pub mod memory;
+pub mod prediction;
+pub mod sensitivity;
+mod table;
+
+pub use measure::{Context, Outcome};
+pub use table::TextTable;

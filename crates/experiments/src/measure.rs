@@ -1,0 +1,162 @@
+//! Shared measurement plumbing for the figure reproductions.
+
+use std::fmt;
+
+use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
+use gpuflow_runtime::{RunConfig, RunError, RunReport, SchedulingPolicy, Workflow};
+
+/// The outcome of one run: a successful report or the OOM annotations the
+/// paper prints directly on its charts.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The run completed.
+    Ok(Box<RunReport>),
+    /// The GPU ran out of device memory ("GPU OOM").
+    GpuOom,
+    /// The host ran out of RAM ("CPU OOM").
+    CpuOom,
+}
+
+impl Outcome {
+    /// The report, if the run completed.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            Outcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Applies `f` to the report, or returns `None` on OOM.
+    pub fn map<T>(&self, f: impl FnOnce(&RunReport) -> T) -> Option<T> {
+        self.report().map(f)
+    }
+
+    /// Chart annotation: a number or an OOM label.
+    pub fn label(&self, f: impl FnOnce(&RunReport) -> f64) -> String {
+        match self {
+            Outcome::Ok(r) => format!("{:.2}", f(r)),
+            Outcome::GpuOom => "GPU OOM".into(),
+            Outcome::CpuOom => "CPU OOM".into(),
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Ok(r) => write!(f, "{:.3}s", r.makespan()),
+            Outcome::GpuOom => write!(f, "GPU OOM"),
+            Outcome::CpuOom => write!(f, "CPU OOM"),
+        }
+    }
+}
+
+/// Experiment context: the cluster model plus run-variation settings.
+#[derive(Debug, Clone)]
+pub struct Context {
+    /// The simulated cluster (Minotauro by default).
+    pub cluster: ClusterSpec,
+    /// Base jitter seed; repeat runs offset it.
+    pub base_seed: u64,
+    /// Repetitions per configuration. The paper runs six and discards the
+    /// warm-up; we average `repeats` already-warm simulated runs.
+    pub repeats: u32,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context {
+            cluster: ClusterSpec::minotauro(),
+            base_seed: 0x9E37,
+            repeats: 1,
+        }
+    }
+}
+
+impl Context {
+    /// A context averaging `repeats` seeded runs per configuration.
+    pub fn with_repeats(mut self, repeats: u32) -> Self {
+        assert!(repeats > 0, "need at least one repetition");
+        self.repeats = repeats;
+        self
+    }
+
+    /// Runs `workflow` once per repetition and returns the first outcome
+    /// (reports carry per-seed noise; OOM is deterministic, so any
+    /// repetition would fail identically).
+    pub fn run(
+        &self,
+        workflow: &Workflow,
+        processor: ProcessorKind,
+        storage: StorageArchitecture,
+        policy: SchedulingPolicy,
+    ) -> Outcome {
+        let mut first: Option<RunReport> = None;
+        for rep in 0..self.repeats {
+            let cfg = RunConfig::new(self.cluster.clone(), processor)
+                .with_storage(storage)
+                .with_policy(policy)
+                .with_seed(self.base_seed.wrapping_add(rep as u64));
+            match gpuflow_runtime::run(workflow, &cfg) {
+                Ok(report) => {
+                    // Keep the median-ish (first) report; repeats exist to
+                    // let callers average makespans.
+                    first.get_or_insert(report);
+                }
+                Err(RunError::GpuOom { .. }) => return Outcome::GpuOom,
+                Err(RunError::HostOom { .. }) => return Outcome::CpuOom,
+                Err(other) => panic!("unexpected run failure: {other}"),
+            }
+        }
+        Outcome::Ok(Box::new(first.expect("at least one repetition")))
+    }
+
+    /// Runs with the paper's defaults: shared disk, generation order.
+    pub fn run_default(&self, workflow: &Workflow, processor: ProcessorKind) -> Outcome {
+        self.run(
+            workflow,
+            processor,
+            StorageArchitecture::SharedDisk,
+            SchedulingPolicy::GenerationOrder,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_algorithms::KmeansConfig;
+    use gpuflow_data::DatasetSpec;
+
+    fn tiny_workflow() -> Workflow {
+        KmeansConfig::new(DatasetSpec::uniform("t", 1024, 16, 1), 4, 3, 1)
+            .unwrap()
+            .build_workflow()
+    }
+
+    #[test]
+    fn outcome_reports_and_labels() {
+        let ctx = Context {
+            cluster: ClusterSpec::tiny(),
+            ..Default::default()
+        };
+        let out = ctx.run_default(&tiny_workflow(), ProcessorKind::Cpu);
+        assert!(out.report().is_some());
+        assert!(out.label(|r| r.makespan()).parse::<f64>().is_ok());
+        assert_eq!(Outcome::GpuOom.label(|_| 0.0), "GPU OOM");
+        assert!(Outcome::CpuOom.report().is_none());
+    }
+
+    #[test]
+    fn repeats_do_not_change_success() {
+        let ctx = Context {
+            cluster: ClusterSpec::tiny(),
+            ..Default::default()
+        }
+        .with_repeats(3);
+        assert!(ctx
+            .run_default(&tiny_workflow(), ProcessorKind::Cpu)
+            .report()
+            .is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! Execution-time prediction (§5.4.3's learning-model direction).
+//!
+//! Trains the CART regression tree of `gpuflow-analysis` on samples from
+//! the correlation study: features are the Table 1 factors/parameters
+//! (one-hot categoricals included), the target is log parallel-task
+//! execution time (times span four decades). Evaluated on a held-out
+//! test set against the mean predictor baseline — the paper's point is
+//! precisely that non-linear models are needed because "naive heuristics
+//! and cost-based models do not suffice".
+
+use gpuflow_analysis::{r2_score, spearman, train_test_split, Forest, RegressionTree, TreeParams};
+
+use crate::fig11;
+use crate::measure::Context;
+use crate::table::TextTable;
+
+/// The prediction experiment's result.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Training samples.
+    pub train_samples: usize,
+    /// Held-out samples.
+    pub test_samples: usize,
+    /// Tree leaves (model complexity).
+    pub leaves: usize,
+    /// Train R² on log-time.
+    pub train_r2: f64,
+    /// Held-out R² on log-time.
+    pub test_r2: f64,
+    /// Held-out Spearman between predicted and actual times — the
+    /// ranking quality an autotuner actually needs.
+    pub test_rank_correlation: f64,
+    /// Baseline (mean predictor) held-out R², by construction ≤ 0.
+    pub baseline_r2: f64,
+    /// Held-out R² of a 20-tree bagged forest over the same features.
+    pub forest_test_r2: f64,
+    /// Held-out rank correlation of the forest.
+    pub forest_rank_correlation: f64,
+}
+
+/// Runs the prediction experiment on the quick correlation sample set.
+pub fn run(ctx: &Context) -> Prediction {
+    let fig = fig11::run_quick(ctx);
+    let table = &fig.table;
+    let n = table.rows();
+    // Feature matrix: everything except the target; impute Matmul's
+    // undefined algorithm parameter as 0 (trees handle the indicator via
+    // the complexity/width features).
+    let target_name = "parallel task exec. time";
+    let mut x: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut y: Vec<f64> = Vec::with_capacity(n);
+    let target_idx = table
+        .names()
+        .iter()
+        .position(|f| f == target_name)
+        .expect("target present");
+    for i in 0..n {
+        let row = table.row(i);
+        y.push(row[target_idx].max(1e-9).ln());
+        x.push(
+            row.iter()
+                .enumerate()
+                .filter(|(j, _)| *j != target_idx)
+                .map(|(_, &v)| if v.is_nan() { 0.0 } else { v })
+                .collect(),
+        );
+    }
+
+    let (train_idx, test_idx) = train_test_split(n, 0.3, 0xA11CE);
+    let take = |idx: &[usize]| -> (Vec<Vec<f64>>, Vec<f64>) {
+        (
+            idx.iter().map(|&i| x[i].clone()).collect(),
+            idx.iter().map(|&i| y[i]).collect(),
+        )
+    };
+    let (x_train, y_train) = take(&train_idx);
+    let (x_test, y_test) = take(&test_idx);
+
+    let params = TreeParams {
+        max_depth: 7,
+        min_leaf: 2,
+    };
+    let tree = RegressionTree::fit(&x_train, &y_train, params);
+    let forest = Forest::fit(&x_train, &y_train, params, 20, 0xF0553);
+    let pred_train = tree.predict_all(&x_train);
+    let pred_test = tree.predict_all(&x_test);
+    let forest_test = forest.predict_all(&x_test);
+    let mean_train = y_train.iter().sum::<f64>() / y_train.len() as f64;
+    let baseline: Vec<f64> = vec![mean_train; y_test.len()];
+
+    Prediction {
+        train_samples: train_idx.len(),
+        test_samples: test_idx.len(),
+        leaves: tree.leaves(),
+        train_r2: r2_score(&y_train, &pred_train),
+        test_r2: r2_score(&y_test, &pred_test),
+        test_rank_correlation: spearman(&y_test, &pred_test),
+        baseline_r2: r2_score(&y_test, &baseline),
+        forest_test_r2: r2_score(&y_test, &forest_test),
+        forest_rank_correlation: spearman(&y_test, &forest_test),
+    }
+}
+
+impl Prediction {
+    /// Renders the evaluation summary.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Prediction: regression tree on Table 1 features (§5.4.3 extension)",
+            ["quantity", "value"],
+        );
+        t.push([
+            "train / test samples",
+            &format!("{} / {}", self.train_samples, self.test_samples),
+        ]);
+        t.push(["tree leaves", &self.leaves.to_string()]);
+        t.push(["train R2 (log time)", &format!("{:.3}", self.train_r2)]);
+        t.push(["test R2 (log time)", &format!("{:.3}", self.test_r2)]);
+        t.push([
+            "test rank correlation",
+            &format!("{:.3}", self.test_rank_correlation),
+        ]);
+        t.push([
+            "mean-predictor baseline R2",
+            &format!("{:.3}", self.baseline_r2),
+        ]);
+        t.push([
+            "forest test R2 (20 trees)",
+            &format!("{:.3}", self.forest_test_r2),
+        ]);
+        t.push([
+            "forest rank correlation",
+            &format!("{:.3}", self.forest_rank_correlation),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_predicts_held_out_execution_times() {
+        let p = run(&Context::default());
+        assert!(p.train_samples > p.test_samples);
+        assert!(
+            p.train_r2 > 0.9,
+            "train fit should be tight: {}",
+            p.train_r2
+        );
+        assert!(
+            p.test_r2 > 0.5,
+            "held-out R2 must beat naive substantially: {}",
+            p.test_r2
+        );
+        assert!(
+            p.test_rank_correlation > 0.7,
+            "ranking quality drives autotuning: {}",
+            p.test_rank_correlation
+        );
+        assert!(
+            p.test_r2 > p.baseline_r2 + 0.4,
+            "must beat the mean baseline"
+        );
+        assert!(
+            p.forest_rank_correlation > 0.7,
+            "the bagged forest must also rank well: {}",
+            p.forest_rank_correlation
+        );
+        assert!(p.render().contains("forest test R2"));
+    }
+}

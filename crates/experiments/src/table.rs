@@ -1,0 +1,113 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: &str, headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            title: title.to_owned(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row width does not match the headers.
+    pub fn push<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for (i, h) in self.headers.iter().enumerate() {
+            let sep = if i + 1 == cols { '\n' } else { ' ' };
+            let _ = write!(out, "{h:>width$}{sep}", width = widths[i]);
+        }
+        let total: usize = widths.iter().sum::<usize>() + cols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let sep = if i + 1 == cols { '\n' } else { ' ' };
+                let _ = write!(out, "{cell:>width$}{sep}", width = widths[i]);
+            }
+        }
+        out
+    }
+
+    /// CSV export.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("demo", ["block", "speedup"]);
+        t.push(["32", "4.89"]);
+        t.push(["2048", "15.03"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("block speedup"));
+        assert!(s.lines().count() == 5);
+        // Right-aligned: "32" is padded to the width of "block".
+        assert!(s.contains("   32"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new("demo", ["a", "b"]);
+        t.push(["only one"]);
+    }
+
+    #[test]
+    fn csv_matches_content() {
+        let mut t = TextTable::new("demo", ["a", "b"]);
+        t.push(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

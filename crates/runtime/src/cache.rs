@@ -1,0 +1,228 @@
+//! Per-node in-memory object cache.
+//!
+//! PyCOMPSs workers keep deserialized Python objects in process memory;
+//! a task scheduled on a node that already holds (the right version of)
+//! its inputs skips deserialization entirely. This cache is what couples
+//! the scheduling policy with the storage architecture (Observations O5
+//! and O6): with shared-disk storage, a locality-aware placement converts
+//! expensive GPFS reads into cache hits, while with local disks a miss is
+//! cheap anyway.
+
+use std::collections::HashMap;
+
+use crate::data::DataVersion;
+
+/// An LRU cache of data versions bounded by bytes.
+#[derive(Debug, Clone)]
+pub struct BlockCache {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    entries: HashMap<DataVersion, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    bytes: u64,
+    last_used: u64,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        BlockCache {
+            capacity,
+            used: 0,
+            clock: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Checks whether `key` is cached; updates recency and hit/miss
+    /// statistics.
+    pub fn lookup(&mut self, key: DataVersion) -> bool {
+        self.clock += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Checks presence without touching statistics or recency (used by
+    /// the scheduler to score candidate nodes).
+    pub fn peek(&self, key: DataVersion) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Inserts `key`, evicting least-recently-used entries to fit.
+    /// Objects larger than the whole cache are not cached.
+    pub fn insert(&mut self, key: DataVersion, bytes: u64) {
+        if bytes > self.capacity {
+            return;
+        }
+        self.clock += 1;
+        if let Some(prev) = self.entries.insert(
+            key,
+            Entry {
+                bytes,
+                last_used: self.clock,
+            },
+        ) {
+            self.used -= prev.bytes;
+        }
+        self.used += bytes;
+        while self.used > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match lru {
+                Some(victim) => {
+                    let e = self.entries.remove(&victim).expect("victim exists");
+                    self.used -= e.bytes;
+                    self.evictions += 1;
+                }
+                None => break, // only the fresh entry remains
+            }
+        }
+    }
+
+    /// Drops a specific entry (e.g. an invalidated version).
+    pub fn invalidate(&mut self, key: DataVersion) {
+        if let Some(e) = self.entries.remove(&key) {
+            self.used -= e.bytes;
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataId;
+
+    fn key(id: u32, version: u32) -> DataVersion {
+        DataVersion {
+            id: DataId(id),
+            version,
+        }
+    }
+
+    #[test]
+    fn lookup_after_insert_hits() {
+        let mut c = BlockCache::new(100);
+        assert!(!c.lookup(key(1, 0)));
+        c.insert(key(1, 0), 10);
+        assert!(c.lookup(key(1, 0)));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn versions_are_distinct_keys() {
+        let mut c = BlockCache::new(100);
+        c.insert(key(1, 0), 10);
+        assert!(!c.lookup(key(1, 1)));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = BlockCache::new(30);
+        c.insert(key(1, 0), 10);
+        c.insert(key(2, 0), 10);
+        c.insert(key(3, 0), 10);
+        assert!(c.lookup(key(1, 0))); // refresh 1
+        c.insert(key(4, 0), 10); // evicts 2 (LRU)
+        assert!(c.peek(key(1, 0)));
+        assert!(!c.peek(key(2, 0)));
+        assert!(c.peek(key(3, 0)));
+        assert!(c.peek(key(4, 0)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_objects_are_not_cached() {
+        let mut c = BlockCache::new(10);
+        c.insert(key(1, 0), 100);
+        assert!(!c.peek(key(1, 0)));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn reinsert_updates_size() {
+        let mut c = BlockCache::new(100);
+        c.insert(key(1, 0), 10);
+        c.insert(key(1, 0), 40);
+        assert_eq!(c.used(), 40);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut c = BlockCache::new(100);
+        c.insert(key(1, 0), 10);
+        c.invalidate(key(1, 0));
+        assert!(!c.peek(key(1, 0)));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity() {
+        let mut c = BlockCache::new(25);
+        for i in 0..100 {
+            c.insert(key(i, 0), 10);
+            assert!(c.used() <= 25);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_affect_lru_or_stats() {
+        let mut c = BlockCache::new(20);
+        c.insert(key(1, 0), 10);
+        c.insert(key(2, 0), 10);
+        for _ in 0..5 {
+            assert!(c.peek(key(1, 0)));
+        }
+        c.insert(key(3, 0), 10);
+        // key(1) was only peeked, so it is still the LRU and got evicted.
+        assert!(!c.peek(key(1, 0)));
+        assert_eq!(c.hits(), 0);
+    }
+}

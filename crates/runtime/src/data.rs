@@ -1,0 +1,248 @@
+//! Data registry and versioning.
+//!
+//! Every piece of data flowing through a workflow (a dataset block, a
+//! partial result, the K-means centers) is registered once and identified
+//! by a [`DataId`]. Writes bump the version, so a value at a point in time
+//! is a `dNvM` pair exactly as in PyCOMPSs DAG dumps (Fig. 6 of the
+//! paper). The registry records last writers and readers, from which the
+//! workflow builder derives RAW/WAW/WAR dependencies.
+
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Identifier of a registered data object (`dN`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataId(pub u32);
+
+/// A specific version of a data object (`dNvM`), the unit of caching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataVersion {
+    /// The object.
+    pub id: DataId,
+    /// Version number; 0 is the initial (on-storage) version.
+    pub version: u32,
+}
+
+impl fmt::Display for DataVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}v{}", self.id.0, self.version)
+    }
+}
+
+/// How a task accesses a parameter (the PyCOMPSs parameter directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Read-only.
+    In,
+    /// Write-only (creates a new version).
+    Out,
+    /// Read-modify-write.
+    InOut,
+}
+
+impl Direction {
+    /// Does this access read the current version?
+    pub fn reads(self) -> bool {
+        matches!(self, Direction::In | Direction::InOut)
+    }
+
+    /// Does this access produce a new version?
+    pub fn writes(self) -> bool {
+        matches!(self, Direction::Out | Direction::InOut)
+    }
+}
+
+/// One registered data object.
+#[derive(Debug, Clone)]
+pub struct DataObject {
+    /// Identifier.
+    pub id: DataId,
+    /// Debug name (e.g. `"A[2,3]"`).
+    pub name: String,
+    /// Payload size in bytes (assumed stable across versions).
+    pub bytes: u64,
+    /// Whether version 0 exists on storage before the run (input dataset
+    /// blocks) — data without this flag must be written before being read.
+    pub initial: bool,
+    /// Current version number.
+    pub version: u32,
+    /// Task that produced the current version.
+    pub last_writer: Option<TaskId>,
+    /// Tasks that read the current version since the last write.
+    pub readers_since_write: Vec<TaskId>,
+}
+
+/// The registry of all data objects of one workflow.
+#[derive(Debug, Clone, Default)]
+pub struct DataRegistry {
+    objects: Vec<DataObject>,
+}
+
+impl DataRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an input object whose version 0 already exists on
+    /// storage (a dataset block).
+    pub fn register_input(&mut self, name: impl Into<String>, bytes: u64) -> DataId {
+        self.register(name, bytes, true)
+    }
+
+    /// Registers an intermediate/output object that some task must write
+    /// before anyone reads it.
+    pub fn register_intermediate(&mut self, name: impl Into<String>, bytes: u64) -> DataId {
+        self.register(name, bytes, false)
+    }
+
+    fn register(&mut self, name: impl Into<String>, bytes: u64, initial: bool) -> DataId {
+        let id = DataId(self.objects.len() as u32);
+        self.objects.push(DataObject {
+            id,
+            name: name.into(),
+            bytes,
+            initial,
+            version: 0,
+            last_writer: None,
+            readers_since_write: Vec::new(),
+        });
+        id
+    }
+
+    /// The object behind `id`.
+    ///
+    /// # Panics
+    /// Panics on an unknown id (ids are never exposed before creation).
+    pub fn object(&self, id: DataId) -> &DataObject {
+        &self.objects[id.0 as usize]
+    }
+
+    fn object_mut(&mut self, id: DataId) -> &mut DataObject {
+        &mut self.objects[id.0 as usize]
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates all objects.
+    pub fn iter(&self) -> impl Iterator<Item = &DataObject> {
+        self.objects.iter()
+    }
+
+    /// Records that `task` reads `id`, returning the version read and the
+    /// RAW dependency (the last writer), if any.
+    ///
+    /// # Errors
+    /// Fails when the object has no initial version and was never written
+    /// (read-before-write is a workflow construction bug).
+    pub fn note_read(&mut self, id: DataId, task: TaskId) -> Result<(u32, Option<TaskId>), String> {
+        let obj = self.object_mut(id);
+        if obj.version == 0 && !obj.initial {
+            return Err(format!(
+                "task {task} reads {} (d{}) before any task wrote it",
+                obj.name, id.0
+            ));
+        }
+        obj.readers_since_write.push(task);
+        Ok((obj.version, obj.last_writer))
+    }
+
+    /// Records that `task` writes `id`, returning the new version and the
+    /// WAW/WAR dependencies (previous writer, readers of the previous
+    /// version).
+    pub fn note_write(&mut self, id: DataId, task: TaskId) -> (u32, Option<TaskId>, Vec<TaskId>) {
+        let obj = self.object_mut(id);
+        let waw = obj.last_writer;
+        let war = std::mem::take(&mut obj.readers_since_write);
+        obj.version += 1;
+        obj.last_writer = Some(task);
+        (obj.version, waw, war)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u32) -> TaskId {
+        TaskId(n)
+    }
+
+    #[test]
+    fn versions_start_at_zero_and_bump_on_write() {
+        let mut reg = DataRegistry::new();
+        let d = reg.register_input("block", 100);
+        assert_eq!(reg.object(d).version, 0);
+        let (v, waw, war) = reg.note_write(d, tid(1));
+        assert_eq!(v, 1);
+        assert_eq!(waw, None);
+        assert!(war.is_empty());
+        assert_eq!(reg.object(d).version, 1);
+    }
+
+    #[test]
+    fn raw_dependency_points_at_last_writer() {
+        let mut reg = DataRegistry::new();
+        let d = reg.register_intermediate("x", 8);
+        reg.note_write(d, tid(1));
+        let (version, dep) = reg.note_read(d, tid(2)).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(dep, Some(tid(1)));
+    }
+
+    #[test]
+    fn war_dependencies_cover_readers_since_write() {
+        let mut reg = DataRegistry::new();
+        let d = reg.register_input("block", 100);
+        reg.note_read(d, tid(1)).unwrap();
+        reg.note_read(d, tid(2)).unwrap();
+        let (v, waw, war) = reg.note_write(d, tid(3));
+        assert_eq!(v, 1);
+        assert_eq!(waw, None);
+        assert_eq!(war, vec![tid(1), tid(2)]);
+        // Readers list resets after the write.
+        let (_, waw2, war2) = reg.note_write(d, tid(4));
+        assert_eq!(waw2, Some(tid(3)));
+        assert!(war2.is_empty());
+    }
+
+    #[test]
+    fn read_before_write_is_rejected() {
+        let mut reg = DataRegistry::new();
+        let d = reg.register_intermediate("out", 8);
+        assert!(reg.note_read(d, tid(1)).is_err());
+    }
+
+    #[test]
+    fn initial_data_readable_at_version_zero() {
+        let mut reg = DataRegistry::new();
+        let d = reg.register_input("block", 100);
+        let (version, dep) = reg.note_read(d, tid(1)).unwrap();
+        assert_eq!((version, dep), (0, None));
+    }
+
+    #[test]
+    fn data_version_displays_like_pycompss() {
+        let v = DataVersion {
+            id: DataId(3),
+            version: 1,
+        };
+        assert_eq!(v.to_string(), "d3v1");
+    }
+
+    #[test]
+    fn direction_predicates() {
+        assert!(Direction::In.reads() && !Direction::In.writes());
+        assert!(!Direction::Out.reads() && Direction::Out.writes());
+        assert!(Direction::InOut.reads() && Direction::InOut.writes());
+    }
+}

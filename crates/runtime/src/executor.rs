@@ -1,0 +1,1739 @@
+//! The workflow executor: a discrete-event simulation of PyCOMPSs-style
+//! task execution on a heterogeneous CPU-GPU cluster.
+//!
+//! Each task moves through the processing stages of Fig. 4:
+//!
+//! ```text
+//! dispatch -> deserialize inputs -> serial fraction ->
+//!   CPU run:   parallel fraction on the held core
+//!   GPU run:   H2D transfer -> GPU kernel -> D2H transfer
+//! -> serialize outputs -> release resources
+//! ```
+//!
+//! Resource contention is modelled with `gpuflow-sim` primitives: CPU
+//! cores and GPU devices as counted slots per node, the PCIe bus and the
+//! node-local disks as fair-share links, and the shared file system as a
+//! grouped link (per-node NICs in front of the GPFS backend). A per-node
+//! object cache lets well-placed tasks skip deserialization, which is the
+//! mechanism coupling scheduling policy and storage architecture.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
+use gpuflow_sim::{Engine, FairShareLink, FlowId, GroupedLink, Jitter, SimDuration, SimTime};
+
+use crate::cache::BlockCache;
+use crate::data::{DataId, DataVersion};
+use crate::metrics::{RunMetrics, TaskRecord};
+use crate::scheduler::{decision_overhead, place, NodeAvail, SchedulingPolicy};
+use crate::task::TaskId;
+use crate::trace::{Trace, TraceRecord, TraceState};
+use crate::workflow::{DagShape, Workflow};
+
+/// Configuration of one run — the factor combination of Table 1.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The cluster.
+    pub cluster: ClusterSpec,
+    /// Processor type factor: where parallel fractions execute.
+    pub processor: ProcessorKind,
+    /// Storage architecture factor.
+    pub storage: StorageArchitecture,
+    /// Scheduling policy factor.
+    pub policy: SchedulingPolicy,
+    /// Seed for execution jitter.
+    pub seed: u64,
+    /// Relative amplitude of run-to-run noise on compute/(de)ser stages.
+    pub jitter_sigma: f64,
+    /// Collect a Paraver-like trace (costs memory on big runs).
+    pub collect_trace: bool,
+    /// Fraction of node RAM used as the worker object cache.
+    pub cache_fraction: f64,
+    /// CPU cores assigned to each CPU task's parallel fraction. The
+    /// paper's frameworks recommend 1 (no oversubscription, §3.3) and
+    /// leave multi-threaded CPU tasks as future work; values > 1 trade
+    /// task-level parallelism for intra-task thread parallelism with
+    /// sub-linear scaling (see [`RunConfig::with_cpu_threads`]).
+    pub cpu_threads_per_task: usize,
+}
+
+impl RunConfig {
+    /// A config with the defaults used throughout the paper's experiments:
+    /// shared disk, generation-order scheduling, ±2 % jitter.
+    pub fn new(cluster: ClusterSpec, processor: ProcessorKind) -> Self {
+        RunConfig {
+            cluster,
+            processor,
+            storage: StorageArchitecture::SharedDisk,
+            policy: SchedulingPolicy::GenerationOrder,
+            seed: 0xC0FFEE,
+            jitter_sigma: 0.02,
+            collect_trace: false,
+            cache_fraction: 0.5,
+            cpu_threads_per_task: 1,
+        }
+    }
+
+    /// Marginal efficiency of each extra CPU thread inside a task
+    /// (synchronisation and memory-bandwidth sharing eat into scaling).
+    pub const THREAD_MARGINAL_EFFICIENCY: f64 = 0.85;
+
+    /// Sets the CPU threads per task (the §3.3 future-work experiment).
+    ///
+    /// # Panics
+    /// Panics when `threads` is zero.
+    pub fn with_cpu_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "tasks need at least one thread");
+        self.cpu_threads_per_task = threads;
+        self
+    }
+
+    /// Speedup of a `threads`-way parallel fraction over one thread.
+    pub fn thread_speedup(threads: usize) -> f64 {
+        1.0 + Self::THREAD_MARGINAL_EFFICIENCY * (threads.saturating_sub(1)) as f64
+    }
+
+    /// Sets the storage architecture.
+    pub fn with_storage(mut self, storage: StorageArchitecture) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the jitter seed (repeat runs with different seeds).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables trace collection.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+}
+
+/// Why a run failed — the failure modes the paper reports in its charts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// A task footprint exceeded GPU device memory ("GPU OOM" in
+    /// Figs. 7-10).
+    GpuOom {
+        /// Task type that overflowed.
+        task_type: String,
+        /// Bytes required on the device.
+        required: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// A task's working set exceeded node RAM ("CPU OOM" in Fig. 9a).
+    HostOom {
+        /// Task type that overflowed.
+        task_type: String,
+        /// Bytes required on the host.
+        required: u64,
+        /// Node RAM.
+        capacity: u64,
+    },
+    /// The executor stalled with tasks pending (an internal invariant
+    /// violation, never expected).
+    Deadlock {
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
+    /// The cluster specification is inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::GpuOom {
+                task_type,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "GPU OOM: task '{task_type}' needs {required} B on a {capacity} B device"
+            ),
+            RunError::HostOom {
+                task_type,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "host OOM: task '{task_type}' needs {required} B on a {capacity} B node"
+            ),
+            RunError::Deadlock { completed, total } => {
+                write!(f, "executor deadlock after {completed}/{total} tasks")
+            }
+            RunError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The outcome of a successful run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Aggregated metrics (§4.2).
+    pub metrics: RunMetrics,
+    /// Raw per-task records.
+    pub records: Vec<TaskRecord>,
+    /// Paraver-like trace (empty unless requested).
+    pub trace: Trace,
+    /// DAG shape of the executed workflow.
+    pub shape: DagShape,
+    /// Processor factor of the run.
+    pub processor: ProcessorKind,
+    /// Storage factor of the run.
+    pub storage: StorageArchitecture,
+    /// Policy factor of the run.
+    pub policy: SchedulingPolicy,
+}
+
+impl RunReport {
+    /// Wall-clock makespan in seconds.
+    pub fn makespan(&self) -> f64 {
+        self.metrics.makespan
+    }
+
+    /// Validates the executor's bookkeeping against the workflow and the
+    /// cluster: record completeness, dependency ordering, per-node
+    /// concurrency caps, metric decomposition, and cache accounting.
+    /// Intended for tests (property suites call this after every run).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(
+        &self,
+        workflow: &Workflow,
+        cluster: &ClusterSpec,
+    ) -> Result<(), String> {
+        if self.records.len() != workflow.tasks().len() {
+            return Err(format!(
+                "{} records for {} tasks",
+                self.records.len(),
+                workflow.tasks().len()
+            ));
+        }
+        let mut seen = vec![false; workflow.tasks().len()];
+        let by_task: HashMap<TaskId, &TaskRecord> =
+            self.records.iter().map(|r| (r.task, r)).collect();
+        for r in &self.records {
+            let idx = r.task.0 as usize;
+            if idx >= seen.len() || seen[idx] {
+                return Err(format!("duplicate or unknown record for {}", r.task));
+            }
+            seen[idx] = true;
+            if r.end < r.start {
+                return Err(format!("{} ends before it starts", r.task));
+            }
+            // User code decomposes exactly into its fractions.
+            if r.user_code() != r.serial + r.parallel + r.comm {
+                return Err(format!("{}: user code does not decompose", r.task));
+            }
+            // Cache lookups cover exactly the declared reads.
+            let reads = workflow.task(r.task).reads().count() as u32;
+            if r.cache_hits + r.cache_misses != reads {
+                return Err(format!(
+                    "{}: {} cache lookups for {} reads",
+                    r.task,
+                    r.cache_hits + r.cache_misses,
+                    reads
+                ));
+            }
+            // Dependencies finished before this task started.
+            for p in workflow.predecessors(r.task) {
+                let pred = by_task
+                    .get(p)
+                    .ok_or_else(|| format!("missing record {p}"))?;
+                if pred.end > r.start {
+                    return Err(format!("{p} overlaps its dependent {}", r.task));
+                }
+            }
+            // The makespan covers everything.
+            if r.end.as_secs_f64() > self.makespan() + 1e-9 {
+                return Err(format!("{} ends after the makespan", r.task));
+            }
+        }
+        // Concurrency sweep per node: CPU-side records <= cores, GPU
+        // records <= devices.
+        let mut events: HashMap<usize, Vec<(u64, i32, i32)>> = HashMap::new();
+        for r in &self.records {
+            let (dc, dg) = match r.processor {
+                ProcessorKind::Cpu => (1, 0),
+                ProcessorKind::Gpu => (1, 1), // GPU task holds a core too
+            };
+            let e = events.entry(r.node).or_default();
+            e.push((r.start.as_nanos(), dc, dg));
+            e.push((r.end.as_nanos(), -dc, -dg));
+        }
+        for (node, mut evs) in events {
+            evs.sort();
+            let (mut cpu, mut gpu) = (0i32, 0i32);
+            for (_, dc, dg) in evs {
+                cpu += dc;
+                gpu += dg;
+                if cpu as usize > cluster.cores_of(node) {
+                    return Err(format!("node {node}: core concurrency exceeded"));
+                }
+                if gpu as usize > cluster.gpus_of(node) {
+                    return Err(format!("node {node}: GPU concurrency exceeded"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `workflow` under `config`.
+///
+/// # Errors
+/// Fails on OOM (the paper's charts mark these configurations) or on an
+/// invalid cluster spec.
+pub fn run(workflow: &Workflow, config: &RunConfig) -> Result<RunReport, RunError> {
+    config
+        .cluster
+        .validate()
+        .map_err(|errs| RunError::InvalidConfig(errs.join("; ")))?;
+    // A task needing more threads than any node has cores could never be
+    // placed; fail fast instead of deadlocking.
+    let max_cores = (0..config.cluster.nodes)
+        .map(|n| config.cluster.cores_of(n))
+        .max()
+        .unwrap_or(0);
+    if config.cpu_threads_per_task > max_cores {
+        return Err(RunError::InvalidConfig(format!(
+            "cpu_threads_per_task ({}) exceeds the largest node's {} cores",
+            config.cpu_threads_per_task, max_cores
+        )));
+    }
+    if !(0.0..1.0).contains(&config.jitter_sigma) {
+        return Err(RunError::InvalidConfig(format!(
+            "jitter_sigma must be in [0, 1), got {}",
+            config.jitter_sigma
+        )));
+    }
+    if !(0.0..=1.0).contains(&config.cache_fraction) {
+        return Err(RunError::InvalidConfig(format!(
+            "cache_fraction must be in [0, 1], got {}",
+            config.cache_fraction
+        )));
+    }
+    let mut exec = Exec::new(workflow, config);
+    exec.seed_ready();
+    exec.try_start_master();
+    while let Some(ev) = exec.engine.pop() {
+        let payload = ev.payload;
+        exec.handle(payload)?;
+    }
+    exec.finish()
+}
+
+// ---------------------------------------------------------------------
+// Internal machinery
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LinkKey {
+    Pcie(usize),
+    Disk(usize),
+    Shared,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    MasterDone,
+    TaskDelay(TaskId),
+    LinkTick(LinkKey, u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    ReadLatency { key: DataVersion, bytes: u64 },
+    ReadFlow { key: DataVersion, bytes: u64 },
+    Decode { key: DataVersion, bytes: u64 },
+    SerialFrac,
+    H2dLatency,
+    H2dFlow,
+    Kernel,
+    D2hLatency,
+    D2hFlow,
+    CpuCompute,
+    Encode { key: DataVersion, bytes: u64 },
+    WriteLatency { key: DataVersion, bytes: u64 },
+    WriteFlow { key: DataVersion, bytes: u64 },
+}
+
+struct TaskRun {
+    node: usize,
+    stage: Stage,
+    on_gpu: bool,
+    cores_held: usize,
+    core_ids: Vec<u16>,
+    inputs: Vec<(DataVersion, u64)>, // pending, reversed (pop from back)
+    outputs: Vec<(DataVersion, u64)>, // pending, reversed
+    in_bytes: u64,
+    out_bytes: u64,
+    host_footprint: u64,
+    anchor: SimTime,
+    rec: TaskRecord,
+}
+
+struct Exec<'a> {
+    wf: &'a Workflow,
+    cfg: &'a RunConfig,
+    engine: Engine<Ev>,
+    // Resources.
+    free_cores: Vec<usize>,
+    /// Free core identities per node (for trace lanes).
+    core_stacks: Vec<Vec<u16>>,
+    free_gpus: Vec<usize>,
+    peak_cores: Vec<usize>,
+    ram_used: Vec<u64>,
+    peak_ram: u64,
+    pcie: Vec<FairShareLink>,
+    disks: Vec<FairShareLink>,
+    shared: GroupedLink,
+    flow_task: HashMap<(LinkKey, FlowId), TaskId>,
+    // Scheduling.
+    /// HEFT-style upward rank per task (estimated seconds on the
+    /// critical path to the sink), used by the CriticalPath policy.
+    upward_rank: Vec<f64>,
+    rr_cursor: usize,
+    master_busy: bool,
+    pending_assign: Option<(TaskId, usize)>,
+    sched_overhead: f64,
+    ready: BTreeSet<TaskId>,
+    deps_left: Vec<usize>,
+    // Task state.
+    runs: Vec<Option<TaskRun>>,
+    records: Vec<TaskRecord>,
+    done: usize,
+    // Data placement & caching.
+    caches: Vec<BlockCache>,
+    home: HashMap<DataId, usize>,
+    jitter: Jitter,
+    trace: Trace,
+    gpu_kernel_seconds: f64,
+    core_held_seconds: f64,
+    gpu_held_seconds: f64,
+}
+
+impl<'a> Exec<'a> {
+    fn new(wf: &'a Workflow, cfg: &'a RunConfig) -> Self {
+        let c = &cfg.cluster;
+        let nodes = c.nodes;
+        let cache_bytes = (c.node.ram_bytes as f64 * cfg.cache_fraction) as u64;
+        let mut home = HashMap::new();
+        // Initial dataset blocks round-robin over node disks (local-disk
+        // architecture); with shared disk the home node is irrelevant.
+        let mut rr = 0usize;
+        for obj in wf.registry().iter() {
+            if obj.initial {
+                home.insert(obj.id, rr % nodes);
+                rr += 1;
+            }
+        }
+        // Upward ranks: est(t) + max over successors (reverse topological
+        // pass; tasks are indexed in topological order by construction).
+        let cpu = c.node.cpu;
+        let mut upward_rank = vec![0.0f64; wf.tasks().len()];
+        for idx in (0..wf.tasks().len()).rev() {
+            let t = &wf.tasks()[idx];
+            let est =
+                cpu.time(&t.cost.serial).as_secs_f64() + cpu.time(&t.cost.parallel).as_secs_f64();
+            let succ_max = wf
+                .successors(t.id)
+                .iter()
+                .map(|s| upward_rank[s.0 as usize])
+                .fold(0.0, f64::max);
+            upward_rank[idx] = est + succ_max;
+        }
+        Exec {
+            wf,
+            cfg,
+            engine: Engine::new(),
+            free_cores: (0..nodes).map(|n| c.cores_of(n)).collect(),
+            core_stacks: (0..nodes)
+                .map(|n| (0..c.cores_of(n) as u16).rev().collect())
+                .collect(),
+            free_gpus: (0..nodes).map(|n| c.gpus_of(n)).collect(),
+            peak_cores: vec![0; nodes],
+            ram_used: vec![0; nodes],
+            peak_ram: 0,
+            pcie: (0..nodes)
+                .map(|_| FairShareLink::new(c.node.pcie.bandwidth_bps))
+                .collect(),
+            disks: (0..nodes)
+                .map(|_| FairShareLink::new(c.node.local_disk.bandwidth_bps))
+                .collect(),
+            shared: GroupedLink::new(c.shared_disk.bandwidth_bps, nodes, c.network.nic_bps),
+            flow_task: HashMap::new(),
+            upward_rank,
+            rr_cursor: 0,
+            master_busy: false,
+            pending_assign: None,
+            sched_overhead: 0.0,
+            ready: BTreeSet::new(),
+            deps_left: wf
+                .tasks()
+                .iter()
+                .map(|t| wf.predecessors(t.id).len())
+                .collect(),
+            runs: wf.tasks().iter().map(|_| None).collect(),
+            records: Vec::with_capacity(wf.tasks().len()),
+            done: 0,
+            caches: (0..nodes).map(|_| BlockCache::new(cache_bytes)).collect(),
+            home,
+            jitter: Jitter::new(cfg.seed, cfg.jitter_sigma),
+            trace: Trace::new(),
+            gpu_kernel_seconds: 0.0,
+            core_held_seconds: 0.0,
+            gpu_held_seconds: 0.0,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn seed_ready(&mut self) {
+        for (i, &d) in self.deps_left.iter().enumerate() {
+            if d == 0 {
+                self.ready.insert(TaskId(i as u32));
+            }
+        }
+    }
+
+    /// Does this task offload its parallel fraction to a GPU in this run?
+    fn is_gpu_task(&self, tid: TaskId) -> bool {
+        let t = self.wf.task(tid);
+        self.cfg.processor == ProcessorKind::Gpu && !t.cpu_only && t.cost.parallel.flops > 0.0
+    }
+
+    /// Host cores a task occupies: GPU tasks and serial tasks hold one;
+    /// CPU tasks with a parallel fraction hold the configured thread
+    /// count.
+    fn cores_needed(&self, tid: TaskId) -> usize {
+        let t = self.wf.task(tid);
+        if self.is_gpu_task(tid) || t.cost.parallel.flops <= 0.0 {
+            1
+        } else {
+            self.cfg.cpu_threads_per_task
+        }
+    }
+
+    /// Free execution slots on `node` for `tid`.
+    fn free_slots(&self, node: usize, tid: TaskId) -> usize {
+        if self.is_gpu_task(tid) {
+            self.free_cores[node].min(self.free_gpus[node])
+        } else {
+            self.free_cores[node] / self.cores_needed(tid)
+        }
+    }
+
+    /// Bytes of `tid`'s inputs currently cached on `node`.
+    fn cached_bytes(&self, node: usize, tid: TaskId) -> u64 {
+        self.wf
+            .task(tid)
+            .reads()
+            .filter(|&(data, version)| self.caches[node].peek(DataVersion { id: data, version }))
+            .map(|(data, _)| self.wf.registry().object(data).bytes)
+            .sum()
+    }
+
+    fn try_start_master(&mut self) {
+        if self.master_busy {
+            return;
+        }
+        // Cheap short-circuits: a task kind with zero free slots anywhere
+        // cannot be placed, so skip it without scoring nodes.
+        let total_free_cores: usize = self.free_cores.iter().sum();
+        if total_free_cores == 0 {
+            return;
+        }
+        let total_free_gpu_slots: usize = self
+            .free_cores
+            .iter()
+            .zip(&self.free_gpus)
+            .map(|(&c, &g)| c.min(g))
+            .sum();
+        let score_cache = matches!(
+            self.cfg.policy,
+            SchedulingPolicy::DataLocality | SchedulingPolicy::CriticalPath
+        );
+        let mut ready: Vec<TaskId> = self.ready.iter().copied().collect();
+        if self.cfg.policy == SchedulingPolicy::CriticalPath {
+            // Longest remaining critical path first (stable on task id).
+            ready.sort_by(|a, b| {
+                self.upward_rank[b.0 as usize]
+                    .partial_cmp(&self.upward_rank[a.0 as usize])
+                    .expect("finite ranks")
+                    .then(a.cmp(b))
+            });
+        }
+        for tid in ready {
+            if self.is_gpu_task(tid) && total_free_gpu_slots == 0 {
+                continue;
+            }
+            let avail: Vec<NodeAvail> = (0..self.cfg.cluster.nodes)
+                .map(|node| {
+                    let free_slots = self.free_slots(node, tid);
+                    NodeAvail {
+                        node,
+                        free_slots,
+                        cached_bytes: if score_cache && free_slots > 0 {
+                            self.cached_bytes(node, tid)
+                        } else {
+                            0
+                        },
+                    }
+                })
+                .collect();
+            if let Some(node) = place(self.cfg.policy, &avail, self.rr_cursor) {
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                self.ready.remove(&tid);
+                self.master_busy = true;
+                self.pending_assign = Some((tid, node));
+                let overhead = decision_overhead(
+                    self.cfg.policy,
+                    self.cfg.cluster.sched_overhead_fifo,
+                    self.cfg.cluster.sched_overhead_locality,
+                );
+                self.sched_overhead += overhead.as_secs_f64();
+                self.engine.schedule_after(overhead, Ev::MasterDone);
+                return;
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) -> Result<(), RunError> {
+        match ev {
+            Ev::MasterDone => {
+                let (tid, node) = self.pending_assign.take().expect("assignment pending");
+                self.master_busy = false;
+                self.dispatch(tid, node)?;
+                self.try_start_master();
+                Ok(())
+            }
+            Ev::TaskDelay(tid) => self.on_delay_done(tid),
+            Ev::LinkTick(key, gen) => {
+                if gen != self.link_generation(key) {
+                    return Ok(()); // stale tick
+                }
+                let now = self.now();
+                let flows = match key {
+                    LinkKey::Pcie(n) => self.pcie[n].harvest(now),
+                    LinkKey::Disk(n) => self.disks[n].harvest(now),
+                    LinkKey::Shared => self.shared.harvest(now),
+                };
+                for flow in flows {
+                    if let Some(tid) = self.flow_task.remove(&(key, flow)) {
+                        self.on_flow_done(tid)?;
+                    }
+                }
+                self.reschedule_link(key);
+                Ok(())
+            }
+        }
+    }
+
+    fn link_generation(&self, key: LinkKey) -> u64 {
+        match key {
+            LinkKey::Pcie(n) => self.pcie[n].generation(),
+            LinkKey::Disk(n) => self.disks[n].generation(),
+            LinkKey::Shared => self.shared.generation(),
+        }
+    }
+
+    fn reschedule_link(&mut self, key: LinkKey) {
+        let now = self.now();
+        let (gen, next) = match key {
+            LinkKey::Pcie(n) => (self.pcie[n].generation(), self.pcie[n].next_completion(now)),
+            LinkKey::Disk(n) => (
+                self.disks[n].generation(),
+                self.disks[n].next_completion(now),
+            ),
+            LinkKey::Shared => (self.shared.generation(), self.shared.next_completion(now)),
+        };
+        if let Some(t) = next {
+            self.engine.schedule_at(t.max(now), Ev::LinkTick(key, gen));
+        }
+    }
+
+    fn dispatch(&mut self, tid: TaskId, node: usize) -> Result<(), RunError> {
+        let spec = self.wf.task(tid);
+        let on_gpu = self.is_gpu_task(tid);
+        let reg = self.wf.registry();
+        let inputs: Vec<(DataVersion, u64)> = spec
+            .reads()
+            .map(|(data, version)| (DataVersion { id: data, version }, reg.object(data).bytes))
+            .collect();
+        let outputs: Vec<(DataVersion, u64)> = spec
+            .writes()
+            .map(|(data, version)| (DataVersion { id: data, version }, reg.object(data).bytes))
+            .collect();
+        let in_bytes: u64 = inputs.iter().map(|(_, b)| b).sum();
+        let out_bytes: u64 = outputs.iter().map(|(_, b)| b).sum();
+
+        // OOM checks — these abort the run, as on the real cluster.
+        if on_gpu {
+            let required = in_bytes + out_bytes + spec.cost.gpu_extra_bytes;
+            let capacity = self.cfg.cluster.node.gpu.memory_bytes;
+            if required > capacity {
+                return Err(RunError::GpuOom {
+                    task_type: spec.task_type.clone(),
+                    required,
+                    capacity,
+                });
+            }
+        }
+        let host_footprint = in_bytes + out_bytes + spec.cost.host_extra_bytes;
+        let ram = self.cfg.cluster.node.ram_bytes;
+        if self.ram_used[node] + host_footprint > ram {
+            return Err(RunError::HostOom {
+                task_type: spec.task_type.clone(),
+                required: self.ram_used[node] + host_footprint,
+                capacity: ram,
+            });
+        }
+
+        // Acquire resources (the scheduler guaranteed availability).
+        let cores = self.cores_needed(tid);
+        assert!(
+            self.free_cores[node] >= cores,
+            "dispatch without free cores"
+        );
+        self.free_cores[node] -= cores;
+        let core_ids: Vec<u16> = (0..cores)
+            .map(|_| {
+                self.core_stacks[node]
+                    .pop()
+                    .expect("core identity available")
+            })
+            .collect();
+        if on_gpu {
+            assert!(self.free_gpus[node] > 0, "dispatch without a free GPU");
+            self.free_gpus[node] -= 1;
+        }
+        let in_use = self.cfg.cluster.cores_of(node) - self.free_cores[node];
+        self.peak_cores[node] = self.peak_cores[node].max(in_use);
+        self.ram_used[node] += host_footprint;
+        self.peak_ram = self.peak_ram.max(self.ram_used[node]);
+
+        let now = self.now();
+        let mut inputs_rev = inputs;
+        inputs_rev.reverse();
+        let mut outputs_rev = outputs;
+        outputs_rev.reverse();
+        self.runs[tid.0 as usize] = Some(TaskRun {
+            node,
+            stage: Stage::SerialFrac, // placeholder; set by enter_inputs
+            on_gpu,
+            cores_held: cores,
+            core_ids,
+            inputs: inputs_rev,
+            outputs: outputs_rev,
+            in_bytes,
+            out_bytes,
+            host_footprint,
+            anchor: now,
+            rec: TaskRecord {
+                task: tid,
+                task_type: spec.task_type.clone(),
+                node,
+                core: 0, // set below from the acquired identity
+                processor: if on_gpu {
+                    ProcessorKind::Gpu
+                } else {
+                    ProcessorKind::Cpu
+                },
+                level: self.wf.level(tid),
+                start: now,
+                end: now,
+                deser: SimDuration::ZERO,
+                ser: SimDuration::ZERO,
+                serial: SimDuration::ZERO,
+                parallel: SimDuration::ZERO,
+                comm: SimDuration::ZERO,
+                cache_hits: 0,
+                cache_misses: 0,
+            },
+        });
+        {
+            let run = self.runs[tid.0 as usize].as_mut().expect("run");
+            run.rec.core = run.core_ids[0];
+        }
+        self.enter_inputs(tid);
+        Ok(())
+    }
+
+    /// Latency preceding a storage read of `data` from `node`.
+    fn read_latency(&self, node: usize, data: DataId) -> SimDuration {
+        let c = &self.cfg.cluster;
+        match self.cfg.storage {
+            StorageArchitecture::SharedDisk => c.network.latency + c.shared_disk.latency,
+            StorageArchitecture::LocalDisk => {
+                let home = self.home.get(&data).copied().unwrap_or(node);
+                if home == node {
+                    c.node.local_disk.latency
+                } else {
+                    // Remote block: disk seek plus a network round trip.
+                    c.node.local_disk.latency + c.network.latency + c.network.latency
+                }
+            }
+        }
+    }
+
+    /// Starts a storage read flow for `tid` on the right link.
+    fn start_read_flow(&mut self, tid: TaskId, data: DataId, bytes: u64) {
+        let run = self.runs[tid.0 as usize].as_ref().expect("running task");
+        let node = run.node;
+        let now = self.now();
+        let key = match self.cfg.storage {
+            StorageArchitecture::SharedDisk => LinkKey::Shared,
+            StorageArchitecture::LocalDisk => {
+                let home = self.home.get(&data).copied().unwrap_or(node);
+                LinkKey::Disk(home)
+            }
+        };
+        let flow = match key {
+            LinkKey::Shared => self.shared.start(now, node, bytes as f64),
+            LinkKey::Disk(n) => self.disks[n].start(now, bytes as f64),
+            LinkKey::Pcie(_) => unreachable!("reads never use the PCIe bus"),
+        };
+        self.flow_task.insert((key, flow), tid);
+        self.reschedule_link(key);
+    }
+
+    /// Starts a storage write flow for `tid`.
+    fn start_write_flow(&mut self, tid: TaskId, bytes: u64) {
+        let run = self.runs[tid.0 as usize].as_ref().expect("running task");
+        let node = run.node;
+        let now = self.now();
+        let key = match self.cfg.storage {
+            StorageArchitecture::SharedDisk => LinkKey::Shared,
+            StorageArchitecture::LocalDisk => LinkKey::Disk(node),
+        };
+        let flow = match key {
+            LinkKey::Shared => self.shared.start(now, node, bytes as f64),
+            LinkKey::Disk(n) => self.disks[n].start(now, bytes as f64),
+            LinkKey::Pcie(_) => unreachable!("writes never use the PCIe bus"),
+        };
+        self.flow_task.insert((key, flow), tid);
+        self.reschedule_link(key);
+    }
+
+    /// Consumes pending inputs: cache hits cost nothing; the first miss
+    /// starts a read. When inputs are exhausted, moves on to compute.
+    fn enter_inputs(&mut self, tid: TaskId) {
+        loop {
+            let run = self.runs[tid.0 as usize].as_mut().expect("running task");
+            let node = run.node;
+            match run.inputs.pop() {
+                Some((key, bytes)) => {
+                    if self.caches[node].lookup(key) {
+                        self.runs[tid.0 as usize]
+                            .as_mut()
+                            .expect("run")
+                            .rec
+                            .cache_hits += 1;
+                        continue;
+                    }
+                    {
+                        let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                        run.rec.cache_misses += 1;
+                        run.anchor = self.engine.now();
+                        run.stage = Stage::ReadLatency { key, bytes };
+                    }
+                    let latency = self.read_latency(node, key.id);
+                    self.engine.schedule_after(latency, Ev::TaskDelay(tid));
+                    return;
+                }
+                None => {
+                    self.enter_compute(tid);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn enter_compute(&mut self, tid: TaskId) {
+        let cost = self.wf.task(tid).cost;
+        let serial_time = self.cfg.cluster.node.cpu.time(&cost.serial);
+        if !serial_time.is_zero() {
+            let d = self.jitter.apply(serial_time);
+            let now = self.now();
+            let run = self.runs[tid.0 as usize].as_mut().expect("run");
+            run.stage = Stage::SerialFrac;
+            run.anchor = now;
+            self.engine.schedule_after(d, Ev::TaskDelay(tid));
+        } else {
+            self.enter_parallel(tid);
+        }
+    }
+
+    fn enter_parallel(&mut self, tid: TaskId) {
+        let cost = self.wf.task(tid).cost;
+        if cost.parallel.flops <= 0.0 && cost.parallel.bytes <= 0.0 {
+            self.enter_outputs(tid);
+            return;
+        }
+        let now = self.now();
+        let on_gpu = self.runs[tid.0 as usize].as_ref().expect("run").on_gpu;
+        if on_gpu {
+            let run = self.runs[tid.0 as usize].as_mut().expect("run");
+            run.stage = Stage::H2dLatency;
+            run.anchor = now;
+            let latency = self.cfg.cluster.node.pcie.latency;
+            self.engine.schedule_after(latency, Ev::TaskDelay(tid));
+        } else {
+            let threads = self.runs[tid.0 as usize].as_ref().expect("run").cores_held;
+            let single = self.cfg.cluster.node.cpu.time(&cost.parallel);
+            let d = self
+                .jitter
+                .apply(single.mul_f64(1.0 / RunConfig::thread_speedup(threads)));
+            let run = self.runs[tid.0 as usize].as_mut().expect("run");
+            run.stage = Stage::CpuCompute;
+            run.anchor = now;
+            self.engine.schedule_after(d, Ev::TaskDelay(tid));
+        }
+    }
+
+    fn enter_outputs(&mut self, tid: TaskId) {
+        let now = self.now();
+        let next = self.runs[tid.0 as usize]
+            .as_mut()
+            .expect("run")
+            .outputs
+            .pop();
+        match next {
+            Some((key, bytes)) => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::Encode { key, bytes };
+                run.anchor = now;
+                let d = self
+                    .jitter
+                    .apply(self.cfg.cluster.serde.serialize_time(bytes as f64));
+                self.engine.schedule_after(d, Ev::TaskDelay(tid));
+            }
+            None => self.finalize(tid),
+        }
+    }
+
+    fn on_delay_done(&mut self, tid: TaskId) -> Result<(), RunError> {
+        let now = self.now();
+        let stage = self.runs[tid.0 as usize].as_ref().expect("run").stage;
+        match stage {
+            Stage::ReadLatency { key, bytes } => {
+                self.runs[tid.0 as usize].as_mut().expect("run").stage =
+                    Stage::ReadFlow { key, bytes };
+                self.start_read_flow(tid, key.id, bytes);
+            }
+            Stage::Decode { key, bytes } => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                let node = run.node;
+                run.rec.deser += now - run.anchor;
+                let (anchor, rnode) = (run.anchor, node);
+                self.caches[node].insert(key, bytes);
+                self.push_trace(rnode, tid, TraceState::Deserialize, anchor, now);
+                self.enter_inputs(tid);
+            }
+            Stage::SerialFrac => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.rec.serial += now - run.anchor;
+                let (anchor, node) = (run.anchor, run.node);
+                self.push_trace(node, tid, TraceState::SerialFraction, anchor, now);
+                self.enter_parallel(tid);
+            }
+            Stage::H2dLatency => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::H2dFlow;
+                let bytes = run.in_bytes;
+                let node = run.node;
+                let flow = self.pcie[node].start(now, bytes as f64);
+                self.flow_task.insert((LinkKey::Pcie(node), flow), tid);
+                self.reschedule_link(LinkKey::Pcie(node));
+            }
+            Stage::Kernel => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                let kernel = now - run.anchor;
+                run.rec.parallel += kernel;
+                self.gpu_kernel_seconds += kernel.as_secs_f64();
+                let (anchor, node) = (run.anchor, run.node);
+                self.push_trace(node, tid, TraceState::ParallelFraction, anchor, now);
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::D2hLatency;
+                run.anchor = now;
+                let latency = self.cfg.cluster.node.pcie.latency;
+                self.engine.schedule_after(latency, Ev::TaskDelay(tid));
+            }
+            Stage::D2hLatency => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::D2hFlow;
+                let bytes = run.out_bytes;
+                let node = run.node;
+                let flow = self.pcie[node].start(now, bytes as f64);
+                self.flow_task.insert((LinkKey::Pcie(node), flow), tid);
+                self.reschedule_link(LinkKey::Pcie(node));
+            }
+            Stage::CpuCompute => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.rec.parallel += now - run.anchor;
+                let (anchor, node) = (run.anchor, run.node);
+                self.push_trace(node, tid, TraceState::ParallelFraction, anchor, now);
+                self.enter_outputs(tid);
+            }
+            Stage::Encode { key, bytes } => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::WriteLatency { key, bytes };
+                let node = run.node;
+                let latency = match self.cfg.storage {
+                    StorageArchitecture::SharedDisk => {
+                        self.cfg.cluster.network.latency + self.cfg.cluster.shared_disk.latency
+                    }
+                    StorageArchitecture::LocalDisk => self.cfg.cluster.node.local_disk.latency,
+                };
+                let _ = node;
+                self.engine.schedule_after(latency, Ev::TaskDelay(tid));
+            }
+            Stage::WriteLatency { key, bytes } => {
+                self.runs[tid.0 as usize].as_mut().expect("run").stage =
+                    Stage::WriteFlow { key, bytes };
+                self.start_write_flow(tid, bytes);
+            }
+            Stage::ReadFlow { .. } | Stage::H2dFlow | Stage::D2hFlow | Stage::WriteFlow { .. } => {
+                unreachable!("flow stages complete via link ticks, not delays")
+            }
+        }
+        Ok(())
+    }
+
+    fn on_flow_done(&mut self, tid: TaskId) -> Result<(), RunError> {
+        let now = self.now();
+        let stage = self.runs[tid.0 as usize].as_ref().expect("run").stage;
+        match stage {
+            Stage::ReadFlow { key, bytes } => {
+                // Storage read finished; decode on the held core.
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::Decode { key, bytes };
+                let d = self
+                    .jitter
+                    .apply(self.cfg.cluster.serde.deserialize_time(bytes as f64));
+                self.engine.schedule_after(d, Ev::TaskDelay(tid));
+            }
+            Stage::H2dFlow => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.rec.comm += now - run.anchor;
+                let (anchor, node) = (run.anchor, run.node);
+                self.push_trace(node, tid, TraceState::CpuGpuComm, anchor, now);
+                let cost = self.wf.task(tid).cost;
+                let d = self
+                    .jitter
+                    .apply(self.cfg.cluster.node.gpu.time(&cost.parallel));
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::Kernel;
+                run.anchor = now;
+                self.engine.schedule_after(d, Ev::TaskDelay(tid));
+            }
+            Stage::D2hFlow => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.rec.comm += now - run.anchor;
+                let (anchor, node) = (run.anchor, run.node);
+                self.push_trace(node, tid, TraceState::CpuGpuComm, anchor, now);
+                self.enter_outputs(tid);
+            }
+            Stage::WriteFlow { key, bytes } => {
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.rec.ser += now - run.anchor;
+                let node = run.node;
+                let anchor = run.anchor;
+                // Output object stays in the worker's memory cache and,
+                // with local disks, now lives on this node's disk.
+                self.caches[node].insert(key, bytes);
+                if self.cfg.storage == StorageArchitecture::LocalDisk {
+                    self.home.insert(key.id, node);
+                }
+                self.push_trace(node, tid, TraceState::Serialize, anchor, now);
+                self.enter_outputs(tid);
+            }
+            other => unreachable!("unexpected flow completion in stage {other:?}"),
+        }
+        Ok(())
+    }
+
+    fn finalize(&mut self, tid: TaskId) {
+        let now = self.now();
+        let mut run = self.runs[tid.0 as usize].take().expect("run");
+        run.rec.end = now;
+        let node = run.node;
+        self.free_cores[node] += run.cores_held;
+        self.core_stacks[node].extend(run.core_ids.iter().copied());
+        self.core_held_seconds +=
+            run.cores_held as f64 * (run.rec.end - run.rec.start).as_secs_f64();
+        if run.on_gpu {
+            self.free_gpus[node] += 1;
+            self.gpu_held_seconds += (run.rec.end - run.rec.start).as_secs_f64();
+        }
+        self.ram_used[node] -= run.host_footprint;
+        self.records.push(run.rec);
+        self.done += 1;
+        for &succ in self.wf.successors(tid) {
+            let d = &mut self.deps_left[succ.0 as usize];
+            *d -= 1;
+            if *d == 0 {
+                self.ready.insert(succ);
+            }
+        }
+        self.try_start_master();
+    }
+
+    fn push_trace(
+        &mut self,
+        node: usize,
+        task: TaskId,
+        state: TraceState,
+        t0: SimTime,
+        t1: SimTime,
+    ) {
+        if self.cfg.collect_trace {
+            let core = self.runs[task.0 as usize]
+                .as_ref()
+                .map_or(0, |r| r.core_ids[0]);
+            self.trace.push(TraceRecord {
+                node,
+                core,
+                task,
+                state,
+                t0,
+                t1,
+            });
+        }
+    }
+
+    fn finish(self) -> Result<RunReport, RunError> {
+        let total = self.wf.tasks().len();
+        if self.done < total {
+            return Err(RunError::Deadlock {
+                completed: self.done,
+                total,
+            });
+        }
+        let makespan = self.now().as_secs_f64();
+        let cores_used: usize = self.peak_cores.iter().sum();
+        let c = &self.cfg.cluster;
+        let denom = makespan.max(1e-12);
+        let cpu_util = self.core_held_seconds / (c.total_cpu_cores() as f64 * denom);
+        let gpu_util = if self.cfg.processor == ProcessorKind::Gpu {
+            self.gpu_kernel_seconds / (c.total_gpus() as f64 * denom)
+        } else {
+            0.0
+        };
+        let metrics = RunMetrics::aggregate(
+            &self.records,
+            makespan,
+            cores_used,
+            self.sched_overhead,
+            cpu_util,
+            gpu_util,
+            self.peak_ram,
+        );
+        Ok(RunReport {
+            metrics,
+            records: self.records,
+            trace: self.trace,
+            shape: self.wf.shape(),
+            processor: self.cfg.processor,
+            storage: self.cfg.storage,
+            policy: self.cfg.policy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Direction;
+    use crate::task::CostProfile;
+    use crate::workflow::WorkflowBuilder;
+    use gpuflow_cluster::KernelWork;
+
+    const MB: u64 = 1 << 20;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::tiny()
+    }
+
+    fn compute_cost(flops: f64) -> CostProfile {
+        CostProfile::fully_parallel(KernelWork {
+            flops,
+            bytes: flops / 10.0,
+            parallelism: 1e9,
+        })
+    }
+
+    /// A flat map workflow: n independent tasks, each reading one block.
+    fn map_workflow(n: usize, block_bytes: u64, flops: f64) -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        for i in 0..n {
+            let x = b.input(format!("x{i}"), block_bytes);
+            let y = b.intermediate(format!("y{i}"), block_bytes);
+            b.submit(
+                "map",
+                compute_cost(flops),
+                &[(x, Direction::In), (y, Direction::Out)],
+                false,
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    fn cfg(processor: ProcessorKind) -> RunConfig {
+        let mut c = RunConfig::new(cluster(), processor);
+        c.jitter_sigma = 0.0;
+        c
+    }
+
+    #[test]
+    fn all_tasks_complete_and_metrics_cover_them() {
+        let wf = map_workflow(10, MB, 1e9);
+        let report = run(&wf, &cfg(ProcessorKind::Cpu)).unwrap();
+        assert_eq!(report.records.len(), 10);
+        assert!(report.makespan() > 0.0);
+        let stats = report.metrics.task_type("map").unwrap();
+        assert_eq!(stats.count, 10);
+        assert!(stats.parallel > 0.0);
+        assert_eq!(stats.comm, 0.0, "CPU run has no CPU-GPU communication");
+    }
+
+    #[test]
+    fn gpu_run_records_comm_and_kernel_time() {
+        let wf = map_workflow(4, MB, 1e9);
+        let report = run(&wf, &cfg(ProcessorKind::Gpu)).unwrap();
+        let stats = report.metrics.task_type("map").unwrap();
+        assert!(stats.comm > 0.0, "H2D/D2H must be accounted");
+        assert!(stats.parallel > 0.0);
+        assert!(report.metrics.gpu_utilization > 0.0);
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.processor == ProcessorKind::Gpu));
+    }
+
+    #[test]
+    fn gpu_parallel_fraction_beats_cpu_for_big_parallel_work() {
+        let wf = map_workflow(1, MB, 1e11);
+        let cpu = run(&wf, &cfg(ProcessorKind::Cpu)).unwrap();
+        let gpu = run(&wf, &cfg(ProcessorKind::Gpu)).unwrap();
+        let sp = cpu.metrics.mean_parallel() / gpu.metrics.mean_parallel();
+        assert!(sp > 3.0, "expected a clear device speedup, got {sp}");
+    }
+
+    #[test]
+    fn dependent_tasks_run_sequentially() {
+        let mut b = WorkflowBuilder::new();
+        let x = b.input("x", MB);
+        let y = b.intermediate("y", MB);
+        let z = b.intermediate("z", MB);
+        b.submit(
+            "first",
+            compute_cost(1e9),
+            &[(x, Direction::In), (y, Direction::Out)],
+            false,
+        )
+        .unwrap();
+        b.submit(
+            "second",
+            compute_cost(1e9),
+            &[(y, Direction::In), (z, Direction::Out)],
+            false,
+        )
+        .unwrap();
+        let wf = b.build();
+        let report = run(&wf, &cfg(ProcessorKind::Cpu)).unwrap();
+        let first = &report.records[0];
+        let second = &report.records[1];
+        assert_eq!(first.task_type, "first");
+        assert!(second.start >= first.end, "RAW dependency must serialise");
+    }
+
+    #[test]
+    fn second_read_of_same_version_hits_cache() {
+        // r2 depends on r1 and re-reads x; with one node the re-read is a
+        // cache hit (the dependency keeps the reads from racing).
+        let mut spec = cluster();
+        spec.nodes = 1;
+        let mut b = WorkflowBuilder::new();
+        let x = b.input("x", MB);
+        let y = b.intermediate("y", MB);
+        b.submit(
+            "r1",
+            compute_cost(1e9),
+            &[(x, Direction::In), (y, Direction::Out)],
+            false,
+        )
+        .unwrap();
+        b.submit(
+            "r2",
+            compute_cost(1e9),
+            &[(x, Direction::In), (y, Direction::In)],
+            false,
+        )
+        .unwrap();
+        let wf = b.build();
+        let mut c = cfg(ProcessorKind::Cpu);
+        c.cluster = spec;
+        let report = run(&wf, &c).unwrap();
+        let hits: u32 = report.records.iter().map(|r| r.cache_hits).sum();
+        let misses: u32 = report.records.iter().map(|r| r.cache_misses).sum();
+        // r1 misses x; r2 hits both x (decoded by r1) and y (written here).
+        assert_eq!((hits, misses), (2, 1));
+        // The all-hits task has zero deser time.
+        assert!(report.records.iter().any(|r| r.deser.is_zero()));
+    }
+
+    #[test]
+    fn gpu_oom_for_oversized_block() {
+        let big = 13 * (1u64 << 30); // > 12 GB device memory
+        let wf = map_workflow(1, big, 1e9);
+        let mut c = cfg(ProcessorKind::Gpu);
+        c.cluster.node.ram_bytes = 512 * (1 << 30); // keep host out of the way
+        let err = run(&wf, &c).unwrap_err();
+        assert!(matches!(err, RunError::GpuOom { .. }), "{err}");
+        // The same workflow runs fine on CPUs.
+        let mut c2 = cfg(ProcessorKind::Cpu);
+        c2.cluster.node.ram_bytes = 512 * (1 << 30);
+        assert!(run(&wf, &c2).is_ok());
+    }
+
+    #[test]
+    fn host_oom_for_oversized_working_set() {
+        let wf = map_workflow(1, MB, 1e9);
+        let mut c = cfg(ProcessorKind::Cpu);
+        c.cluster.node.ram_bytes = MB; // 1 MB of RAM cannot host 2 MB
+        let err = run(&wf, &c).unwrap_err();
+        assert!(matches!(err, RunError::HostOom { .. }), "{err}");
+    }
+
+    #[test]
+    fn local_disk_faster_than_shared_for_data_heavy_run() {
+        let wf = map_workflow(8, 256 * MB, 1e6);
+        let shared = run(&wf, &cfg(ProcessorKind::Cpu)).unwrap();
+        let local = run(
+            &wf,
+            &cfg(ProcessorKind::Cpu).with_storage(StorageArchitecture::LocalDisk),
+        )
+        .unwrap();
+        // The nodes' local disks in parallel beat the NIC-constrained
+        // GPFS path for this layout (round-robin block homes).
+        assert!(
+            local.makespan() < shared.makespan(),
+            "local {} vs shared {}",
+            local.makespan(),
+            shared.makespan()
+        );
+    }
+
+    #[test]
+    fn locality_policy_accumulates_more_sched_overhead() {
+        let wf = map_workflow(16, MB, 1e8);
+        let fifo = run(&wf, &cfg(ProcessorKind::Cpu)).unwrap();
+        let loc = run(
+            &wf,
+            &cfg(ProcessorKind::Cpu).with_policy(SchedulingPolicy::DataLocality),
+        )
+        .unwrap();
+        assert!(loc.metrics.sched_overhead > fifo.metrics.sched_overhead);
+    }
+
+    #[test]
+    fn task_parallelism_bounded_by_gpu_count() {
+        // tiny(): 2 nodes x 1 GPU. 8 GPU tasks must run in >= 4 waves,
+        // while the CPU run (2x4 cores) finishes in one wave.
+        let wf = map_workflow(8, MB, 1e10);
+        let cpu = run(&wf, &cfg(ProcessorKind::Cpu)).unwrap();
+        let gpu = run(&wf, &cfg(ProcessorKind::Gpu)).unwrap();
+        let cpu_span = cpu.metrics.levels[0].span;
+        let gpu_span = gpu.metrics.levels[0].span;
+        // Per-task GPU compute is ~14x faster, but 4 forced waves eat it.
+        let per_task_cpu = cpu.metrics.mean_parallel();
+        let per_task_gpu = gpu.metrics.mean_parallel();
+        assert!(per_task_gpu < per_task_cpu);
+        assert!(
+            gpu_span > per_task_gpu * 3.9,
+            "waves must serialise GPU tasks"
+        );
+        assert!(
+            cpu_span < per_task_cpu * 3.0,
+            "CPU run is one wave (plus skew)"
+        );
+    }
+
+    #[test]
+    fn trace_collection_is_opt_in() {
+        let wf = map_workflow(2, MB, 1e9);
+        let without = run(&wf, &cfg(ProcessorKind::Cpu)).unwrap();
+        assert!(without.trace.is_empty());
+        let with = run(&wf, &cfg(ProcessorKind::Cpu).with_trace()).unwrap();
+        assert!(!with.trace.is_empty());
+        // Every completed task shows a parallel-fraction interval.
+        let parallel = with
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.state == TraceState::ParallelFraction)
+            .count();
+        assert_eq!(parallel, 2);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let wf = map_workflow(12, MB, 1e9);
+        let mut c = cfg(ProcessorKind::Cpu);
+        c.jitter_sigma = 0.02;
+        let a = run(&wf, &c).unwrap();
+        let b = run(&wf, &c).unwrap();
+        assert_eq!(a.makespan(), b.makespan());
+        let c2 = c.clone().with_seed(999);
+        let d = run(&wf, &c2).unwrap();
+        assert_ne!(
+            a.makespan(),
+            d.makespan(),
+            "different seed, different noise"
+        );
+    }
+
+    #[test]
+    fn sched_overhead_scales_with_task_count() {
+        let few = run(&map_workflow(4, MB, 1e8), &cfg(ProcessorKind::Cpu)).unwrap();
+        let many = run(&map_workflow(32, MB, 1e8), &cfg(ProcessorKind::Cpu)).unwrap();
+        let ratio = many.metrics.sched_overhead / few.metrics.sched_overhead;
+        assert!(
+            (ratio - 8.0).abs() < 1e-6,
+            "one decision per task, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn empty_workflow_completes_immediately() {
+        let wf = WorkflowBuilder::new().build();
+        let report = run(&wf, &cfg(ProcessorKind::Cpu)).unwrap();
+        assert_eq!(report.makespan(), 0.0);
+        assert!(report.records.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod thread_tests {
+    use super::*;
+    use crate::data::Direction;
+    use crate::task::CostProfile;
+    use crate::workflow::{Workflow, WorkflowBuilder};
+    use gpuflow_cluster::KernelWork;
+
+    const MB: u64 = 1 << 20;
+
+    fn map_workflow(n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let cost = CostProfile::fully_parallel(KernelWork {
+            flops: 1e10,
+            bytes: 1e8,
+            parallelism: 1e9,
+        });
+        for i in 0..n {
+            let x = b.input(format!("x{i}"), MB);
+            b.submit("map", cost, &[(x, Direction::In)], false).unwrap();
+        }
+        b.build()
+    }
+
+    fn cfg(threads: usize) -> RunConfig {
+        let mut c =
+            RunConfig::new(ClusterSpec::tiny(), ProcessorKind::Cpu).with_cpu_threads(threads);
+        c.jitter_sigma = 0.0;
+        c
+    }
+
+    #[test]
+    fn thread_speedup_model_is_sublinear() {
+        assert_eq!(RunConfig::thread_speedup(1), 1.0);
+        assert!(RunConfig::thread_speedup(4) < 4.0);
+        assert!(RunConfig::thread_speedup(4) > RunConfig::thread_speedup(2));
+    }
+
+    #[test]
+    fn single_task_benefits_from_threads() {
+        // One task on an idle cluster: intra-task threads are free wins.
+        let wf = map_workflow(1);
+        let t1 = run(&wf, &cfg(1)).unwrap().makespan();
+        let t4 = run(&wf, &cfg(4)).unwrap().makespan();
+        assert!(t4 < t1, "threads must accelerate a lone task: {t1} vs {t4}");
+    }
+
+    #[test]
+    fn saturated_cluster_prefers_one_thread_per_task() {
+        // 16 tasks on 8 cores (tiny cluster): oversubscribing threads
+        // costs task parallelism and loses overall — the practice the
+        // paper's frameworks recommend (§3.3).
+        let wf = map_workflow(16);
+        let t1 = run(&wf, &cfg(1)).unwrap().makespan();
+        let t4 = run(&wf, &cfg(4)).unwrap().makespan();
+        assert!(
+            t1 < t4,
+            "under task abundance one core per task must win: {t1} vs {t4}"
+        );
+    }
+
+    #[test]
+    fn bad_noise_and_cache_configs_fail_fast() {
+        let wf = map_workflow(1);
+        let mut c = cfg(1);
+        c.jitter_sigma = 1.5;
+        assert!(matches!(run(&wf, &c), Err(RunError::InvalidConfig(_))));
+        let mut c = cfg(1);
+        c.cache_fraction = -0.1;
+        assert!(matches!(run(&wf, &c), Err(RunError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn oversized_thread_counts_fail_fast() {
+        let wf = map_workflow(1);
+        // tiny() nodes have 4 cores; 8 threads per task cannot ever fit.
+        let err = run(&wf, &cfg(8)).unwrap_err();
+        assert!(matches!(err, RunError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn threads_never_used_by_gpu_or_serial_tasks() {
+        let mut b = WorkflowBuilder::new();
+        let x = b.input("x", MB);
+        let serial = CostProfile::serial_only(KernelWork {
+            flops: 1e8,
+            bytes: 1e6,
+            parallelism: 1.0,
+        });
+        b.submit("serial", serial, &[(x, Direction::In)], false)
+            .unwrap();
+        let wf = b.build();
+        // With 4-thread config a serial task still holds one core: eight
+        // such workflows' worth of slots remain on a 4-core node.
+        let mut c = cfg(4);
+        c.cluster.nodes = 1;
+        let report = run(&wf, &c).unwrap();
+        assert_eq!(report.records.len(), 1);
+        // GPU mode: device tasks keep one host core regardless of config.
+        let wfg = map_workflow(2);
+        let cg = RunConfig::new(ClusterSpec::tiny(), ProcessorKind::Gpu).with_cpu_threads(4);
+        assert!(run(&wfg, &cg).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod critical_path_tests {
+    use super::*;
+    use crate::data::Direction;
+    use crate::task::CostProfile;
+    use crate::workflow::WorkflowBuilder;
+    use gpuflow_cluster::KernelWork;
+
+    /// A 3-task heavy chain competes with light filler tasks on two
+    /// cores. Generation order starts the fillers (lower ids) and delays
+    /// the chain — which is the critical path — while the CP policy
+    /// starts the chain immediately and hides the fillers behind it.
+    fn contended_workflow() -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let heavy = CostProfile::fully_parallel(KernelWork {
+            flops: 3e10,
+            bytes: 1e6,
+            parallelism: 1e9,
+        });
+        let light = CostProfile::fully_parallel(KernelWork {
+            flops: 1e10,
+            bytes: 1e6,
+            parallelism: 1e9,
+        });
+        // Fillers submitted FIRST (generation-order bait).
+        for i in 0..3 {
+            let s = b.input(format!("s{i}"), 1 << 20);
+            b.submit("filler", light, &[(s, Direction::In)], false)
+                .unwrap();
+        }
+        // The chain.
+        let x = b.input("x", 1 << 20);
+        let mut prev = x;
+        for i in 0..3 {
+            let out = b.intermediate(format!("c{i}"), 1 << 20);
+            b.submit(
+                "chain",
+                heavy,
+                &[(prev, Direction::In), (out, Direction::Out)],
+                false,
+            )
+            .unwrap();
+            prev = out;
+        }
+        b.build()
+    }
+
+    fn two_core_cluster() -> ClusterSpec {
+        let mut c = ClusterSpec::tiny();
+        c.nodes = 1;
+        c.node.cpu_cores = 2;
+        c.node.gpus = 1;
+        c
+    }
+
+    #[test]
+    fn upward_rank_prioritises_the_chain() {
+        let wf = contended_workflow();
+        let mut cfg = RunConfig::new(two_core_cluster(), ProcessorKind::Cpu)
+            .with_policy(SchedulingPolicy::CriticalPath);
+        cfg.jitter_sigma = 0.0;
+        let cp = run(&wf, &cfg).unwrap();
+        let fifo_cfg = {
+            let mut c = cfg.clone();
+            c.policy = SchedulingPolicy::GenerationOrder;
+            c
+        };
+        let fifo = run(&wf, &fifo_cfg).unwrap();
+        // FIFO fills both cores with fillers before the chain can start;
+        // CP starts the critical path at t=0 and hides the fillers on the
+        // second core.
+        assert!(
+            cp.makespan() < fifo.makespan() * 0.95,
+            "critical-path should beat FIFO here: {} vs {}",
+            cp.makespan(),
+            fifo.makespan()
+        );
+        // First dispatched task under CP is the chain head, not a filler.
+        let first_cp = cp.records.iter().min_by_key(|r| r.start).unwrap();
+        assert_eq!(first_cp.task_type, "chain");
+    }
+
+    #[test]
+    fn critical_path_completes_all_workload_shapes() {
+        let wf = contended_workflow();
+        for proc in ProcessorKind::ALL {
+            let cfg = RunConfig::new(ClusterSpec::tiny(), proc)
+                .with_policy(SchedulingPolicy::CriticalPath);
+            let report = run(&wf, &cfg).unwrap();
+            assert_eq!(report.records.len(), wf.tasks().len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod heterogeneous_tests {
+    use super::*;
+    use crate::data::Direction;
+    use crate::task::CostProfile;
+    use crate::workflow::{Workflow, WorkflowBuilder};
+    use gpuflow_cluster::{KernelWork, NodeResources};
+
+    fn gpu_heavy_workflow(n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let cost = CostProfile::fully_parallel(KernelWork {
+            flops: 1e11,
+            bytes: 1e8,
+            parallelism: 1e9,
+        });
+        for i in 0..n {
+            let x = b.input(format!("x{i}"), 1 << 20);
+            b.submit("work", cost, &[(x, Direction::In)], false)
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn gpu_tasks_avoid_gpu_less_nodes() {
+        // Node 0 has no GPUs; every GPU task must land on node 1.
+        let cluster = ClusterSpec::tiny().with_overrides(vec![
+            NodeResources {
+                cpu_cores: 4,
+                gpus: 0,
+            },
+            NodeResources {
+                cpu_cores: 4,
+                gpus: 2,
+            },
+        ]);
+        let wf = gpu_heavy_workflow(6);
+        let report = run(&wf, &RunConfig::new(cluster.clone(), ProcessorKind::Gpu)).unwrap();
+        assert!(report.records.iter().all(|r| r.node == 1));
+        report.check_invariants(&wf, &cluster).unwrap();
+    }
+
+    #[test]
+    fn cpu_runs_use_all_heterogeneous_cores() {
+        let cluster = ClusterSpec::tiny().with_overrides(vec![
+            NodeResources {
+                cpu_cores: 6,
+                gpus: 0,
+            },
+            NodeResources {
+                cpu_cores: 2,
+                gpus: 2,
+            },
+        ]);
+        let wf = gpu_heavy_workflow(8);
+        let report = run(&wf, &RunConfig::new(cluster.clone(), ProcessorKind::Cpu)).unwrap();
+        report.check_invariants(&wf, &cluster).unwrap();
+        // Both nodes participated and node 0 hosted more tasks.
+        let on_node = |n: usize| report.records.iter().filter(|r| r.node == n).count();
+        assert!(on_node(0) > on_node(1), "{} vs {}", on_node(0), on_node(1));
+        assert!(on_node(1) > 0);
+    }
+
+    #[test]
+    fn denser_gpu_nodes_pay_more_pcie_contention() {
+        // Same 8 GPUs total: spread over 8 nodes (1 per bus) vs packed
+        // into 2 nodes (4 per bus). Transfer-heavy tasks finish sooner
+        // when every device has its own PCIe bus.
+        let mut spread = ClusterSpec::minotauro();
+        spread.node.gpus = 1;
+        let packed = ClusterSpec::minotauro().with_overrides(
+            (0..8)
+                .map(|n| NodeResources {
+                    cpu_cores: 16,
+                    gpus: if n < 2 { 4 } else { 0 },
+                })
+                .collect(),
+        );
+        // Transfer-dominated GPU tasks: big bytes, modest flops.
+        let mut b = WorkflowBuilder::new();
+        let cost = CostProfile::fully_parallel(KernelWork {
+            flops: 1e9,
+            bytes: 1e9,
+            parallelism: 1e9,
+        });
+        for i in 0..8 {
+            let x = b.input(format!("x{i}"), 1 << 30);
+            b.submit("xfer", cost, &[(x, Direction::In)], false)
+                .unwrap();
+        }
+        let wf = b.build();
+        let t_spread = run(&wf, &RunConfig::new(spread, ProcessorKind::Gpu))
+            .unwrap()
+            .makespan();
+        let t_packed = run(&wf, &RunConfig::new(packed, ProcessorKind::Gpu))
+            .unwrap()
+            .makespan();
+        assert!(
+            t_spread < t_packed,
+            "dedicated buses must win: spread {t_spread} vs packed {t_packed}"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Task scheduling policies (§3.2, §4.4.2).
+//!
+//! PyCOMPSs offers several schedulers; the paper compares two:
+//!
+//! * **task generation order** — dispatch ready tasks FIFO to whichever
+//!   node has the most free slots; cheap decisions;
+//! * **data locality** — dispatch ready tasks FIFO, but place each on the
+//!   node caching the most input bytes; each decision costs more because
+//!   candidate nodes are scored.
+//!
+//! The decision *cost* (master-side overhead per task) comes from
+//! [`ClusterSpec`](gpuflow_cluster::ClusterSpec); the policy here decides
+//! placement.
+
+use gpuflow_sim::SimDuration;
+
+use crate::task::TaskId;
+
+/// The scheduling policy factor of Table 1, plus an extension policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulingPolicy {
+    /// Dispatch in task generation order; placement ignores data.
+    GenerationOrder,
+    /// Placement prefers nodes already caching the task's inputs.
+    DataLocality,
+    /// Extension: HEFT-style dispatch by upward rank (critical-path
+    /// length to the sink), with locality-aware placement. Not part of
+    /// the paper's comparison; used by the scheduler-ablation study.
+    CriticalPath,
+}
+
+impl SchedulingPolicy {
+    /// The paper's two policies, in its presentation order (the
+    /// extension policy is deliberately excluded: Figs. 10-11 compare
+    /// exactly these two).
+    pub const ALL: [SchedulingPolicy; 2] = [
+        SchedulingPolicy::GenerationOrder,
+        SchedulingPolicy::DataLocality,
+    ];
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulingPolicy::GenerationOrder => "task gen. order",
+            SchedulingPolicy::DataLocality => "data locality",
+            SchedulingPolicy::CriticalPath => "critical path",
+        }
+    }
+}
+
+/// A candidate node as seen by the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeAvail {
+    /// Node index.
+    pub node: usize,
+    /// Free execution slots (cores, or GPU+core pairs in a GPU run).
+    pub free_slots: usize,
+    /// Bytes of the candidate task's inputs cached on this node.
+    pub cached_bytes: u64,
+}
+
+/// Chooses the node for one task from an availability snapshot, or
+/// `None` when no node has a free slot.
+///
+/// `rotation` is the caller's running decision counter. The
+/// generation-order policy is location-oblivious: it hands the task to
+/// the next free node in round-robin order, so the block-to-node mapping
+/// drifts between algorithm iterations (and cached inputs are *not*
+/// deliberately revisited — exactly the behaviour the data-locality
+/// policy exists to fix).
+pub fn place(policy: SchedulingPolicy, nodes: &[NodeAvail], rotation: usize) -> Option<usize> {
+    match policy {
+        SchedulingPolicy::GenerationOrder => {
+            let n = nodes.len();
+            (0..n)
+                .map(|i| &nodes[(i + rotation) % n.max(1)])
+                .find(|nd| nd.free_slots > 0)
+                .map(|nd| nd.node)
+        }
+        SchedulingPolicy::DataLocality | SchedulingPolicy::CriticalPath => nodes
+            .iter()
+            .filter(|n| n.free_slots > 0)
+            .max_by(|a, b| {
+                a.cached_bytes
+                    .cmp(&b.cached_bytes)
+                    .then(a.free_slots.cmp(&b.free_slots))
+                    .then(b.node.cmp(&a.node))
+            })
+            .map(|n| n.node),
+    }
+}
+
+/// Picks a `(task, node)` assignment, or `None` when nothing can run.
+///
+/// `ready` is in generation order — both PyCOMPSs policies honour it for
+/// *which* task runs next and differ only in *where* — but a head task
+/// with no placeable node does not block later ready tasks whose resource
+/// kind is available.
+pub fn pick(
+    policy: SchedulingPolicy,
+    ready: &[TaskId],
+    nodes_for: impl Fn(TaskId) -> Vec<NodeAvail>,
+) -> Option<(TaskId, usize)> {
+    ready
+        .iter()
+        .find_map(|&task| place(policy, &nodes_for(task), 0).map(|node| (task, node)))
+}
+
+/// Master-side cost of one scheduling decision for `policy`.
+pub fn decision_overhead(
+    policy: SchedulingPolicy,
+    fifo: SimDuration,
+    locality: SimDuration,
+) -> SimDuration {
+    match policy {
+        SchedulingPolicy::GenerationOrder => fifo,
+        // Both informed policies score candidate nodes per decision.
+        SchedulingPolicy::DataLocality | SchedulingPolicy::CriticalPath => locality,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avail(specs: &[(usize, usize, u64)]) -> Vec<NodeAvail> {
+        specs
+            .iter()
+            .map(|&(node, free_slots, cached_bytes)| NodeAvail {
+                node,
+                free_slots,
+                cached_bytes,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn returns_none_when_no_ready_tasks() {
+        assert_eq!(
+            pick(SchedulingPolicy::GenerationOrder, &[], |_| avail(&[(
+                0, 4, 0
+            )])),
+            None
+        );
+    }
+
+    #[test]
+    fn returns_none_when_no_free_slots() {
+        let got = pick(SchedulingPolicy::GenerationOrder, &[TaskId(0)], |_| {
+            avail(&[(0, 0, 0), (1, 0, 0)])
+        });
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn generation_order_picks_first_ready_task() {
+        let got = pick(
+            SchedulingPolicy::GenerationOrder,
+            &[TaskId(3), TaskId(7)],
+            |_| avail(&[(0, 1, 0)]),
+        );
+        assert_eq!(got, Some((TaskId(3), 0)));
+    }
+
+    #[test]
+    fn generation_order_round_robins_over_free_nodes() {
+        let nodes = avail(&[(0, 1, 999), (1, 3, 0), (2, 2, 0)]);
+        assert_eq!(place(SchedulingPolicy::GenerationOrder, &nodes, 0), Some(0));
+        assert_eq!(place(SchedulingPolicy::GenerationOrder, &nodes, 1), Some(1));
+        assert_eq!(place(SchedulingPolicy::GenerationOrder, &nodes, 2), Some(2));
+        assert_eq!(place(SchedulingPolicy::GenerationOrder, &nodes, 3), Some(0));
+    }
+
+    #[test]
+    fn generation_order_skips_full_nodes_in_rotation() {
+        let nodes = avail(&[(0, 0, 0), (1, 1, 0), (2, 0, 0)]);
+        for rot in 0..6 {
+            assert_eq!(
+                place(SchedulingPolicy::GenerationOrder, &nodes, rot),
+                Some(1)
+            );
+        }
+    }
+
+    #[test]
+    fn locality_prefers_cached_bytes() {
+        let got = pick(SchedulingPolicy::DataLocality, &[TaskId(0)], |_| {
+            avail(&[(0, 3, 10), (1, 1, 500), (2, 2, 10)])
+        });
+        assert_eq!(got, Some((TaskId(0), 1)));
+    }
+
+    #[test]
+    fn locality_falls_back_to_free_slots_on_tie() {
+        let got = pick(SchedulingPolicy::DataLocality, &[TaskId(0)], |_| {
+            avail(&[(0, 1, 0), (1, 4, 0)])
+        });
+        assert_eq!(got, Some((TaskId(0), 1)));
+    }
+
+    #[test]
+    fn locality_skips_full_nodes_even_if_cached() {
+        let got = pick(SchedulingPolicy::DataLocality, &[TaskId(0)], |_| {
+            avail(&[(0, 0, 10_000), (1, 1, 0)])
+        });
+        assert_eq!(got, Some((TaskId(0), 1)));
+    }
+
+    #[test]
+    fn pick_uses_rotation_zero() {
+        let got = pick(SchedulingPolicy::GenerationOrder, &[TaskId(0)], |_| {
+            avail(&[(2, 2, 0), (0, 2, 0), (1, 2, 0)])
+        });
+        assert_eq!(got, Some((TaskId(0), 2)), "first slice entry at rotation 0");
+    }
+
+    #[test]
+    fn overheads_follow_policy() {
+        let f = SimDuration::from_micros(800);
+        let l = SimDuration::from_micros(3500);
+        assert_eq!(
+            decision_overhead(SchedulingPolicy::GenerationOrder, f, l),
+            f
+        );
+        assert_eq!(decision_overhead(SchedulingPolicy::DataLocality, f, l), l);
+        assert_eq!(decision_overhead(SchedulingPolicy::CriticalPath, f, l), l);
+    }
+
+    #[test]
+    fn critical_path_places_like_locality() {
+        let nodes = avail(&[(0, 3, 10), (1, 1, 500), (2, 2, 10)]);
+        assert_eq!(place(SchedulingPolicy::CriticalPath, &nodes, 0), Some(1));
+    }
+}

@@ -1,0 +1,218 @@
+//! Task specifications: what a task accesses, what it costs, where it may
+//! run.
+
+use std::fmt;
+
+use gpuflow_cluster::{CpuModel, KernelWork};
+
+use crate::data::{DataId, Direction};
+
+/// Identifier of a task within one workflow, in generation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One parameter access of a task, with the version resolved by the
+/// workflow builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Param {
+    /// The accessed object.
+    pub data: DataId,
+    /// Access direction.
+    pub dir: Direction,
+    /// For reads: the version consumed. For writes: the version produced.
+    /// For `InOut`, the version produced (the consumed one is
+    /// `version - 1`).
+    pub version: u32,
+}
+
+/// The cost model of one task's user code (Fig. 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Serial fraction: always executed on the host CPU core.
+    pub serial: KernelWork,
+    /// Parallel fraction: executed on the CPU core or offloaded to a GPU.
+    pub parallel: KernelWork,
+    /// Device-side intermediates beyond inputs+outputs (e.g. the K-means
+    /// pairwise-distance matrix) for the GPU OOM check, bytes.
+    pub gpu_extra_bytes: u64,
+    /// Host-side intermediates for the host OOM check, bytes.
+    pub host_extra_bytes: u64,
+}
+
+impl CostProfile {
+    /// A profile with only a parallel fraction (the paper's fully
+    /// parallel tasks: `matmul_func`, `add_func`).
+    pub fn fully_parallel(parallel: KernelWork) -> Self {
+        CostProfile {
+            serial: KernelWork::NONE,
+            parallel,
+            gpu_extra_bytes: 0,
+            host_extra_bytes: 0,
+        }
+    }
+
+    /// A profile with serial and parallel fractions (partially parallel
+    /// tasks: K-means `partial_sum`).
+    pub fn partially_parallel(serial: KernelWork, parallel: KernelWork) -> Self {
+        CostProfile {
+            serial,
+            parallel,
+            gpu_extra_bytes: 0,
+            host_extra_bytes: 0,
+        }
+    }
+
+    /// A serial-only profile (reduction/merge bookkeeping tasks).
+    pub fn serial_only(serial: KernelWork) -> Self {
+        CostProfile {
+            serial,
+            parallel: KernelWork::NONE,
+            gpu_extra_bytes: 0,
+            host_extra_bytes: 0,
+        }
+    }
+
+    /// Sets the device-side intermediate footprint.
+    pub fn with_gpu_extra(mut self, bytes: u64) -> Self {
+        self.gpu_extra_bytes = bytes;
+        self
+    }
+
+    /// Sets the host-side intermediate footprint.
+    pub fn with_host_extra(mut self, bytes: u64) -> Self {
+        self.host_extra_bytes = bytes;
+        self
+    }
+
+    /// The task's parallel fraction as measured on a CPU: the share of
+    /// user-code time spent in the parallelizable part. This is the
+    /// "parallel fraction" factor of Table 1 and Fig. 11.
+    pub fn parallel_fraction(&self, cpu: &CpuModel) -> f64 {
+        let ts = cpu.time(&self.serial).as_secs_f64();
+        let tp = cpu.time(&self.parallel).as_secs_f64();
+        if ts + tp <= 0.0 {
+            0.0
+        } else {
+            tp / (ts + tp)
+        }
+    }
+}
+
+/// A task as submitted to the runtime.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Identifier (generation order).
+    pub id: TaskId,
+    /// Task type name — tasks sharing a name aggregate together in the
+    /// paper's user-code metrics (e.g. `"matmul_func"`).
+    pub task_type: String,
+    /// Parameter accesses with resolved versions.
+    pub params: Vec<Param>,
+    /// Cost model.
+    pub cost: CostProfile,
+    /// Force host execution even in a GPU run (reduction bookkeeping that
+    /// dislib keeps on the CPU).
+    pub cpu_only: bool,
+}
+
+impl TaskSpec {
+    /// Parameters read by this task (with the version each one consumes).
+    pub fn reads(&self) -> impl Iterator<Item = (DataId, u32)> + '_ {
+        self.params.iter().filter(|p| p.dir.reads()).map(|p| {
+            let version = match p.dir {
+                Direction::InOut => p.version - 1,
+                _ => p.version,
+            };
+            (p.data, version)
+        })
+    }
+
+    /// Parameters written by this task (with the version produced).
+    pub fn writes(&self) -> impl Iterator<Item = (DataId, u32)> + '_ {
+        self.params
+            .iter()
+            .filter(|p| p.dir.writes())
+            .map(|p| (p.data, p.version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(flops: f64) -> KernelWork {
+        KernelWork {
+            flops,
+            bytes: flops,
+            parallelism: flops,
+        }
+    }
+
+    #[test]
+    fn parallel_fraction_of_fully_parallel_task_is_one() {
+        let cpu = CpuModel {
+            peak_flops: 1e9,
+            mem_bw: 1e9,
+        };
+        let p = CostProfile::fully_parallel(work(1e6));
+        assert_eq!(p.parallel_fraction(&cpu), 1.0);
+    }
+
+    #[test]
+    fn parallel_fraction_of_serial_task_is_zero() {
+        let cpu = CpuModel {
+            peak_flops: 1e9,
+            mem_bw: 1e9,
+        };
+        let p = CostProfile::serial_only(work(1e6));
+        assert_eq!(p.parallel_fraction(&cpu), 0.0);
+    }
+
+    #[test]
+    fn parallel_fraction_weighs_cpu_times() {
+        let cpu = CpuModel {
+            peak_flops: 1e9,
+            mem_bw: 1e9,
+        };
+        // Serial 1e6 flops, parallel 3e6 flops: fraction 0.75.
+        let p = CostProfile::partially_parallel(work(1e6), work(3e6));
+        assert!((p.parallel_fraction(&cpu) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_resolve_inout_to_previous_version() {
+        let spec = TaskSpec {
+            id: TaskId(0),
+            task_type: "t".into(),
+            params: vec![
+                Param {
+                    data: DataId(0),
+                    dir: Direction::In,
+                    version: 2,
+                },
+                Param {
+                    data: DataId(1),
+                    dir: Direction::InOut,
+                    version: 5,
+                },
+                Param {
+                    data: DataId(2),
+                    dir: Direction::Out,
+                    version: 1,
+                },
+            ],
+            cost: CostProfile::serial_only(KernelWork::NONE),
+            cpu_only: false,
+        };
+        let reads: Vec<_> = spec.reads().collect();
+        assert_eq!(reads, vec![(DataId(0), 2), (DataId(1), 4)]);
+        let writes: Vec<_> = spec.writes().collect();
+        assert_eq!(writes, vec![(DataId(1), 5), (DataId(2), 1)]);
+    }
+}

@@ -1,0 +1,542 @@
+//! Workflow construction and DAG analysis (§3.1 of the paper).
+//!
+//! The builder mirrors how PyCOMPSs turns an application into a DAG: the
+//! application submits tasks with directional parameters, and edges are
+//! derived automatically from data versions — read-after-write,
+//! write-after-write, and write-after-read. The resulting DAG's *width*
+//! is the degree of task parallelism and its *height* the degree of task
+//! dependency (Fig. 6).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::data::{DataId, DataRegistry, Direction};
+use crate::task::{CostProfile, Param, TaskId, TaskSpec};
+
+/// A fully built workflow: tasks, dependencies, registry, and DAG shape.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    tasks: Vec<TaskSpec>,
+    registry: DataRegistry,
+    /// Successor lists, indexed by task.
+    succs: Vec<Vec<TaskId>>,
+    /// Predecessor lists, indexed by task.
+    preds: Vec<Vec<TaskId>>,
+    /// Longest-path level of each task (0-based).
+    levels: Vec<u32>,
+}
+
+/// Shape statistics of a DAG (Table 1 parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagShape {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Maximum number of tasks on one level — the degree of task
+    /// parallelism.
+    pub max_width: usize,
+    /// Number of levels — the degree of task dependency.
+    pub height: usize,
+}
+
+impl Workflow {
+    /// All tasks in generation order.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// One task.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn task(&self, id: TaskId) -> &TaskSpec {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// The data registry (sizes, names).
+    pub fn registry(&self) -> &DataRegistry {
+        &self.registry
+    }
+
+    /// Direct successors of `id`.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id.0 as usize]
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id.0 as usize]
+    }
+
+    /// Longest-path level of `id` (0 for source tasks).
+    pub fn level(&self, id: TaskId) -> u32 {
+        self.levels[id.0 as usize]
+    }
+
+    /// DAG shape statistics.
+    pub fn shape(&self) -> DagShape {
+        let height = self
+            .levels
+            .iter()
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut per_level = vec![0usize; height];
+        for &l in &self.levels {
+            per_level[l as usize] += 1;
+        }
+        DagShape {
+            tasks: self.tasks.len(),
+            max_width: per_level.iter().copied().max().unwrap_or(0),
+            height,
+        }
+    }
+
+    /// Renders the DAG in Graphviz DOT, with `dNvM` edge labels like the
+    /// PyCOMPSs dumps in Fig. 6.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        for t in &self.tasks {
+            let _ = writeln!(
+                out,
+                "  t{} [label=\"{} #{}\" shape=ellipse];",
+                t.id.0, t.task_type, t.id.0
+            );
+        }
+        for (from_idx, succs) in self.succs.iter().enumerate() {
+            for to in succs {
+                let _ = writeln!(out, "  t{from_idx} -> t{};", to.0);
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Lower bound on any schedule's makespan: the longest chain of
+    /// estimated task costs (user code on `cpu`), ignoring all resource
+    /// limits and data movement. The advisor reports it beside simulated
+    /// makespans.
+    pub fn critical_path_seconds(&self, cpu: &gpuflow_cluster::CpuModel) -> f64 {
+        let mut longest = vec![0.0f64; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let est =
+                cpu.time(&t.cost.serial).as_secs_f64() + cpu.time(&t.cost.parallel).as_secs_f64();
+            let pred_max = self.preds[i]
+                .iter()
+                .map(|p| longest[p.0 as usize])
+                .fold(0.0, f64::max);
+            longest[i] = pred_max + est;
+        }
+        longest.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Verifies structural invariants (used by tests): edges point
+    /// forward in generation order (acyclicity by construction), levels
+    /// are consistent with predecessors.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, succs) in self.succs.iter().enumerate() {
+            for s in succs {
+                if s.0 as usize <= i {
+                    return Err(format!("edge t{} -> t{} is not forward", i, s.0));
+                }
+            }
+        }
+        for (i, preds) in self.preds.iter().enumerate() {
+            let expected = preds
+                .iter()
+                .map(|p| self.levels[p.0 as usize] + 1)
+                .max()
+                .unwrap_or(0);
+            if self.levels[i] != expected {
+                return Err(format!(
+                    "task t{i} has level {} but predecessors imply {expected}",
+                    self.levels[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`Workflow`] by registering data and submitting tasks.
+///
+/// ```
+/// use gpuflow_cluster::KernelWork;
+/// use gpuflow_runtime::{CostProfile, Direction, WorkflowBuilder};
+///
+/// let mut b = WorkflowBuilder::new();
+/// let x = b.input("x", 1 << 20);
+/// let y = b.intermediate("y", 1 << 20);
+/// let cost = CostProfile::fully_parallel(KernelWork::data_parallel(1e9, 1e6));
+/// let producer = b
+///     .submit("produce", cost, &[(x, Direction::In), (y, Direction::Out)], false)
+///     .unwrap();
+/// let consumer = b.submit("consume", cost, &[(y, Direction::In)], false).unwrap();
+/// let wf = b.build();
+/// // The read-after-write dependency was derived automatically.
+/// assert_eq!(wf.predecessors(consumer), &[producer]);
+/// ```
+#[derive(Debug, Default)]
+pub struct WorkflowBuilder {
+    registry: DataRegistry,
+    tasks: Vec<TaskSpec>,
+    succs: Vec<Vec<TaskId>>,
+    preds: Vec<Vec<TaskId>>,
+}
+
+impl WorkflowBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dataset block (exists on storage before the run).
+    pub fn input(&mut self, name: impl Into<String>, bytes: u64) -> DataId {
+        self.registry.register_input(name, bytes)
+    }
+
+    /// Registers an intermediate object (must be written before read).
+    pub fn intermediate(&mut self, name: impl Into<String>, bytes: u64) -> DataId {
+        self.registry.register_intermediate(name, bytes)
+    }
+
+    /// Submits a task; dependencies are derived from the parameter
+    /// directions and the current data versions.
+    ///
+    /// # Errors
+    /// Fails on read-before-write.
+    pub fn submit(
+        &mut self,
+        task_type: impl Into<String>,
+        cost: CostProfile,
+        accesses: &[(DataId, Direction)],
+        cpu_only: bool,
+    ) -> Result<TaskId, String> {
+        let id = TaskId(self.tasks.len() as u32);
+        let mut deps: BTreeSet<TaskId> = BTreeSet::new();
+        let mut params = Vec::with_capacity(accesses.len());
+        for &(data, dir) in accesses {
+            let mut version = 0;
+            if dir.reads() {
+                let (v, raw) = self.registry.note_read(data, id)?;
+                version = v;
+                deps.extend(raw);
+            }
+            if dir.writes() {
+                let (v, waw, war) = self.registry.note_write(data, id);
+                version = v;
+                deps.extend(waw);
+                deps.extend(war.into_iter().filter(|&t| t != id));
+            }
+            params.push(Param { data, dir, version });
+        }
+        self.tasks.push(TaskSpec {
+            id,
+            task_type: task_type.into(),
+            params,
+            cost,
+            cpu_only,
+        });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        for dep in deps {
+            self.succs[dep.0 as usize].push(id);
+            self.preds[id.0 as usize].push(dep);
+        }
+        Ok(id)
+    }
+
+    /// Inserts an explicit synchronisation barrier, as PyCOMPSs
+    /// applications do between algorithm phases (the `barrier` nodes in
+    /// the paper's Fig. 6b): a zero-cost bookkeeping task that reads the
+    /// current version of every object written so far, so every task
+    /// submitted afterwards with a write on any of them orders behind it.
+    ///
+    /// Returns the barrier task id, or `None` when there is nothing to
+    /// wait on.
+    pub fn barrier(&mut self) -> Option<TaskId> {
+        use gpuflow_cluster::KernelWork;
+        let written: Vec<(DataId, Direction)> = self
+            .registry
+            .iter()
+            .filter(|o| o.last_writer.is_some())
+            .map(|o| (o.id, Direction::In))
+            .collect();
+        if written.is_empty() {
+            return None;
+        }
+        Some(
+            self.submit(
+                "barrier",
+                CostProfile::serial_only(KernelWork::NONE),
+                &written,
+                true,
+            )
+            .expect("barrier reads only written data"),
+        )
+    }
+
+    /// Finalises the workflow, computing DAG levels.
+    pub fn build(self) -> Workflow {
+        let mut levels = vec![0u32; self.tasks.len()];
+        // Tasks are in topological order by construction (edges forward).
+        for i in 0..self.tasks.len() {
+            levels[i] = self.preds[i]
+                .iter()
+                .map(|p| levels[p.0 as usize] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        Workflow {
+            tasks: self.tasks,
+            registry: self.registry,
+            succs: self.succs,
+            preds: self.preds,
+            levels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_cluster::KernelWork;
+
+    fn cost() -> CostProfile {
+        CostProfile::fully_parallel(KernelWork::data_parallel(1e6, 1e6))
+    }
+
+    /// A diamond: t0 writes x; t1 and t2 read x, write y1/y2; t3 reads both.
+    fn diamond() -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        let x = b.intermediate("x", 8);
+        let y1 = b.intermediate("y1", 8);
+        let y2 = b.intermediate("y2", 8);
+        let t0 = b
+            .submit("produce", cost(), &[(x, Direction::Out)], false)
+            .unwrap();
+        let t1 = b
+            .submit(
+                "branch",
+                cost(),
+                &[(x, Direction::In), (y1, Direction::Out)],
+                false,
+            )
+            .unwrap();
+        let t2 = b
+            .submit(
+                "branch",
+                cost(),
+                &[(x, Direction::In), (y2, Direction::Out)],
+                false,
+            )
+            .unwrap();
+        let t3 = b
+            .submit(
+                "join",
+                cost(),
+                &[(y1, Direction::In), (y2, Direction::In)],
+                false,
+            )
+            .unwrap();
+        assert_eq!((t0.0, t1.0, t2.0, t3.0), (0, 1, 2, 3));
+        b.build()
+    }
+
+    #[test]
+    fn diamond_has_expected_edges_and_levels() {
+        let wf = diamond();
+        assert_eq!(wf.successors(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(wf.predecessors(TaskId(3)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(wf.level(TaskId(0)), 0);
+        assert_eq!(wf.level(TaskId(1)), 1);
+        assert_eq!(wf.level(TaskId(2)), 1);
+        assert_eq!(wf.level(TaskId(3)), 2);
+        wf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let shape = diamond().shape();
+        assert_eq!(
+            shape,
+            DagShape {
+                tasks: 4,
+                max_width: 2,
+                height: 3
+            }
+        );
+    }
+
+    #[test]
+    fn war_edge_orders_reader_before_overwriter() {
+        let mut b = WorkflowBuilder::new();
+        let x = b.input("x", 8);
+        let y = b.intermediate("y", 8);
+        let reader = b
+            .submit(
+                "read",
+                cost(),
+                &[(x, Direction::In), (y, Direction::Out)],
+                false,
+            )
+            .unwrap();
+        let writer = b
+            .submit("overwrite", cost(), &[(x, Direction::Out)], false)
+            .unwrap();
+        let wf = b.build();
+        assert_eq!(wf.predecessors(writer), &[reader]);
+    }
+
+    #[test]
+    fn waw_edge_orders_writers() {
+        let mut b = WorkflowBuilder::new();
+        let x = b.intermediate("x", 8);
+        let w1 = b
+            .submit("w1", cost(), &[(x, Direction::Out)], false)
+            .unwrap();
+        let w2 = b
+            .submit("w2", cost(), &[(x, Direction::Out)], false)
+            .unwrap();
+        let wf = b.build();
+        assert_eq!(wf.predecessors(w2), &[w1]);
+    }
+
+    #[test]
+    fn inout_chains_serialise() {
+        // The Matmul-FMA accumulation pattern: C += A·B per k, in a chain.
+        let mut b = WorkflowBuilder::new();
+        let a = b.input("a", 8);
+        let c = b.intermediate("c", 8);
+        let init = b
+            .submit("init", cost(), &[(c, Direction::Out)], false)
+            .unwrap();
+        let f1 = b
+            .submit(
+                "fma",
+                cost(),
+                &[(a, Direction::In), (c, Direction::InOut)],
+                false,
+            )
+            .unwrap();
+        let f2 = b
+            .submit(
+                "fma",
+                cost(),
+                &[(a, Direction::In), (c, Direction::InOut)],
+                false,
+            )
+            .unwrap();
+        let wf = b.build();
+        assert_eq!(wf.predecessors(f1), &[init]);
+        assert_eq!(wf.predecessors(f2), &[f1]);
+        assert_eq!(wf.shape().height, 3);
+        wf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut b = WorkflowBuilder::new();
+        let xs: Vec<_> = (0..8).map(|i| b.input(format!("x{i}"), 8)).collect();
+        for x in &xs {
+            b.submit("map", cost(), &[(*x, Direction::In)], false)
+                .unwrap();
+        }
+        let wf = b.build();
+        let shape = wf.shape();
+        assert_eq!(
+            shape,
+            DagShape {
+                tasks: 8,
+                max_width: 8,
+                height: 1
+            }
+        );
+    }
+
+    #[test]
+    fn read_before_write_propagates_error() {
+        let mut b = WorkflowBuilder::new();
+        let x = b.intermediate("x", 8);
+        let err = b
+            .submit("bad", cost(), &[(x, Direction::In)], false)
+            .unwrap_err();
+        assert!(err.contains("before any task wrote it"));
+    }
+
+    #[test]
+    fn dot_export_mentions_tasks_and_edges() {
+        let dot = diamond().to_dot("diamond");
+        assert!(dot.contains("digraph \"diamond\""));
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(dot.contains("join #3"));
+    }
+
+    #[test]
+    fn critical_path_estimate_tracks_chain_length() {
+        use gpuflow_cluster::{ClusterSpec, KernelWork};
+        let cpu = ClusterSpec::minotauro().node.cpu;
+        let chain_cost = CostProfile::fully_parallel(KernelWork {
+            flops: 15e9, // exactly one second on the Minotauro core
+            bytes: 1.0,
+            parallelism: 1.0,
+        });
+        let mut b = WorkflowBuilder::new();
+        let mut prev = b.input("x", 8);
+        for i in 0..3 {
+            let out = b.intermediate(format!("c{i}"), 8);
+            b.submit(
+                "step",
+                chain_cost,
+                &[(prev, Direction::In), (out, Direction::Out)],
+                false,
+            )
+            .unwrap();
+            prev = out;
+        }
+        // A parallel sibling does not extend the path.
+        let y = b.input("y", 8);
+        b.submit("side", chain_cost, &[(y, Direction::In)], false)
+            .unwrap();
+        let wf = b.build();
+        let cp = wf.critical_path_seconds(&cpu);
+        assert!((cp - 3.0).abs() < 1e-6, "three-second chain, got {cp}");
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let mut b = WorkflowBuilder::new();
+        let xs: Vec<_> = (0..4).map(|i| b.intermediate(format!("x{i}"), 8)).collect();
+        for x in &xs {
+            b.submit("phase1", cost(), &[(*x, Direction::Out)], false)
+                .unwrap();
+        }
+        let barrier = b.barrier().expect("four writes to wait on");
+        // Phase 2 overwrites one object; it must order behind the barrier
+        // (write-after-read), not just behind its own producer.
+        let t = b
+            .submit("phase2", cost(), &[(xs[0], Direction::Out)], false)
+            .unwrap();
+        let wf = b.build();
+        assert_eq!(wf.predecessors(barrier).len(), 4);
+        assert!(wf.predecessors(t).contains(&barrier));
+        assert_eq!(wf.task(barrier).task_type, "barrier");
+        wf.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn barrier_on_pristine_workflow_is_none() {
+        let mut b = WorkflowBuilder::new();
+        b.input("untouched", 8);
+        assert!(b.barrier().is_none());
+    }
+
+    #[test]
+    fn reads_see_version_written_by_dependency() {
+        let wf = diamond();
+        // t1 reads x at version 1 (written by t0).
+        let reads: Vec<_> = wf.task(TaskId(1)).reads().collect();
+        assert_eq!(reads[0].1, 1);
+    }
+}

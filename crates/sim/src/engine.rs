@@ -1,0 +1,192 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] is a priority queue of timestamped events with stable FIFO
+//! tie-breaking: events scheduled for the same instant pop in the order
+//! they were scheduled. The engine is deliberately *passive* — it does not
+//! dispatch callbacks. The caller (e.g. the workflow executor) drives the
+//! loop with [`Engine::pop`] and interprets its own event payload type,
+//! which keeps borrow-checker gymnastics out of simulation models.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event: a payload that becomes due at a simulated instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Instant at which the event fires.
+    pub time: SimTime,
+    /// Monotonic sequence number; breaks ties between same-time events.
+    pub seq: u64,
+    /// Caller-defined payload.
+    pub payload: E,
+}
+
+/// Min-heap wrapper: earliest (time, seq) pops first.
+struct HeapEntry<E>(Scheduled<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest key first.
+        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use gpuflow_sim::{Engine, SimDuration, SimTime};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule_after(SimDuration::from_millis(5), "later");
+/// engine.schedule_after(SimDuration::from_millis(1), "sooner");
+/// assert_eq!(engine.pop().unwrap().payload, "sooner");
+/// assert_eq!(engine.now(), SimTime::from_nanos(1_000_000));
+/// ```
+pub struct Engine<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine at t = 0.
+    pub fn new() -> Self {
+        Engine {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at the absolute instant `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the simulated past — scheduling into the past
+    /// is always a model bug and silently reordering would corrupt results.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) -> u64 {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Scheduled { time, seq, payload }));
+        seq
+    }
+
+    /// Schedules `payload` after `delay` from the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> u64 {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Pops the next due event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.0.time >= self.now);
+        self.now = entry.0.time;
+        self.processed += 1;
+        Some(entry.0)
+    }
+
+    /// Timestamp of the next due event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_nanos(30), 3);
+        e.schedule_at(SimTime::from_nanos(10), 1);
+        e.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_pop_fifo() {
+        let mut e: Engine<&str> = Engine::new();
+        let t = SimTime::from_nanos(5);
+        e.schedule_at(t, "first");
+        e.schedule_at(t, "second");
+        e.schedule_at(t, "third");
+        assert_eq!(e.pop().unwrap().payload, "first");
+        assert_eq!(e.pop().unwrap().payload, "second");
+        assert_eq!(e.pop().unwrap().payload, "third");
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_after(SimDuration::from_millis(7), ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_nanos(7_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimTime::from_nanos(100), ());
+        e.pop();
+        e.schedule_at(SimTime::from_nanos(50), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(SimTime::from_nanos(42), 1);
+        assert_eq!(e.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.pending(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Deterministic execution-time jitter.
+//!
+//! Real clusters exhibit small run-to-run variation (OS noise, cache state,
+//! clock drift). The paper's runs show it too — completion order of equal
+//! tasks varies, which is what makes scheduler placement drift between
+//! policies. We model it as seeded multiplicative noise so every experiment
+//! remains exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Seeded multiplicative noise source: durations are scaled by a factor
+/// drawn uniformly from `[1 - sigma, 1 + sigma]`.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    rng: StdRng,
+    sigma: f64,
+}
+
+impl Jitter {
+    /// Creates a jitter source with relative amplitude `sigma` (e.g. 0.02
+    /// for ±2 %).
+    ///
+    /// # Panics
+    /// Panics unless `0 <= sigma < 1`.
+    pub fn new(seed: u64, sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&sigma), "sigma must be in [0, 1)");
+        Jitter {
+            rng: StdRng::seed_from_u64(seed),
+            sigma,
+        }
+    }
+
+    /// A jitter source that never perturbs anything (sigma = 0).
+    pub fn disabled(seed: u64) -> Self {
+        Self::new(seed, 0.0)
+    }
+
+    /// Relative amplitude.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws the next noise factor in `[1 - sigma, 1 + sigma]`.
+    pub fn factor(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            1.0
+        } else {
+            1.0 + self.rng.gen_range(-self.sigma..=self.sigma)
+        }
+    }
+
+    /// Applies the next noise factor to `d`.
+    pub fn apply(&mut self, d: SimDuration) -> SimDuration {
+        d.mul_f64(self.factor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut j = Jitter::disabled(42);
+        let d = SimDuration::from_millis(10);
+        for _ in 0..8 {
+            assert_eq!(j.apply(d), d);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Jitter::new(7, 0.05);
+        let mut b = Jitter::new(7, 0.05);
+        for _ in 0..32 {
+            assert_eq!(a.factor().to_bits(), b.factor().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_sequence() {
+        let mut a = Jitter::new(1, 0.05);
+        let mut b = Jitter::new(2, 0.05);
+        let same = (0..16).all(|_| a.factor().to_bits() == b.factor().to_bits());
+        assert!(!same);
+    }
+
+    #[test]
+    fn factors_stay_in_band() {
+        let mut j = Jitter::new(99, 0.02);
+        for _ in 0..1000 {
+            let f = j.factor();
+            assert!((0.98..=1.02).contains(&f), "factor {f} out of band");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be in")]
+    fn rejects_bad_sigma() {
+        Jitter::new(0, 1.5);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gpuflow-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate under every performance number in this repository: a
+//! minimal, deterministic discrete-event core with three reusable resource
+//! models:
+//!
+//! * [`Engine`] — a timestamped event queue with stable FIFO tie-breaking;
+//! * [`FcfsPool`] — counted resources (CPU cores, GPU devices) with FIFO
+//!   wait queues and utilization accounting;
+//! * [`FairShareLink`] — progressive-filling bandwidth sharing (PCIe,
+//!   disks, NICs, the GPFS backend);
+//! * [`Jitter`] — seeded multiplicative noise modelling OS-level run-to-run
+//!   variation.
+//!
+//! The engine is passive: the caller (the workflow executor in
+//! `gpuflow-runtime`) drives the loop and owns all model state, which keeps
+//! the simulation logic free of callbacks and `RefCell` webs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod engine;
+mod grouped_link;
+mod jitter;
+mod link;
+mod pool;
+mod time;
+
+pub use engine::{Engine, Scheduled};
+pub use grouped_link::GroupedLink;
+pub use jitter::Jitter;
+pub use link::{FairShareLink, FlowId};
+pub use pool::{Acquire, FcfsPool};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,228 @@
+//! Counted FCFS resource pools.
+//!
+//! Models a set of interchangeable servers (the CPU cores of a node, the
+//! GPU devices of a node). Requests that cannot be served immediately wait
+//! in FIFO order. The pool is passive: the simulation executor calls
+//! [`FcfsPool::try_acquire`] / [`FcfsPool::release`] as its events fire and
+//! reacts to the returned grants.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Result of an acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// A unit was free; the caller holds it now.
+    Granted,
+    /// All units busy; the ticket was enqueued and will be handed a unit
+    /// by a future [`FcfsPool::release`].
+    Queued,
+}
+
+/// A pool of `capacity` identical units with a FIFO wait queue.
+///
+/// The type parameter `T` is the caller's ticket (typically a task id) used
+/// to identify who gets the unit freed by a release.
+#[derive(Debug, Clone)]
+pub struct FcfsPool<T> {
+    capacity: usize,
+    in_use: usize,
+    waiters: VecDeque<T>,
+    // Utilization accounting: integral of `in_use` over time.
+    busy_integral_ns: u128,
+    last_change: SimTime,
+    peak_queue: usize,
+}
+
+impl<T> FcfsPool<T> {
+    /// Creates a pool with `capacity` units, all free.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-capacity pool can never grant.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        FcfsPool {
+            capacity,
+            in_use: 0,
+            waiters: VecDeque::new(),
+            busy_integral_ns: 0,
+            last_change: SimTime::ZERO,
+            peak_queue: 0,
+        }
+    }
+
+    fn account(&mut self, now: SimTime) {
+        let dt = now.duration_since(self.last_change).as_nanos() as u128;
+        self.busy_integral_ns += dt * self.in_use as u128;
+        self.last_change = now;
+    }
+
+    /// Attempts to take one unit at instant `now`. If none is free the
+    /// ticket is queued FIFO.
+    pub fn try_acquire(&mut self, now: SimTime, ticket: T) -> Acquire {
+        self.account(now);
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            Acquire::Granted
+        } else {
+            self.waiters.push_back(ticket);
+            self.peak_queue = self.peak_queue.max(self.waiters.len());
+            Acquire::Queued
+        }
+    }
+
+    /// Returns one unit at instant `now`. If a ticket is waiting, the unit
+    /// is immediately handed to it and the ticket is returned so the caller
+    /// can resume it.
+    ///
+    /// # Panics
+    /// Panics if no unit is currently held — releasing an idle pool is
+    /// always an executor bug.
+    pub fn release(&mut self, now: SimTime) -> Option<T> {
+        assert!(self.in_use > 0, "release on an idle pool");
+        self.account(now);
+        match self.waiters.pop_front() {
+            Some(next) => Some(next), // unit transfers directly; in_use unchanged
+            None => {
+                self.in_use -= 1;
+                None
+            }
+        }
+    }
+
+    /// Removes a queued ticket matching `pred` (e.g. a cancelled task).
+    /// Returns `true` if one was removed.
+    pub fn cancel_waiter<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> bool {
+        if let Some(pos) = self.waiters.iter().position(&mut pred) {
+            self.waiters.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total units in the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Units currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Units currently free.
+    pub fn available(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    /// Tickets currently waiting.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Longest wait queue observed so far.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// Accumulated busy time across all units up to `now`, in unit-seconds.
+    /// E.g. 2 units busy for 3 s yields 6.0.
+    pub fn busy_unit_seconds(&self, now: SimTime) -> f64 {
+        let dt = now.duration_since(self.last_change).as_nanos() as u128;
+        (self.busy_integral_ns + dt * self.in_use as u128) as f64 / 1e9
+    }
+
+    /// Mean utilization in `[0, 1]` over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_unit_seconds(now) / (self.capacity as f64 * now.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn grants_until_capacity_then_queues() {
+        let mut p: FcfsPool<u32> = FcfsPool::new(2);
+        assert_eq!(p.try_acquire(t(0), 1), Acquire::Granted);
+        assert_eq!(p.try_acquire(t(0), 2), Acquire::Granted);
+        assert_eq!(p.try_acquire(t(0), 3), Acquire::Queued);
+        assert_eq!(p.available(), 0);
+        assert_eq!(p.queue_len(), 1);
+    }
+
+    #[test]
+    fn release_hands_unit_to_fifo_waiter() {
+        let mut p: FcfsPool<&str> = FcfsPool::new(1);
+        assert_eq!(p.try_acquire(t(0), "a"), Acquire::Granted);
+        assert_eq!(p.try_acquire(t(1), "b"), Acquire::Queued);
+        assert_eq!(p.try_acquire(t(2), "c"), Acquire::Queued);
+        assert_eq!(p.release(t(3)), Some("b"));
+        assert_eq!(p.release(t(4)), Some("c"));
+        assert_eq!(p.release(t(5)), None);
+        assert_eq!(p.available(), 1);
+    }
+
+    #[test]
+    fn in_use_stable_when_unit_transfers() {
+        let mut p: FcfsPool<u8> = FcfsPool::new(1);
+        p.try_acquire(t(0), 1);
+        p.try_acquire(t(0), 2);
+        assert_eq!(p.in_use(), 1);
+        p.release(t(1));
+        assert_eq!(p.in_use(), 1, "unit moved to waiter, still held");
+        p.release(t(2));
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle pool")]
+    fn release_on_idle_pool_panics() {
+        let mut p: FcfsPool<u8> = FcfsPool::new(1);
+        p.release(t(0));
+    }
+
+    #[test]
+    fn cancel_waiter_removes_matching() {
+        let mut p: FcfsPool<u8> = FcfsPool::new(1);
+        p.try_acquire(t(0), 1);
+        p.try_acquire(t(0), 2);
+        p.try_acquire(t(0), 3);
+        assert!(p.cancel_waiter(|&x| x == 2));
+        assert!(!p.cancel_waiter(|&x| x == 2));
+        assert_eq!(p.release(t(1)), Some(3));
+    }
+
+    #[test]
+    fn utilization_integral() {
+        let mut p: FcfsPool<u8> = FcfsPool::new(2);
+        p.try_acquire(t(0), 1); // 1 busy from 0
+        p.try_acquire(t(1_000_000_000), 2); // 2 busy from 1s
+        p.release(t(2_000_000_000)); // 1 busy from 2s
+        p.release(t(3_000_000_000)); // 0 busy from 3s
+                                     // busy unit-seconds = 1*1 + 2*1 + 1*1 = 4
+        assert!((p.busy_unit_seconds(t(4_000_000_000)) - 4.0).abs() < 1e-9);
+        assert!((p.utilization(t(4_000_000_000)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_queue_tracks_high_water_mark() {
+        let mut p: FcfsPool<u8> = FcfsPool::new(1);
+        p.try_acquire(t(0), 1);
+        p.try_acquire(t(0), 2);
+        p.try_acquire(t(0), 3);
+        p.release(t(1));
+        p.release(t(2));
+        assert_eq!(p.peak_queue(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property suites for the simulation primitives under random operation
+//! sequences.
+
+use gpuflow_sim::{Acquire, Engine, FairShareLink, FcfsPool, GroupedLink, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// A pool never exceeds its capacity and serves waiters strictly
+    /// FIFO, under any interleaving of acquires and releases.
+    #[test]
+    fn pool_respects_capacity_and_fifo(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(prop::bool::ANY, 1..200),
+    ) {
+        let mut pool: FcfsPool<u32> = FcfsPool::new(capacity);
+        let mut t = SimTime::ZERO;
+        let mut next_ticket = 0u32;
+        let mut queued: std::collections::VecDeque<u32> = Default::default();
+        let mut held = 0usize;
+        for op in ops {
+            t += SimDuration::from_micros(1);
+            if op {
+                match pool.try_acquire(t, next_ticket) {
+                    Acquire::Granted => {
+                        prop_assert!(queued.is_empty(), "grants only when nobody waits");
+                        held += 1;
+                    }
+                    Acquire::Queued => queued.push_back(next_ticket),
+                }
+                next_ticket += 1;
+            } else if held > 0 {
+                match pool.release(t) {
+                    Some(ticket) => {
+                        // FIFO handover to the oldest waiter.
+                        prop_assert_eq!(Some(ticket), queued.pop_front());
+                    }
+                    None => {
+                        prop_assert!(queued.is_empty());
+                        held -= 1;
+                    }
+                }
+            }
+            prop_assert!(pool.in_use() <= capacity);
+            prop_assert_eq!(pool.in_use(), held);
+            prop_assert_eq!(pool.queue_len(), queued.len());
+        }
+    }
+
+    /// Utilization accounting integrates to at most capacity x elapsed.
+    #[test]
+    fn pool_utilization_bounded(
+        capacity in 1usize..6,
+        holds in prop::collection::vec(1u64..1000, 1..50),
+    ) {
+        let mut pool: FcfsPool<usize> = FcfsPool::new(capacity);
+        let mut t = SimTime::ZERO;
+        for (i, h) in holds.iter().enumerate() {
+            if pool.available() > 0 {
+                pool.try_acquire(t, i);
+            } else {
+                pool.release(t);
+            }
+            t += SimDuration::from_micros(*h);
+        }
+        let u = pool.utilization(t);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+    }
+
+    /// Two links fed the same flows complete them in the same order
+    /// (determinism), and a faster link never finishes later.
+    #[test]
+    fn link_is_deterministic_and_monotone_in_capacity(
+        sizes in prop::collection::vec(10.0f64..1e6, 1..30),
+    ) {
+        let drain = |capacity: f64| {
+            let mut link = FairShareLink::new(capacity);
+            for (i, &s) in sizes.iter().enumerate() {
+                link.start(SimTime::from_nanos(i as u64 * 1000), s);
+            }
+            let mut now = SimTime::from_nanos(sizes.len() as u64 * 1000);
+            let mut done = Vec::new();
+            while let Some(tc) = link.next_completion(now) {
+                now = tc.max(now);
+                done.extend(link.harvest(now));
+            }
+            (done, now)
+        };
+        let (order_a, end_a) = drain(1e6);
+        let (order_b, end_b) = drain(1e6);
+        prop_assert_eq!(&order_a, &order_b);
+        prop_assert_eq!(end_a, end_b);
+        let (_, end_fast) = drain(4e6);
+        prop_assert!(end_fast <= end_a, "4x capacity cannot finish later");
+    }
+
+    /// The grouped link drains exactly its flows whatever the group mix,
+    /// and total completion time is bounded below by bytes/capacity.
+    #[test]
+    fn grouped_link_completion_bounds(
+        flows in prop::collection::vec((0usize..4, 1e3f64..1e6), 1..40),
+    ) {
+        let global = 1e6;
+        let mut link = GroupedLink::new(global, 4, 5e5);
+        let total: f64 = flows.iter().map(|f| f.1).sum();
+        for &(g, bytes) in &flows {
+            link.start(SimTime::ZERO, g, bytes);
+        }
+        let mut now = SimTime::ZERO;
+        let mut done = 0usize;
+        while let Some(tc) = link.next_completion(now) {
+            now = tc.max(now);
+            done += link.harvest(now).len();
+        }
+        prop_assert_eq!(done, flows.len());
+        // Work conservation lower bound (generous epsilon for ns ticks).
+        prop_assert!(now.as_secs_f64() + 1e-6 >= total / global);
+    }
+
+    /// Engine sequence numbers keep same-instant events FIFO even when
+    /// interleaved with earlier/later ones.
+    #[test]
+    fn engine_is_work_conserving(times in prop::collection::vec(0u64..100, 1..300)) {
+        let mut e: Engine<u64> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule_at(SimTime::from_nanos(t), i as u64);
+        }
+        let mut per_time: std::collections::HashMap<u64, u64> = Default::default();
+        let mut popped = 0;
+        while let Some(ev) = e.pop() {
+            let last = per_time.entry(ev.time.as_nanos()).or_insert(0);
+            // Within one instant, payload (insertion index) ascends.
+            prop_assert!(ev.payload >= *last);
+            *last = ev.payload;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+        prop_assert_eq!(e.pending(), 0);
+    }
+}

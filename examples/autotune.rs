@@ -1,0 +1,66 @@
+//! Automated execution-parameter tuning (the paper's §5.4.3 direction).
+//!
+//! The advisor searches the Table 1 factor space — grid dimension,
+//! processor type, storage architecture, scheduling policy — using the
+//! calibrated cluster simulator as its oracle, pruning provably bad
+//! candidates with rules derived from the paper's observations.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use gpuflow::advisor::{Advisor, SearchSpace, Workload};
+use gpuflow::cluster::ClusterSpec;
+
+fn tune(advisor: &Advisor, workload: Workload) {
+    let space = SearchSpace::paper_defaults(&workload);
+    println!("=== {} ({} candidates) ===", workload.label(), space.size());
+    match advisor.advise(&workload, &space) {
+        Ok(rec) => {
+            for line in &rec.rationale {
+                println!("  {line}");
+            }
+            println!("  predicted makespan: {:.2} s", rec.makespan);
+            println!("  top of the ranking:");
+            for (candidate, makespan) in rec.ranking().into_iter().take(3) {
+                println!("    {:>8.2} s  {}", makespan, candidate.label());
+            }
+        }
+        Err(e) => println!("  no recommendation: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let advisor = Advisor::new(ClusterSpec::minotauro());
+
+    // The paper's two algorithm families plus the FMA variant.
+    tune(
+        &advisor,
+        Workload::Matmul {
+            dataset: gpuflow::data::paper::matmul_8gb(),
+        },
+    );
+    tune(
+        &advisor,
+        Workload::Kmeans {
+            dataset: gpuflow::data::paper::kmeans_10gb(),
+            clusters: 10,
+            iterations: 3,
+        },
+    );
+    tune(
+        &advisor,
+        Workload::Kmeans {
+            dataset: gpuflow::data::paper::kmeans_10gb(),
+            clusters: 1000,
+            iterations: 3,
+        },
+    );
+    tune(
+        &advisor,
+        Workload::MatmulFma {
+            dataset: gpuflow::data::paper::matmul_8gb(),
+        },
+    );
+}

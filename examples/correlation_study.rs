@@ -1,0 +1,34 @@
+//! Factor correlation study (Fig. 11, reduced sample set).
+//!
+//! Sweeps algorithm × grid × processor × storage × policy combinations,
+//! collects the Table 1 features for every completed run, and prints the
+//! Spearman correlation matrix plus the factors most correlated with
+//! parallel task execution time.
+//!
+//! ```sh
+//! cargo run --release --example correlation_study
+//! ```
+
+use gpuflow::experiments::{fig11, Context};
+
+fn main() {
+    let ctx = Context::default();
+    let fig = fig11::run_quick(&ctx);
+    println!("{}", fig.render());
+
+    println!("\nFactors most correlated with parallel task execution time:");
+    for (name, rho) in fig
+        .matrix
+        .strongest_with("parallel task exec. time")
+        .into_iter()
+        .take(8)
+    {
+        println!("  {rho:+.3}  {name}");
+    }
+    println!(
+        "\n({} samples; run `cargo run --release -p gpuflow-experiments --bin repro fig11`\n\
+         for the full {}-plus-sample study of the paper.)",
+        fig.table.rows(),
+        192
+    );
+}

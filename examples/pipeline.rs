@@ -1,0 +1,75 @@
+//! A multi-stage data-science pipeline (the workload class of §1):
+//! feature construction by matrix product, clustering of the result, and
+//! a nearest-neighbour query — chained into ONE dependency DAG so stages
+//! overlap wherever data allows, then executed on CPUs and on GPUs.
+//!
+//! ```sh
+//! cargo run --release --example pipeline
+//! ```
+
+use gpuflow::algorithms::Session;
+use gpuflow::cluster::{ClusterSpec, ProcessorKind};
+use gpuflow::data::{DatasetSpec, GridDim};
+use gpuflow::runtime::{run, trace_analysis, RunConfig};
+
+fn main() {
+    // Stage 1: C = A x B (feature construction, 2 GB operands).
+    // Stage 2: K-means over C's rows.
+    // Stage 3: KNN query against C.
+    let mut session = Session::new();
+    let a = session
+        .load(
+            DatasetSpec::uniform("A", 16_384, 16_384, 1),
+            GridDim::square(8),
+        )
+        .expect("valid partitioning");
+    let b = session
+        .load(
+            DatasetSpec::uniform("B", 16_384, 16_384, 2),
+            GridDim::square(8),
+        )
+        .expect("valid partitioning");
+    let c = session.matmul(&a, &b).expect("compatible operands");
+    session.kmeans_fit(&c, 50, 3).expect("valid clustering");
+    session.knn(&c, 256, 10).expect("valid query");
+    let workflow = session.build();
+
+    let shape = workflow.shape();
+    println!(
+        "pipeline DAG: {} tasks, width {}, height {} (three chained stages)\n",
+        shape.tasks, shape.max_width, shape.height
+    );
+
+    let cluster = ClusterSpec::minotauro();
+    for processor in ProcessorKind::ALL {
+        let report = run(&workflow, &RunConfig::new(cluster.clone(), processor))
+            .expect("pipeline fits the cluster");
+        println!("--- {} run ---", processor.label());
+        println!("makespan: {:.2} s", report.makespan());
+        for (name, stats) in &report.metrics.per_type {
+            println!(
+                "  {name:>12}: n={:<4} avg user code {:.4} s",
+                stats.count, stats.user_code
+            );
+        }
+        let path = trace_analysis::critical_path(&workflow, &report.records);
+        let path_types: Vec<&str> = path
+            .iter()
+            .map(|h| workflow.task(h.task).task_type.as_str())
+            .collect();
+        println!(
+            "  critical path ({} tasks): {}",
+            path.len(),
+            path_types.join(" -> ")
+        );
+        if processor == ProcessorKind::Gpu {
+            let wasted = trace_analysis::cpu_busy_gpu_idle_seconds(&report.records, 1);
+            println!("  resource wastage (CPUs busy, GPUs idle): {wasted:.2} s");
+        }
+        println!();
+    }
+    println!("Note how the pipeline couples the paper's findings: the matmul");
+    println!("stage wants GPUs and coarse blocks, the K-means stage is serial-");
+    println!("fraction-bound, and every stage pays the (de)serialization walls");
+    println!("of Observation O2 at its boundaries.");
+}

@@ -1,0 +1,172 @@
+//! `gpuflow` — command-line front end for the simulator, the advisor,
+//! and the trace tooling.
+//!
+//! ```text
+//! gpuflow run    --workload kmeans --rows 12500000 --cols 100 --grid 256 \
+//!                [--clusters 10] [--iterations 3] [--processor gpu]
+//!                [--storage shared|local] [--policy fifo|locality]
+//!                [--threads N] [--prv out.prv] [--csv out.csv]
+//! gpuflow advise --workload matmul --rows 32768 --cols 32768
+//! gpuflow dag    --workload kmeans --rows 4096 --cols 16 --grid 4 [--iterations 3]
+//! gpuflow help
+//! ```
+//!
+//! Workloads: `matmul`, `fma`, `kmeans`, `knn`, `cholesky`.
+
+use std::process::ExitCode;
+
+use gpuflow::advisor::{Advisor, SearchSpace, Workload};
+use gpuflow::cli::{policy_from, processor_from, storage_from, workload_from, Args};
+use gpuflow::cluster::{ClusterSpec, ProcessorKind};
+use gpuflow::runtime::{run, to_paraver_prv, trace_analysis, RunConfig, Workflow};
+
+fn build_workflow(args: &Args) -> Result<(Workload, Workflow), String> {
+    let workload = workload_from(args)?;
+    let grid: u64 = args.required_num("grid")?;
+    let workflow = workload
+        .build(grid)
+        .map_err(|e| format!("cannot partition: {e}"))?;
+    Ok((workload, workflow))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let (workload, workflow) = build_workflow(args)?;
+    let processor = processor_from(args)?;
+    let threads: usize = args.num("threads", 1)?;
+    let cluster = ClusterSpec::minotauro();
+    let want_trace = args.get("prv").is_some() || args.get("csv").is_some();
+    let mut config = RunConfig::new(cluster.clone(), processor)
+        .with_storage(storage_from(args)?)
+        .with_policy(policy_from(args)?)
+        .with_cpu_threads(threads);
+    if want_trace {
+        config = config.with_trace();
+    }
+
+    let shape = workflow.shape();
+    println!("workload:  {}", workload.label());
+    println!(
+        "workflow:  {} tasks, DAG width {}, height {}",
+        shape.tasks, shape.max_width, shape.height
+    );
+    println!(
+        "cluster:   {} nodes x ({} cores + {} GPUs)",
+        cluster.nodes, cluster.node.cpu_cores, cluster.node.gpus
+    );
+    let report = run(&workflow, &config).map_err(|e| e.to_string())?;
+    println!("makespan:  {:.3} s", report.makespan());
+    println!(
+        "cpu util:  {:.1} %   gpu kernel util: {:.1} %",
+        report.metrics.cpu_utilization * 100.0,
+        report.metrics.gpu_utilization * 100.0
+    );
+    println!(
+        "cache:     {} hits / {} misses   sched overhead: {:.3} s",
+        report.metrics.cache_hits, report.metrics.cache_misses, report.metrics.sched_overhead
+    );
+    for (name, stats) in &report.metrics.per_type {
+        println!(
+            "task {name:>14}: n={:<5} user {:.4}s (serial {:.4} | parallel {:.4} | comm {:.4})",
+            stats.count, stats.user_code, stats.serial, stats.parallel, stats.comm
+        );
+    }
+    if processor == ProcessorKind::Gpu {
+        let wasted = trace_analysis::cpu_busy_gpu_idle_seconds(&report.records, 1);
+        println!("resource wastage (CPU busy, GPUs idle): {wasted:.3} s");
+    }
+    if let Some(path) = args.get("prv") {
+        let prv = to_paraver_prv(&report.trace, cluster.nodes);
+        std::fs::write(path, prv).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("paraver trace written to {path}");
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, report.trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("csv trace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_advise(args: &Args) -> Result<(), String> {
+    let workload = workload_from(args)?;
+    let advisor = Advisor::new(ClusterSpec::minotauro());
+    let space = SearchSpace::paper_defaults(&workload);
+    let rec = advisor
+        .advise(&workload, &space)
+        .map_err(|e| e.to_string())?;
+    for line in &rec.rationale {
+        println!("{line}");
+    }
+    println!("predicted makespan: {:.3} s", rec.makespan);
+    println!("ranking (top 5 of {} candidates):", space.size());
+    for (candidate, makespan) in rec.ranking().into_iter().take(5) {
+        println!("  {makespan:>9.3} s  {}", candidate.label());
+    }
+    Ok(())
+}
+
+fn cmd_dag(args: &Args) -> Result<(), String> {
+    let (workload, workflow) = build_workflow(args)?;
+    let shape = workflow.shape();
+    eprintln!(
+        "{}: {} tasks, width {}, height {}",
+        workload.label(),
+        shape.tasks,
+        shape.max_width,
+        shape.height
+    );
+    println!("{}", workflow.to_dot(&workload.label()));
+    Ok(())
+}
+
+fn help() {
+    println!(
+        "gpuflow — distributed GPU-accelerated task-based workflows, simulated\n\
+         \n\
+         USAGE:\n\
+         \u{20} gpuflow run    --workload <w> --rows N --cols N --grid G [options]\n\
+         \u{20} gpuflow advise --workload <w> --rows N --cols N\n\
+         \u{20} gpuflow dag    --workload <w> --rows N --cols N --grid G\n\
+         \n\
+         WORKLOADS: matmul | fma | kmeans | knn | cholesky\n\
+         \n\
+         RUN OPTIONS:\n\
+         \u{20} --processor cpu|gpu      (default cpu)\n\
+         \u{20} --storage shared|local   (default shared)\n\
+         \u{20} --policy fifo|locality   (default fifo)\n\
+         \u{20} --threads N              CPU threads per task (default 1)\n\
+         \u{20} --clusters K --iterations I   (kmeans)\n\
+         \u{20} --queries Q --k K        (knn)\n\
+         \u{20} --seed S                 jitter/dataset seed\n\
+         \u{20} --prv FILE --csv FILE    trace exports\n\
+         \n\
+         Regenerate the paper's figures with the `repro` binary:\n\
+         \u{20} cargo run --release -p gpuflow-experiments --bin repro -- all"
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        help();
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "run" => Args::parse(rest).and_then(|a| cmd_run(&a)),
+        "advise" => Args::parse(rest).and_then(|a| cmd_advise(&a)),
+        "dag" => Args::parse(rest).and_then(|a| cmd_dag(&a)),
+        "help" | "--help" | "-h" => {
+            help();
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command '{other}' (run, advise, dag, help)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

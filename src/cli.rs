@@ -1,0 +1,227 @@
+//! Argument parsing for the `gpuflow` CLI binary — kept in the library
+//! so the flag grammar is unit-testable.
+
+use std::collections::HashMap;
+
+use gpuflow_advisor::Workload;
+use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
+use gpuflow_data::DatasetSpec;
+use gpuflow_runtime::SchedulingPolicy;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses a flat `--key value` argument list.
+    ///
+    /// # Errors
+    /// Rejects positional arguments and dangling flags.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}' (flags are --key value)"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    /// Raw value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Numeric flag with a default.
+    ///
+    /// # Errors
+    /// Reports unparsable values.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Mandatory numeric flag.
+    ///
+    /// # Errors
+    /// Reports missing or unparsable values.
+    pub fn required_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| format!("--{key} is required"))?;
+        v.parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'"))
+    }
+}
+
+/// Builds the workload described by `--workload` and its parameters.
+///
+/// # Errors
+/// Reports unknown workloads and missing dimensions.
+pub fn workload_from(args: &Args) -> Result<Workload, String> {
+    let rows: u64 = args.required_num("rows")?;
+    let cols: u64 = args.required_num("cols")?;
+    let seed: u64 = args.num("seed", 0xD151B)?;
+    let dataset = DatasetSpec::uniform("cli", rows, cols, seed);
+    match args.get("workload").unwrap_or("kmeans") {
+        "matmul" => Ok(Workload::Matmul { dataset }),
+        "fma" => Ok(Workload::MatmulFma { dataset }),
+        "cholesky" => Ok(Workload::Cholesky { dataset }),
+        "kmeans" => Ok(Workload::Kmeans {
+            dataset,
+            clusters: args.num("clusters", 10)?,
+            iterations: args.num("iterations", 3)?,
+        }),
+        "knn" => Ok(Workload::Knn {
+            dataset,
+            queries: args.num("queries", 256)?,
+            k: args.num("k", 10)?,
+        }),
+        other => Err(format!(
+            "unknown workload '{other}' (matmul, fma, kmeans, knn, cholesky)"
+        )),
+    }
+}
+
+/// Parses `--processor`.
+///
+/// # Errors
+/// Reports unknown values.
+pub fn processor_from(args: &Args) -> Result<ProcessorKind, String> {
+    match args.get("processor").unwrap_or("cpu") {
+        "cpu" => Ok(ProcessorKind::Cpu),
+        "gpu" => Ok(ProcessorKind::Gpu),
+        other => Err(format!("unknown processor '{other}' (cpu, gpu)")),
+    }
+}
+
+/// Parses `--storage`.
+///
+/// # Errors
+/// Reports unknown values.
+pub fn storage_from(args: &Args) -> Result<StorageArchitecture, String> {
+    match args.get("storage").unwrap_or("shared") {
+        "shared" => Ok(StorageArchitecture::SharedDisk),
+        "local" => Ok(StorageArchitecture::LocalDisk),
+        other => Err(format!("unknown storage '{other}' (shared, local)")),
+    }
+}
+
+/// Parses `--policy`.
+///
+/// # Errors
+/// Reports unknown values.
+pub fn policy_from(args: &Args) -> Result<SchedulingPolicy, String> {
+    match args.get("policy").unwrap_or("fifo") {
+        "fifo" | "generation-order" => Ok(SchedulingPolicy::GenerationOrder),
+        "locality" | "data-locality" => Ok(SchedulingPolicy::DataLocality),
+        "critical-path" | "cp" => Ok(SchedulingPolicy::CriticalPath),
+        other => Err(format!(
+            "unknown policy '{other}' (fifo, locality, critical-path)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        let v: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = args(&["--rows", "100", "--cols", "8"]);
+        assert_eq!(a.get("rows"), Some("100"));
+        assert_eq!(a.required_num::<u64>("cols").unwrap(), 8);
+        assert_eq!(a.num::<u64>("grid", 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        let bad = vec!["positional".to_string()];
+        assert!(Args::parse(&bad).is_err());
+        let dangling = vec!["--rows".to_string()];
+        assert!(Args::parse(&dangling).is_err());
+    }
+
+    #[test]
+    fn reports_unparsable_numbers() {
+        let a = args(&["--rows", "many"]);
+        let err = a.required_num::<u64>("rows").unwrap_err();
+        assert!(err.contains("cannot parse"));
+    }
+
+    #[test]
+    fn builds_every_workload() {
+        for (name, expect) in [
+            ("matmul", "Matmul"),
+            ("fma", "MatmulFMA"),
+            ("kmeans", "Kmeans"),
+            ("knn", "Knn"),
+            ("cholesky", "Cholesky"),
+        ] {
+            let a = args(&["--workload", name, "--rows", "64", "--cols", "64"]);
+            let w = workload_from(&a).unwrap();
+            assert!(w.label().contains(expect), "{name} -> {}", w.label());
+        }
+    }
+
+    #[test]
+    fn kmeans_parameters_flow_through() {
+        let a = args(&[
+            "--workload",
+            "kmeans",
+            "--rows",
+            "64",
+            "--cols",
+            "8",
+            "--clusters",
+            "7",
+            "--iterations",
+            "2",
+        ]);
+        let w = workload_from(&a).unwrap();
+        assert!(w.label().contains("k=7"));
+        assert!(w.label().contains("iters=2"));
+    }
+
+    #[test]
+    fn enum_flags_parse_with_aliases() {
+        let a = args(&["--processor", "gpu", "--storage", "local", "--policy", "cp"]);
+        assert_eq!(processor_from(&a).unwrap(), ProcessorKind::Gpu);
+        assert_eq!(storage_from(&a).unwrap(), StorageArchitecture::LocalDisk);
+        assert_eq!(policy_from(&a).unwrap(), SchedulingPolicy::CriticalPath);
+    }
+
+    #[test]
+    fn defaults_are_the_paper_settings() {
+        let a = args(&[]);
+        assert_eq!(processor_from(&a).unwrap(), ProcessorKind::Cpu);
+        assert_eq!(storage_from(&a).unwrap(), StorageArchitecture::SharedDisk);
+        assert_eq!(policy_from(&a).unwrap(), SchedulingPolicy::GenerationOrder);
+    }
+
+    #[test]
+    fn unknown_values_error_clearly() {
+        let a = args(&["--workload", "sorting", "--rows", "8", "--cols", "8"]);
+        assert!(workload_from(&a).unwrap_err().contains("unknown workload"));
+        let a = args(&["--processor", "tpu"]);
+        assert!(processor_from(&a)
+            .unwrap_err()
+            .contains("unknown processor"));
+    }
+}
