@@ -6,6 +6,9 @@
 //! repro fig7a fig7b ...  # several
 //! repro fig11 --quick    # reduced sample set
 //! repro all --out DIR    # additionally write one text file per artifact
+//! repro all --threads N  # sweep-level parallelism (default: all cores,
+//!                        # or GPUFLOW_THREADS); results are identical
+//!                        # at every thread count
 //! ```
 //!
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
@@ -31,11 +34,17 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
-    let skip_values: Vec<usize> = args
+    let threads = args
         .iter()
-        .position(|a| a == "--out")
-        .map(|i| vec![i, i + 1])
-        .unwrap_or_default();
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--threads takes a number"));
+    let mut skip_values: Vec<usize> = Vec::new();
+    for flag in ["--out", "--threads"] {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            skip_values.extend([i, i + 1]);
+        }
+    }
     let mut targets: Vec<&str> = args
         .iter()
         .enumerate()
@@ -51,7 +60,7 @@ fn main() {
         targets = paper.into_iter().chain(extras).collect();
     }
 
-    let ctx = Context::default();
+    let ctx = Context::default().with_threads(threads.unwrap_or(0));
     for target in targets {
         let t0 = Instant::now();
         let output = match target {

@@ -80,27 +80,28 @@ fn sweep(
     label: &str,
     workflows: &[(u64, String, gpuflow_runtime::Workflow)],
 ) -> Fig10 {
-    let mut cells = Vec::new();
-    for combo in COMBOS {
-        for (grid, block_label, wf) in workflows {
-            let cpu_out = ctx.run(wf, ProcessorKind::Cpu, combo.storage, combo.policy);
-            let gpu_out = ctx.run(wf, ProcessorKind::Gpu, combo.storage, combo.policy);
-            let note = match (&cpu_out, &gpu_out) {
-                (Outcome::CpuOom, Outcome::GpuOom) => Some("CPU+GPU OOM"),
-                (Outcome::CpuOom, _) => Some("CPU OOM"),
-                (_, Outcome::GpuOom) => Some("GPU OOM"),
-                _ => None,
-            };
-            cells.push(Fig10Cell {
-                grid: *grid,
-                block_label: block_label.clone(),
-                combo,
-                cpu: cpu_out.map(|r| r.metrics.parallel_task_time),
-                gpu: gpu_out.map(|r| r.metrics.parallel_task_time),
-                note,
-            });
+    let jobs: Vec<(Combo, &(u64, String, gpuflow_runtime::Workflow))> = COMBOS
+        .iter()
+        .flat_map(|&combo| workflows.iter().map(move |w| (combo, w)))
+        .collect();
+    let cells = ctx.par_map(&jobs, |_, &(combo, (grid, block_label, wf))| {
+        let cpu_out = ctx.run(wf, ProcessorKind::Cpu, combo.storage, combo.policy);
+        let gpu_out = ctx.run(wf, ProcessorKind::Gpu, combo.storage, combo.policy);
+        let note = match (&cpu_out, &gpu_out) {
+            (Outcome::CpuOom, Outcome::GpuOom) => Some("CPU+GPU OOM"),
+            (Outcome::CpuOom, _) => Some("CPU OOM"),
+            (_, Outcome::GpuOom) => Some("GPU OOM"),
+            _ => None,
+        };
+        Fig10Cell {
+            grid: *grid,
+            block_label: block_label.clone(),
+            combo,
+            cpu: cpu_out.map(|r| r.metrics.parallel_task_time),
+            gpu: gpu_out.map(|r| r.metrics.parallel_task_time),
+            note,
         }
-    }
+    });
     Fig10 {
         label: label.to_string(),
         cells,

@@ -267,8 +267,13 @@ fn build(
 ) -> Fig11 {
     let mut table = FeatureTable::new(FEATURES);
     let mut dropped = 0;
-    for (sample, proc, storage, policy) in &samples {
-        match collect(ctx, sample, *proc, *storage, *policy) {
+    // Samples are independent runs; rows are re-assembled in sample
+    // order, so the table is identical at any thread count.
+    let rows = ctx.par_map(&samples, |_, (sample, proc, storage, policy)| {
+        collect(ctx, sample, *proc, *storage, *policy)
+    });
+    for row in rows {
+        match row {
             Some(row) => table.push_row(&row),
             None => dropped += 1,
         }

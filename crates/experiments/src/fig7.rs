@@ -97,15 +97,12 @@ pub struct Fig7Sweep {
 
 /// Runs the Matmul sweep of Fig. 7a over `grids`.
 pub fn run_matmul(ctx: &Context, dataset: &DatasetSpec, grids: &[u64]) -> Fig7Sweep {
-    let rows = grids
-        .iter()
-        .map(|&g| {
-            let cfg = MatmulConfig::new(dataset.clone(), g).expect("valid paper grid");
-            let wf = cfg.build_workflow();
-            let label = format!("{:.0} ({}x{})", cfg.spec.block_mib(), g, g);
-            sweep_point(ctx, &wf, g, label)
-        })
-        .collect();
+    let rows = ctx.par_map(grids, |_, &g| {
+        let cfg = MatmulConfig::new(dataset.clone(), g).expect("valid paper grid");
+        let wf = cfg.build_workflow();
+        let label = format!("{:.0} ({}x{})", cfg.spec.block_mib(), g, g);
+        sweep_point(ctx, &wf, g, label)
+    });
     Fig7Sweep {
         label: format!("Matmul {}", dataset.name),
         rows,
@@ -120,16 +117,13 @@ pub fn run_kmeans(
     clusters: u64,
     iterations: u32,
 ) -> Fig7Sweep {
-    let rows = grids
-        .iter()
-        .map(|&g| {
-            let cfg = KmeansConfig::new(dataset.clone(), g, clusters, iterations)
-                .expect("valid paper grid");
-            let wf = cfg.build_workflow();
-            let label = format!("{:.0} ({}x1)", cfg.spec.block_mb(), g);
-            sweep_point(ctx, &wf, g, label)
-        })
-        .collect();
+    let rows = ctx.par_map(grids, |_, &g| {
+        let cfg =
+            KmeansConfig::new(dataset.clone(), g, clusters, iterations).expect("valid paper grid");
+        let wf = cfg.build_workflow();
+        let label = format!("{:.0} ({}x1)", cfg.spec.block_mb(), g);
+        sweep_point(ctx, &wf, g, label)
+    });
     Fig7Sweep {
         label: format!("K-means {}", dataset.name),
         rows,

@@ -37,7 +37,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod generalizability;
-mod measure;
+pub mod measure;
 pub mod memory;
 pub mod prediction;
 pub mod sensitivity;

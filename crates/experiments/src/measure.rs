@@ -1,9 +1,74 @@
 //! Shared measurement plumbing for the figure reproductions.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
 use gpuflow_runtime::{RunConfig, RunError, RunReport, SchedulingPolicy, Workflow};
+
+/// The worker-thread count to use when a [`Context`] does not pin one:
+/// the `GPUFLOW_THREADS` environment variable if set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn auto_threads() -> usize {
+    if let Ok(v) = std::env::var("GPUFLOW_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning
+/// the results **in item order**.
+///
+/// Workers pull item indices from a shared counter and stash each result
+/// with its index; results are then placed into pre-indexed slots, so the
+/// output is byte-identical to the sequential map regardless of thread
+/// count or interleaving — each simulated run is a pure function of its
+/// inputs, and slot `i` always holds `f(i, &items[i])`.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for part in parts {
+        for (i, u) in part {
+            slots[i] = Some(u);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
 
 /// The outcome of one run: a successful report or the OOM annotations the
 /// paper prints directly on its charts.
@@ -61,6 +126,9 @@ pub struct Context {
     /// Repetitions per configuration. The paper runs six and discards the
     /// warm-up; we average `repeats` already-warm simulated runs.
     pub repeats: u32,
+    /// Worker threads for sweep parallelism: `0` (the default) resolves
+    /// via [`auto_threads`]. Results are bit-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for Context {
@@ -69,6 +137,7 @@ impl Default for Context {
             cluster: ClusterSpec::minotauro(),
             base_seed: 0x9E37,
             repeats: 1,
+            threads: 0,
         }
     }
 }
@@ -79,6 +148,31 @@ impl Context {
         assert!(repeats > 0, "need at least one repetition");
         self.repeats = repeats;
         self
+    }
+
+    /// A context running sweeps on `threads` workers (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            auto_threads()
+        }
+    }
+
+    /// [`par_map`] with this context's thread count.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        par_map(self.effective_threads(), items, f)
     }
 
     /// Runs `workflow` once per repetition and returns the first outcome

@@ -228,16 +228,20 @@ pub fn cpu_threads_vs_makespan(grid: u64) -> Sweep {
     }
 }
 
-/// Runs every sweep.
+/// Runs every sweep. The sweeps are independent and run on
+/// [`auto_threads`](crate::measure::auto_threads) workers; the result
+/// order (and content) is fixed regardless of thread count.
 pub fn run_all() -> Vec<Sweep> {
-    vec![
-        bus_bandwidth_vs_add_func(),
-        gpu_memory_vs_oom_wall(),
-        gpus_per_node_vs_parallel_tasks(),
-        shared_disk_bandwidth_vs_deser(),
-        cpu_threads_vs_makespan(256),
-        cpu_threads_vs_makespan(8),
-    ]
+    type Job = fn() -> Sweep;
+    let jobs: [Job; 6] = [
+        bus_bandwidth_vs_add_func,
+        gpu_memory_vs_oom_wall,
+        gpus_per_node_vs_parallel_tasks,
+        shared_disk_bandwidth_vs_deser,
+        || cpu_threads_vs_makespan(256),
+        || cpu_threads_vs_makespan(8),
+    ];
+    crate::measure::par_map(crate::measure::auto_threads(), &jobs, |_, job| job())
 }
 
 /// Renders all sweeps.

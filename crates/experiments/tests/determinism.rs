@@ -1,0 +1,93 @@
+//! Determinism gates for the measurement stack.
+//!
+//! Two guarantees the perf work must never erode:
+//!
+//! * **golden makespans** — the simulator is a deterministic function of
+//!   its inputs, so canonical Matmul/K-means runs pin exact wall-clock
+//!   values under every scheduling policy (any scheduler change that
+//!   alters a placement or a tie-break shows up here);
+//! * **thread-count independence** — sweeps produce byte-identical
+//!   artifacts at any `--threads` setting.
+
+use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
+use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
+use gpuflow_experiments::{fig11, measure::par_map, Context};
+use gpuflow_runtime::{SchedulingPolicy, Workflow};
+
+fn canonical_matmul() -> Workflow {
+    MatmulConfig::new(gpuflow_data::paper::matmul_128mb(), 4)
+        .expect("valid grid")
+        .build_workflow()
+}
+
+fn canonical_kmeans() -> Workflow {
+    KmeansConfig::new(gpuflow_data::paper::kmeans_100mb(), 8, 10, 2)
+        .expect("valid grid")
+        .build_workflow()
+}
+
+fn makespan(ctx: &Context, wf: &Workflow, policy: SchedulingPolicy) -> f64 {
+    ctx.run(
+        wf,
+        ProcessorKind::Cpu,
+        StorageArchitecture::SharedDisk,
+        policy,
+    )
+    .report()
+    .expect("canonical workloads fit")
+    .makespan()
+}
+
+/// Pinned makespans (seconds) for the canonical workloads on the default
+/// Minotauro cluster, CPU + shared disk, seed 0x9E37. The values sit on
+/// the simulator's nanosecond grid, so equality up to 1e-9 is exact.
+#[test]
+fn golden_makespans_are_pinned_for_all_policies() {
+    let ctx = Context::default();
+    let mm = canonical_matmul();
+    let km = canonical_kmeans();
+    let cases = [
+        (&mm, SchedulingPolicy::GenerationOrder, 0.440342880),
+        (&mm, SchedulingPolicy::DataLocality, 0.579204533),
+        (&mm, SchedulingPolicy::CriticalPath, 0.458782256),
+        (&km, SchedulingPolicy::GenerationOrder, 0.178916613),
+        (&km, SchedulingPolicy::DataLocality, 0.209473418),
+        (&km, SchedulingPolicy::CriticalPath, 0.209473418),
+    ];
+    for (wf, policy, expected) in cases {
+        let got = makespan(&ctx, wf, policy);
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "{policy:?}: makespan {got:.9} drifted from pinned {expected:.9}"
+        );
+    }
+}
+
+/// Repeated runs of the same configuration are bitwise-identical.
+#[test]
+fn reruns_are_bitwise_identical() {
+    let ctx = Context::default();
+    let wf = canonical_kmeans();
+    let a = makespan(&ctx, &wf, SchedulingPolicy::DataLocality);
+    let b = makespan(&ctx, &wf, SchedulingPolicy::DataLocality);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+/// `par_map` returns results in item order at every thread count.
+#[test]
+fn par_map_preserves_item_order() {
+    let items: Vec<u64> = (0..103).collect();
+    let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+    for threads in [1, 2, 3, 8, 64] {
+        assert_eq!(par_map(threads, &items, |_, &x| x * x), expected);
+    }
+}
+
+/// The Fig. 11 artifact is byte-identical whether the sweep runs on one
+/// worker or many — the `--threads` knob must never change results.
+#[test]
+fn fig11_render_is_identical_across_thread_counts() {
+    let single = fig11::run_quick(&Context::default().with_threads(1)).render();
+    let multi = fig11::run_quick(&Context::default().with_threads(4)).render();
+    assert_eq!(single, multi);
+}

@@ -17,7 +17,7 @@
 //! object cache lets well-placed tasks skip deserialization, which is the
 //! mechanism coupling scheduling policy and storage architecture.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 
 use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
@@ -26,7 +26,7 @@ use gpuflow_sim::{Engine, FairShareLink, FlowId, GroupedLink, Jitter, SimDuratio
 use crate::cache::BlockCache;
 use crate::data::{DataId, DataVersion};
 use crate::metrics::{RunMetrics, TaskRecord};
-use crate::scheduler::{decision_overhead, place, NodeAvail, SchedulingPolicy};
+use crate::scheduler::{decision_overhead, place, NodeAvail, ReadyQueue, SchedulingPolicy};
 use crate::task::TaskId;
 use crate::trace::{Trace, TraceRecord, TraceState};
 use crate::workflow::{DagShape, Workflow};
@@ -414,8 +414,13 @@ struct Exec<'a> {
     master_busy: bool,
     pending_assign: Option<(TaskId, usize)>,
     sched_overhead: f64,
-    ready: BTreeSet<TaskId>,
+    ready: ReadyQueue,
     deps_left: Vec<usize>,
+    /// Scratch for node scoring, reused across decisions.
+    avail_scratch: Vec<NodeAvail>,
+    /// Scratch for the chosen task's resolved reads `(version, bytes)`,
+    /// reused across decisions.
+    reads_scratch: Vec<(DataVersion, u64)>,
     // Task state.
     runs: Vec<Option<TaskRun>>,
     records: Vec<TaskRecord>,
@@ -485,12 +490,14 @@ impl<'a> Exec<'a> {
             master_busy: false,
             pending_assign: None,
             sched_overhead: 0.0,
-            ready: BTreeSet::new(),
+            ready: ReadyQueue::new(cfg.policy),
             deps_left: wf
                 .tasks()
                 .iter()
                 .map(|t| wf.predecessors(t.id).len())
                 .collect(),
+            avail_scratch: Vec::with_capacity(nodes),
+            reads_scratch: Vec::new(),
             runs: wf.tasks().iter().map(|_| None).collect(),
             records: Vec::with_capacity(wf.tasks().len()),
             done: 0,
@@ -511,7 +518,7 @@ impl<'a> Exec<'a> {
     fn seed_ready(&mut self) {
         for (i, &d) in self.deps_left.iter().enumerate() {
             if d == 0 {
-                self.ready.insert(TaskId(i as u32));
+                self.ready.insert(self.upward_rank[i], TaskId(i as u32));
             }
         }
     }
@@ -543,79 +550,84 @@ impl<'a> Exec<'a> {
         }
     }
 
-    /// Bytes of `tid`'s inputs currently cached on `node`.
-    fn cached_bytes(&self, node: usize, tid: TaskId) -> u64 {
-        self.wf
-            .task(tid)
-            .reads()
-            .filter(|&(data, version)| self.caches[node].peek(DataVersion { id: data, version }))
-            .map(|(data, _)| self.wf.registry().object(data).bytes)
-            .sum()
-    }
-
     fn try_start_master(&mut self) {
-        if self.master_busy {
+        if self.master_busy || self.ready.is_empty() {
             return;
         }
-        // Cheap short-circuits: a task kind with zero free slots anywhere
-        // cannot be placed, so skip it without scoring nodes.
+        // O(nodes) pre-aggregates. `place` succeeds exactly when some
+        // node has a free slot for the task's resource kind, i.e. when
+        // the matching aggregate below is non-zero — so the first ready
+        // task (in dispatch order) passing these O(1) tests is the one
+        // the seed implementation placed after scoring every candidate.
         let total_free_cores: usize = self.free_cores.iter().sum();
         if total_free_cores == 0 {
             return;
         }
+        let max_free_cores: usize = self.free_cores.iter().copied().max().unwrap_or(0);
         let total_free_gpu_slots: usize = self
             .free_cores
             .iter()
             .zip(&self.free_gpus)
             .map(|(&c, &g)| c.min(g))
             .sum();
+        let chosen = self.ready.iter().find(|&tid| {
+            if self.is_gpu_task(tid) {
+                total_free_gpu_slots > 0
+            } else {
+                self.cores_needed(tid) <= max_free_cores
+            }
+        });
+        let Some(tid) = chosen else { return };
+
+        // Score the nodes exactly once, for the task that will be
+        // placed. The task's reads are resolved to `(version, bytes)`
+        // once, then each node only pays a cache peek per read.
         let score_cache = matches!(
             self.cfg.policy,
             SchedulingPolicy::DataLocality | SchedulingPolicy::CriticalPath
         );
-        let mut ready: Vec<TaskId> = self.ready.iter().copied().collect();
-        if self.cfg.policy == SchedulingPolicy::CriticalPath {
-            // Longest remaining critical path first (stable on task id).
-            ready.sort_by(|a, b| {
-                self.upward_rank[b.0 as usize]
-                    .partial_cmp(&self.upward_rank[a.0 as usize])
-                    .expect("finite ranks")
-                    .then(a.cmp(b))
+        let mut avail = std::mem::take(&mut self.avail_scratch);
+        let mut reads = std::mem::take(&mut self.reads_scratch);
+        avail.clear();
+        reads.clear();
+        if score_cache {
+            let reg = self.wf.registry();
+            reads.extend(self.wf.task(tid).reads().map(|(data, version)| {
+                (DataVersion { id: data, version }, reg.object(data).bytes)
+            }));
+        }
+        for node in 0..self.cfg.cluster.nodes {
+            let free_slots = self.free_slots(node, tid);
+            let cached_bytes = if score_cache && free_slots > 0 {
+                reads
+                    .iter()
+                    .filter(|&&(key, _)| self.caches[node].peek(key))
+                    .map(|&(_, bytes)| bytes)
+                    .sum()
+            } else {
+                0
+            };
+            avail.push(NodeAvail {
+                node,
+                free_slots,
+                cached_bytes,
             });
         }
-        for tid in ready {
-            if self.is_gpu_task(tid) && total_free_gpu_slots == 0 {
-                continue;
-            }
-            let avail: Vec<NodeAvail> = (0..self.cfg.cluster.nodes)
-                .map(|node| {
-                    let free_slots = self.free_slots(node, tid);
-                    NodeAvail {
-                        node,
-                        free_slots,
-                        cached_bytes: if score_cache && free_slots > 0 {
-                            self.cached_bytes(node, tid)
-                        } else {
-                            0
-                        },
-                    }
-                })
-                .collect();
-            if let Some(node) = place(self.cfg.policy, &avail, self.rr_cursor) {
-                self.rr_cursor = self.rr_cursor.wrapping_add(1);
-                self.ready.remove(&tid);
-                self.master_busy = true;
-                self.pending_assign = Some((tid, node));
-                let overhead = decision_overhead(
-                    self.cfg.policy,
-                    self.cfg.cluster.sched_overhead_fifo,
-                    self.cfg.cluster.sched_overhead_locality,
-                );
-                self.sched_overhead += overhead.as_secs_f64();
-                self.engine.schedule_after(overhead, Ev::MasterDone);
-                return;
-            }
-        }
+        let placed = place(self.cfg.policy, &avail, self.rr_cursor);
+        self.avail_scratch = avail;
+        self.reads_scratch = reads;
+        let node = placed.expect("a ready task passing the slot pre-checks is placeable");
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        self.ready.remove(self.upward_rank[tid.0 as usize], tid);
+        self.master_busy = true;
+        self.pending_assign = Some((tid, node));
+        let overhead = decision_overhead(
+            self.cfg.policy,
+            self.cfg.cluster.sched_overhead_fifo,
+            self.cfg.cluster.sched_overhead_locality,
+        );
+        self.sched_overhead += overhead.as_secs_f64();
+        self.engine.schedule_after(overhead, Ev::MasterDone);
     }
 
     fn handle(&mut self, ev: Ev) -> Result<(), RunError> {
@@ -693,7 +705,7 @@ impl<'a> Exec<'a> {
             let capacity = self.cfg.cluster.node.gpu.memory_bytes;
             if required > capacity {
                 return Err(RunError::GpuOom {
-                    task_type: spec.task_type.clone(),
+                    task_type: spec.task_type.to_string(),
                     required,
                     capacity,
                 });
@@ -703,7 +715,7 @@ impl<'a> Exec<'a> {
         let ram = self.cfg.cluster.node.ram_bytes;
         if self.ram_used[node] + host_footprint > ram {
             return Err(RunError::HostOom {
-                task_type: spec.task_type.clone(),
+                task_type: spec.task_type.to_string(),
                 required: self.ram_used[node] + host_footprint,
                 capacity: ram,
             });
@@ -998,14 +1010,12 @@ impl<'a> Exec<'a> {
             Stage::Encode { key, bytes } => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.stage = Stage::WriteLatency { key, bytes };
-                let node = run.node;
                 let latency = match self.cfg.storage {
                     StorageArchitecture::SharedDisk => {
                         self.cfg.cluster.network.latency + self.cfg.cluster.shared_disk.latency
                     }
                     StorageArchitecture::LocalDisk => self.cfg.cluster.node.local_disk.latency,
                 };
-                let _ = node;
                 self.engine.schedule_after(latency, Ev::TaskDelay(tid));
             }
             Stage::WriteLatency { key, bytes } => {
@@ -1093,7 +1103,7 @@ impl<'a> Exec<'a> {
             let d = &mut self.deps_left[succ.0 as usize];
             *d -= 1;
             if *d == 0 {
-                self.ready.insert(succ);
+                self.ready.insert(self.upward_rank[succ.0 as usize], succ);
             }
         }
         self.try_start_master();

@@ -25,7 +25,9 @@ pub use cache::BlockCache;
 pub use data::{DataId, DataRegistry, DataVersion, Direction};
 pub use executor::{run, RunConfig, RunError, RunReport};
 pub use metrics::{LevelStats, RunMetrics, TaskRecord, UserCodeStats};
-pub use scheduler::{decision_overhead, pick, place, NodeAvail, SchedulingPolicy};
-pub use task::{CostProfile, Param, TaskId, TaskSpec};
+pub use scheduler::{
+    decision_overhead, pick, place, NodeAvail, RankKey, ReadyQueue, SchedulingPolicy,
+};
+pub use task::{CostProfile, Param, TaskId, TaskSpec, TaskType};
 pub use trace::{paraver_pcf, to_paraver_prv, Trace, TraceRecord, TraceState};
 pub use workflow::{DagShape, Workflow, WorkflowBuilder};

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use gpuflow_cluster::ProcessorKind;
 use gpuflow_sim::{SimDuration, SimTime};
 
-use crate::task::TaskId;
+use crate::task::{TaskId, TaskType};
 
 /// Everything measured about one executed task.
 #[derive(Debug, Clone)]
@@ -20,7 +20,7 @@ pub struct TaskRecord {
     /// Task identifier.
     pub task: TaskId,
     /// Task type (aggregation key for user-code metrics).
-    pub task_type: String,
+    pub task_type: TaskType,
     /// Node that executed the task.
     pub node: usize,
     /// Host core index (within the node) the task occupied — the first
@@ -90,7 +90,7 @@ pub struct RunMetrics {
     /// Wall-clock makespan of the whole workflow, seconds.
     pub makespan: f64,
     /// Per-task-type user-code statistics.
-    pub per_type: BTreeMap<String, UserCodeStats>,
+    pub per_type: BTreeMap<TaskType, UserCodeStats>,
     /// Mean deserialization time per used CPU core, seconds.
     pub deser_per_core: f64,
     /// Mean serialization time per used CPU core, seconds.
@@ -132,7 +132,7 @@ impl RunMetrics {
         gpu_utilization: f64,
         peak_node_ram: u64,
     ) -> Self {
-        let mut per_type: BTreeMap<String, UserCodeStats> = BTreeMap::new();
+        let mut per_type: BTreeMap<TaskType, UserCodeStats> = BTreeMap::new();
         for r in records {
             let s = per_type.entry(r.task_type.clone()).or_default();
             s.count += 1;

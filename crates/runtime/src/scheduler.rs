@@ -12,6 +12,9 @@
 //! [`ClusterSpec`](gpuflow_cluster::ClusterSpec); the policy here decides
 //! placement.
 
+use std::cmp::{Ordering, Reverse};
+use std::collections::BTreeSet;
+
 use gpuflow_sim::SimDuration;
 
 use crate::task::TaskId;
@@ -45,6 +48,97 @@ impl SchedulingPolicy {
             SchedulingPolicy::DataLocality => "data locality",
             SchedulingPolicy::CriticalPath => "critical path",
         }
+    }
+}
+
+/// A total-order key over an upward rank (a non-NaN `f64`).
+///
+/// Ordering agrees with `partial_cmp` on every non-NaN value: `-0.0` is
+/// normalised to `+0.0` at construction, so `total_cmp`'s artificial
+/// `-0.0 < +0.0` distinction never surfaces, and ties fall through to
+/// whatever secondary key the container pairs it with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankKey(f64);
+
+impl RankKey {
+    /// Wraps `rank`; `-0.0` collapses to `+0.0`.
+    pub fn new(rank: f64) -> Self {
+        debug_assert!(!rank.is_nan(), "task ranks must be comparable");
+        RankKey(if rank == 0.0 { 0.0 } else { rank })
+    }
+}
+
+impl Eq for RankKey {}
+
+impl PartialOrd for RankKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The executor's ready set, kept in dispatch order so every scheduling
+/// decision starts from the front instead of re-sorting the whole set.
+///
+/// Iteration order is the order the seed executor produced by sorting on
+/// each decision:
+///
+/// * [`SchedulingPolicy::CriticalPath`] — descending upward rank, ties
+///   on ascending task id (HEFT dispatch order);
+/// * the other policies ignore ranks (every task is keyed with rank 0),
+///   so iteration is plain ascending task id — generation order.
+#[derive(Debug, Clone)]
+pub struct ReadyQueue {
+    use_rank: bool,
+    set: BTreeSet<(Reverse<RankKey>, TaskId)>,
+}
+
+impl ReadyQueue {
+    /// An empty queue ordered for `policy`.
+    pub fn new(policy: SchedulingPolicy) -> Self {
+        ReadyQueue {
+            use_rank: policy == SchedulingPolicy::CriticalPath,
+            set: BTreeSet::new(),
+        }
+    }
+
+    fn key(&self, rank: f64, task: TaskId) -> (Reverse<RankKey>, TaskId) {
+        let rank = if self.use_rank { rank } else { 0.0 };
+        (Reverse(RankKey::new(rank)), task)
+    }
+
+    /// Inserts `task` with its upward rank. Re-inserting is a no-op as
+    /// long as the rank is unchanged (ranks are fixed per run).
+    pub fn insert(&mut self, rank: f64, task: TaskId) {
+        let key = self.key(rank, task);
+        self.set.insert(key);
+    }
+
+    /// Removes `task`, which must have been inserted with `rank`.
+    /// Returns whether it was present.
+    pub fn remove(&mut self, rank: f64, task: TaskId) -> bool {
+        let key = self.key(rank, task);
+        self.set.remove(&key)
+    }
+
+    /// Tasks in dispatch order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.set.iter().map(|&(_, task)| task)
+    }
+
+    /// Number of ready tasks.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no task is ready.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
     }
 }
 
@@ -230,5 +324,54 @@ mod tests {
     fn critical_path_places_like_locality() {
         let nodes = avail(&[(0, 3, 10), (1, 1, 500), (2, 2, 10)]);
         assert_eq!(place(SchedulingPolicy::CriticalPath, &nodes, 0), Some(1));
+    }
+
+    #[test]
+    fn rank_key_orders_like_partial_cmp() {
+        assert!(RankKey::new(1.0) < RankKey::new(2.0));
+        assert!(RankKey::new(0.0) < RankKey::new(f64::INFINITY));
+        assert_eq!(RankKey::new(-0.0), RankKey::new(0.0));
+        assert_eq!(
+            RankKey::new(-0.0).cmp(&RankKey::new(0.0)),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn ready_queue_critical_path_orders_by_rank_then_id() {
+        let mut q = ReadyQueue::new(SchedulingPolicy::CriticalPath);
+        q.insert(1.0, TaskId(5));
+        q.insert(3.0, TaskId(9));
+        q.insert(3.0, TaskId(2));
+        q.insert(0.5, TaskId(0));
+        let order: Vec<TaskId> = q.iter().collect();
+        assert_eq!(order, vec![TaskId(2), TaskId(9), TaskId(5), TaskId(0)]);
+    }
+
+    #[test]
+    fn ready_queue_other_policies_order_by_id() {
+        for policy in [
+            SchedulingPolicy::GenerationOrder,
+            SchedulingPolicy::DataLocality,
+        ] {
+            let mut q = ReadyQueue::new(policy);
+            q.insert(1.0, TaskId(5));
+            q.insert(9.0, TaskId(7));
+            q.insert(4.0, TaskId(1));
+            let order: Vec<TaskId> = q.iter().collect();
+            assert_eq!(order, vec![TaskId(1), TaskId(5), TaskId(7)], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn ready_queue_remove_uses_the_insertion_rank() {
+        let mut q = ReadyQueue::new(SchedulingPolicy::CriticalPath);
+        q.insert(2.5, TaskId(3));
+        q.insert(1.0, TaskId(4));
+        assert!(q.remove(2.5, TaskId(3)));
+        assert!(!q.remove(2.5, TaskId(3)), "already gone");
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.iter().next(), Some(TaskId(4)));
     }
 }

@@ -1,7 +1,10 @@
 //! Task specifications: what a task accesses, what it costs, where it may
 //! run.
 
+use std::borrow::Borrow;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use gpuflow_cluster::{CpuModel, KernelWork};
 
@@ -14,6 +17,95 @@ pub struct TaskId(pub u32);
 impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{}", self.0)
+    }
+}
+
+/// Interned task-type name. All tasks of one type share a single
+/// allocation, so cloning a type into per-task records and metric keys
+/// is a reference-count bump rather than a string copy.
+///
+/// Orders, hashes, and compares exactly like the underlying string, and
+/// borrows as `str`, so `BTreeMap<TaskType, _>` lookups work with plain
+/// `&str` keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskType(Arc<str>);
+
+impl TaskType {
+    /// Interns `name` as a task type.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        TaskType(name.into())
+    }
+
+    /// The type name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for TaskType {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for TaskType {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for TaskType {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TaskType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TaskType {
+    fn from(name: &str) -> Self {
+        TaskType(name.into())
+    }
+}
+
+impl From<String> for TaskType {
+    fn from(name: String) -> Self {
+        TaskType(name.into())
+    }
+}
+
+impl From<&String> for TaskType {
+    fn from(name: &String) -> Self {
+        TaskType(name.as_str().into())
+    }
+}
+
+impl PartialEq<str> for TaskType {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for TaskType {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for TaskType {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<TaskType> for &str {
+    fn eq(&self, other: &TaskType) -> bool {
+        *self == other.as_str()
     }
 }
 
@@ -111,7 +203,7 @@ pub struct TaskSpec {
     pub id: TaskId,
     /// Task type name — tasks sharing a name aggregate together in the
     /// paper's user-code metrics (e.g. `"matmul_func"`).
-    pub task_type: String,
+    pub task_type: TaskType,
     /// Parameter accesses with resolved versions.
     pub params: Vec<Param>,
     /// Cost model.

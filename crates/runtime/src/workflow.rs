@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use crate::data::{DataId, DataRegistry, Direction};
-use crate::task::{CostProfile, Param, TaskId, TaskSpec};
+use crate::task::{CostProfile, Param, TaskId, TaskSpec, TaskType};
 
 /// A fully built workflow: tasks, dependencies, registry, and DAG shape.
 #[derive(Debug, Clone)]
@@ -183,6 +183,9 @@ pub struct WorkflowBuilder {
     tasks: Vec<TaskSpec>,
     succs: Vec<Vec<TaskId>>,
     preds: Vec<Vec<TaskId>>,
+    /// Interned task types; workflows have a handful, so a linear scan
+    /// beats a hash map.
+    type_pool: Vec<TaskType>,
 }
 
 impl WorkflowBuilder {
@@ -208,11 +211,12 @@ impl WorkflowBuilder {
     /// Fails on read-before-write.
     pub fn submit(
         &mut self,
-        task_type: impl Into<String>,
+        task_type: impl AsRef<str>,
         cost: CostProfile,
         accesses: &[(DataId, Direction)],
         cpu_only: bool,
     ) -> Result<TaskId, String> {
+        let task_type = self.intern_type(task_type.as_ref());
         let id = TaskId(self.tasks.len() as u32);
         let mut deps: BTreeSet<TaskId> = BTreeSet::new();
         let mut params = Vec::with_capacity(accesses.len());
@@ -233,7 +237,7 @@ impl WorkflowBuilder {
         }
         self.tasks.push(TaskSpec {
             id,
-            task_type: task_type.into(),
+            task_type,
             params,
             cost,
             cpu_only,
@@ -245,6 +249,17 @@ impl WorkflowBuilder {
             self.preds[id.0 as usize].push(dep);
         }
         Ok(id)
+    }
+
+    /// Returns the interned [`TaskType`] for `name`, creating it on
+    /// first sight.
+    fn intern_type(&mut self, name: &str) -> TaskType {
+        if let Some(t) = self.type_pool.iter().find(|t| t.as_str() == name) {
+            return t.clone();
+        }
+        let t = TaskType::from(name);
+        self.type_pool.push(t.clone());
+        t
     }
 
     /// Inserts an explicit synchronisation barrier, as PyCOMPSs

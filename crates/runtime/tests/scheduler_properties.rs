@@ -1,0 +1,98 @@
+//! Property suite for the rank-ordered ready structure: its iteration
+//! order must reproduce, for every policy, exactly the order the seed
+//! executor produced by collecting and sorting the ready set on each
+//! scheduling decision.
+
+use gpuflow_runtime::{ReadyQueue, SchedulingPolicy, TaskId};
+use proptest::prelude::*;
+
+/// The seed executor's dispatch order: ascending task id, except under
+/// CriticalPath, which sorted by descending upward rank with ties on
+/// ascending task id.
+fn seed_order(policy: SchedulingPolicy, tasks: &[(u32, f64)]) -> Vec<TaskId> {
+    let mut ids: Vec<TaskId> = tasks.iter().map(|&(id, _)| TaskId(id)).collect();
+    ids.sort();
+    ids.dedup();
+    if policy == SchedulingPolicy::CriticalPath {
+        let rank = |t: TaskId| tasks.iter().find(|&&(id, _)| id == t.0).expect("present").1;
+        ids.sort_by(|a, b| {
+            rank(*b)
+                .partial_cmp(&rank(*a))
+                .expect("finite ranks")
+                .then(a.cmp(b))
+        });
+    }
+    ids
+}
+
+fn queue_order(policy: SchedulingPolicy, tasks: &[(u32, f64)]) -> Vec<TaskId> {
+    let mut q = ReadyQueue::new(policy);
+    let mut seen = std::collections::BTreeSet::new();
+    for &(id, rank) in tasks {
+        if seen.insert(id) {
+            q.insert(rank, TaskId(id));
+        }
+    }
+    q.iter().collect()
+}
+
+proptest! {
+    /// Under every policy, the queue iterates in the seed's sort order.
+    #[test]
+    fn ready_queue_matches_seed_sort(
+        ids in prop::collection::vec(0u32..64, 1..40),
+        ranks in prop::collection::vec(0.0f64..100.0, 40..41),
+    ) {
+        // Pair each distinct id with a rank; duplicated ids keep their
+        // first rank (ranks are per-task constants in the executor).
+        let tasks: Vec<(u32, f64)> = ids
+            .iter()
+            .map(|&id| (id, ranks[id as usize % ranks.len()]))
+            .collect();
+        for policy in [
+            SchedulingPolicy::GenerationOrder,
+            SchedulingPolicy::DataLocality,
+            SchedulingPolicy::CriticalPath,
+        ] {
+            prop_assert_eq!(
+                queue_order(policy, &tasks),
+                seed_order(policy, &tasks),
+                "policy {:?}",
+                policy
+            );
+        }
+    }
+
+    /// Removing the front repeatedly pops tasks in dispatch order, and
+    /// interleaved insert/remove keeps the order consistent.
+    #[test]
+    fn ready_queue_pops_in_dispatch_order(
+        ids in prop::collection::vec(0u32..48, 1..30),
+    ) {
+        let tasks: Vec<(u32, f64)> = ids.iter().map(|&id| (id, (id % 7) as f64)).collect();
+        for policy in [
+            SchedulingPolicy::GenerationOrder,
+            SchedulingPolicy::CriticalPath,
+        ] {
+            let mut q = ReadyQueue::new(policy);
+            let mut seen = std::collections::BTreeSet::new();
+            for &(id, rank) in &tasks {
+                if seen.insert(id) {
+                    q.insert(rank, TaskId(id));
+                }
+            }
+            let expected = seed_order(policy, &tasks);
+            let mut popped = Vec::new();
+            loop {
+                let front = q.iter().next();
+                let Some(front) = front else { break };
+                let rank = (front.0 % 7) as f64;
+                prop_assert!(q.remove(rank, front));
+                popped.push(front);
+            }
+            prop_assert_eq!(popped, expected, "policy {:?}", policy);
+            prop_assert!(q.is_empty());
+            prop_assert_eq!(q.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stand-in provides the same API surface (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`) with a simple wall-clock sampler: per benchmark it
+//! estimates the cost of one iteration, sizes samples to roughly 5 ms,
+//! runs up to `sample_size` samples bounded by a ~2 s per-bench budget,
+//! and prints `min / median / max` per-iteration times. No statistics
+//! beyond that, no plots, no saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Soft cap on total measured time per benchmark.
+const BENCH_BUDGET: Duration = Duration::from_secs(2);
+
+/// Benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} \u{00b5}s", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up run doubling as a per-iteration cost estimate.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let per_sample = per_iter * iters as u32;
+    let budget_samples = (BENCH_BUDGET.as_nanos() / per_sample.as_nanos().max(1)).max(3) as usize;
+    let samples = sample_size.min(budget_samples).max(1);
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed / iters as u32);
+    }
+    times.sort_unstable();
+    let (min, med, max) = (times[0], times[times.len() / 2], times[times.len() - 1]);
+    println!(
+        "{id:<50} time: [{} {} {}]  ({samples} samples x {iters} iters)",
+        human(min),
+        human(med),
+        human(max),
+    );
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` plus any user args; the last
+        // non-flag argument acts as a substring filter, as in criterion.
+        let filter = std::env::args().skip(1).rfind(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (no-op shim; kept for API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.matches(id) {
+            run_bench(id, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.matches(&full) {
+            run_bench(&full, self.effective_samples(), &mut f);
+        }
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_bench(&full, self.effective_samples(), &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Closes the group (no-op shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_all_iterations() {
+        let mut hits = 0u64;
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 7);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("kmeans", 42).id, "kmeans/42");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(human(Duration::from_micros(3)), "3.00 \u{00b5}s");
+        assert_eq!(human(Duration::from_millis(250)), "250.00 ms");
+        assert_eq!(human(Duration::from_secs(2)), "2.000 s");
+    }
+}

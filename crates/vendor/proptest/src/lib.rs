@@ -1,0 +1,188 @@
+//! Offline drop-in replacement for the subset of `proptest` this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stand-in provides the `proptest!` / `prop_assert!` macros and the
+//! strategy combinators the test suites rely on (integer and float
+//! ranges, `prop::collection::vec`, `prop::bool::ANY`, tuples). Case
+//! generation is deterministic: every property runs a fixed number of
+//! cases from a fixed-seed RNG, so failures reproduce without shrinking.
+
+/// Number of cases each property runs.
+pub const CASES: usize = 128;
+
+pub mod strategy {
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A value generator (subset of `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),+) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    range_strategy!(usize, u32, u64, i32, i64, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds the fixed-seed RNG driving a property's cases.
+    pub fn deterministic_rng() -> StdRng {
+        StdRng::seed_from_u64(0x70726f70_74657374) // "proptest"
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prop`-style paths
+/// (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use core::ops::Range;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec<T>` with a uniformly sampled length.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors of `element` with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Uniform boolean strategy.
+        pub struct Any;
+
+        /// Uniform boolean strategy (mirrors `prop::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut StdRng) -> bool {
+                rng.gen::<bool>()
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::test_runner::deterministic_rng();
+                for _ in 0..$crate::CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property-test condition (shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Asserts equality in a property test (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// Asserts inequality in a property test (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            n in 3usize..9,
+            x in -2.5f64..2.5,
+            pair in (0u64..4, 10.0f64..20.0),
+        ) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-2.5..2.5).contains(&x));
+            prop_assert!(pair.0 < 4 && (10.0..20.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in prop::collection::vec(prop::bool::ANY, 1..50),
+        ) {
+            prop_assert!((1..50).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::deterministic_rng();
+        let mut b = crate::test_runner::deterministic_rng();
+        let s = 0usize..100;
+        for _ in 0..32 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

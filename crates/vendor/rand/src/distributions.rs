@@ -1,0 +1,273 @@
+//! `Standard` distribution and uniform range sampling, bit-compatible
+//! with rand 0.8.5.
+
+use crate::RngCore;
+
+/// A distribution that can sample values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution (rand 0.8 semantics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 bits of precision scaled to [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8; // 24 bits
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    #[cfg(target_pointer_width = "64")]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+    #[cfg(not(target_pointer_width = "64"))]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u32() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: sign-bit-free test on the top bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Uniform range sampling (subset of `rand::distributions::uniform`).
+pub mod uniform {
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Samples from `[low, high)`, matching rand 0.8.5's
+        /// `UniformSampler::sample_single`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Samples from `[low, high]`, matching rand 0.8.5's
+        /// `UniformSampler::sample_single_inclusive`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range types usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+        fn is_empty(&self) -> bool {
+            // Mirrors upstream: an empty range, or an incomparable pair.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            {
+                !(self.start < self.end)
+            }
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            T::sample_single_inclusive(start, end, rng)
+        }
+        fn is_empty(&self) -> bool {
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            {
+                !(self.start() <= self.end())
+            }
+        }
+    }
+
+    macro_rules! uniform_int_64 {
+        ($ty:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    // rand 0.8.5 UniformInt::sample_single: widening
+                    // multiply with one-sided rejection.
+                    debug_assert!(low < high);
+                    let range = high.wrapping_sub(low) as u64;
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u64();
+                        let m = (v as u128).wrapping_mul(range as u128);
+                        let (hi, lo) = ((m >> 64) as u64, m as u64);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    debug_assert!(low <= high);
+                    let range = (high.wrapping_sub(low) as u64).wrapping_add(1);
+                    if range == 0 {
+                        // Span covers the whole type.
+                        return rng.next_u64() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u64();
+                        let m = (v as u128).wrapping_mul(range as u128);
+                        let (hi, lo) = ((m >> 64) as u64, m as u64);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_64!(u64);
+    uniform_int_64!(i64);
+    #[cfg(target_pointer_width = "64")]
+    uniform_int_64!(usize);
+
+    macro_rules! uniform_int_32 {
+        ($ty:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    debug_assert!(low < high);
+                    let range = high.wrapping_sub(low) as u32;
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u32();
+                        let m = (v as u64).wrapping_mul(range as u64);
+                        let (hi, lo) = ((m >> 32) as u32, m as u32);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    debug_assert!(low <= high);
+                    let range = (high.wrapping_sub(low) as u32).wrapping_add(1);
+                    if range == 0 {
+                        return rng.next_u32() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.next_u32();
+                        let m = (v as u64).wrapping_mul(range as u64);
+                        let (hi, lo) = ((m >> 32) as u32, m as u32);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_32!(u32);
+    uniform_int_32!(i32);
+    #[cfg(not(target_pointer_width = "64"))]
+    uniform_int_32!(usize);
+
+    /// `[1, 2)` from 52 mantissa bits (rand's `into_float_with_exponent(0)`).
+    #[inline(always)]
+    fn f64_value1_2<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52))
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            // rand 0.8.5 UniformFloat::sample_single: retry loop that
+            // shrinks the scale by one ulp whenever rounding lands on
+            // `high`.
+            debug_assert!(low < high);
+            let mut scale = high - low;
+            loop {
+                let value0_1 = f64_value1_2(rng) - 1.0;
+                let res = value0_1 * scale + low;
+                if res < high {
+                    return res;
+                }
+                debug_assert!(scale.is_finite(), "non-finite range");
+                scale = f64::from_bits(scale.to_bits() - 1);
+            }
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self {
+            debug_assert!(low <= high);
+            let scale = (high - low) / (1.0 - f64::EPSILON / 2.0);
+            let value0_1 = f64_value1_2(rng) - 1.0;
+            value0_1 * scale + low
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn int_sampling_is_unbiased_enough_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 7];
+        for _ in 0..7000 {
+            counts[usize::sample_single(0, 7, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_float_covers_negative_band() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for _ in 0..10_000 {
+            let v = f64::sample_single_inclusive(-0.02, 0.02, &mut rng);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            assert!((-0.02..=0.02).contains(&v));
+        }
+        assert!(lo < -0.015 && hi > 0.015, "band poorly covered: {lo} {hi}");
+    }
+}

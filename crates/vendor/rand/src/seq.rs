@@ -1,0 +1,47 @@
+//! Slice extensions (subset of `rand::seq`), bit-compatible with
+//! rand 0.8.5.
+
+use crate::{Rng, RngCore};
+
+/// Uniform index in `[0, ubound)`, as rand 0.8.5's private
+/// `seq::gen_index`: 32-bit sampling whenever the bound fits, so 32- and
+/// 64-bit platforms produce the same stream.
+#[inline]
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+/// Extension trait on slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place: upstream's reverse Fisher-Yates over
+    /// `gen_index(rng, i + 1)`.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one random element, or `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(gen_index(rng, self.len()))
+        }
+    }
+}
