@@ -9,18 +9,23 @@
 //! repro all --threads N  # sweep-level parallelism (default: all cores,
 //!                        # or GPUFLOW_THREADS); results are identical
 //!                        # at every thread count
+//! repro all --telemetry DIR  # additionally run the canonical Matmul with
+//!                            # telemetry and write telemetry.jsonl,
+//!                            # trace.chrome.json, decisions.log,
+//!                            # overhead.txt into DIR
 //! ```
 //!
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
 //! fig10a, fig10b, fig11, fig12, plus the extensions `sensitivity`
-//! (resource-parameter sweeps the paper defers to future work) and
-//! `generalizability` (the §5.5.1 parallel-fraction spectrum).
+//! (resource-parameter sweeps the paper defers to future work),
+//! `generalizability` (the §5.5.1 parallel-fraction spectrum), and `obs`
+//! (telemetry bundle: event summary + overhead decomposition).
 
 use std::time::Instant;
 
 use gpuflow_experiments::{
     ablation, factors, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9, generalizability, memory,
-    prediction, sensitivity, Context,
+    obs, prediction, sensitivity, Context,
 };
 
 fn main() {
@@ -39,8 +44,13 @@ fn main() {
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse::<usize>().expect("--threads takes a number"));
+    let telemetry_dir = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let mut skip_values: Vec<usize> = Vec::new();
-    for flag in ["--out", "--threads"] {
+    for flag in ["--out", "--threads", "--telemetry"] {
         if let Some(i) = args.iter().position(|a| a == flag) {
             skip_values.extend([i, i + 1]);
         }
@@ -132,6 +142,7 @@ fn main() {
             "generalizability" => generalizability::run(&ctx).render(),
             "prediction" => prediction::run(&ctx).render(),
             "memory" => memory::run(&ctx).render(),
+            "obs" => obs::run(&ctx).render(),
             "ablation" => format!(
                 "{}
 {}",
@@ -150,5 +161,19 @@ fn main() {
             eprintln!("[{target} -> {}]", path.display());
         }
         eprintln!("[{target} regenerated in {:.2?}]", t0.elapsed());
+    }
+
+    if let Some(dir) = &telemetry_dir {
+        let t0 = Instant::now();
+        let bundle = obs::run(&ctx);
+        bundle
+            .write_dir(std::path::Path::new(dir))
+            .expect("write telemetry bundle");
+        println!("{}", bundle.render());
+        eprintln!(
+            "[telemetry bundle ({} events) -> {dir} in {:.2?}]",
+            bundle.events,
+            t0.elapsed()
+        );
     }
 }

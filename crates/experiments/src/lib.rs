@@ -18,6 +18,7 @@
 //! | [`prediction`] | extension: the §5.4.3 learning-model direction (regression-tree time predictor) |
 //! | [`ablation`] | extension: scheduler ablation (incl. critical-path policy) and run-variance study |
 //! | [`memory`] | extension: the §1 "memory robustness" claim, quantified |
+//! | [`obs`] | extension: telemetry artifact bundle (JSONL, Chrome trace, decision log, overhead) |
 //!
 //! Each module exposes `run(&Context)` returning structured results with
 //! a `render()` text table, so the `repro` binary, the Criterion benches,
@@ -39,6 +40,7 @@ pub mod fig9;
 pub mod generalizability;
 pub mod measure;
 pub mod memory;
+pub mod obs;
 pub mod prediction;
 pub mod sensitivity;
 mod table;

@@ -7,12 +7,15 @@
 //!   values under every scheduling policy (any scheduler change that
 //!   alters a placement or a tie-break shows up here);
 //! * **thread-count independence** — sweeps produce byte-identical
-//!   artifacts at any `--threads` setting.
+//!   artifacts at any `--threads` setting;
+//! * **telemetry transparency** — the event bus is a pure observer:
+//!   disabled, artifacts are byte-identical to the seed; enabled, the
+//!   JSONL stream is byte-identical at every thread count.
 
 use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
 use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
-use gpuflow_experiments::{fig11, measure::par_map, Context};
-use gpuflow_runtime::{SchedulingPolicy, Workflow};
+use gpuflow_experiments::{fig11, measure::par_map, obs, Context};
+use gpuflow_runtime::{RunConfig, SchedulingPolicy, Workflow};
 
 fn canonical_matmul() -> Workflow {
     MatmulConfig::new(gpuflow_data::paper::matmul_128mb(), 4)
@@ -90,4 +93,33 @@ fn fig11_render_is_identical_across_thread_counts() {
     let single = fig11::run_quick(&Context::default().with_threads(1)).render();
     let multi = fig11::run_quick(&Context::default().with_threads(4)).render();
     assert_eq!(single, multi);
+}
+
+/// Telemetry is an observer: enabling it must not perturb the simulated
+/// schedule. With telemetry off the artifacts (makespan, trace CSV) are
+/// byte-identical to a telemetry-on run of the same configuration — and
+/// the off-run's telemetry log is empty.
+#[test]
+fn telemetry_is_a_pure_observer() {
+    let ctx = Context::default();
+    let wf = canonical_matmul();
+    let base = RunConfig::new(ctx.cluster.clone(), ProcessorKind::Gpu).with_seed(ctx.base_seed);
+    let off = gpuflow_runtime::run(&wf, &base.clone().with_trace()).expect("fits");
+    let on = gpuflow_runtime::run(&wf, &base.with_trace().with_telemetry()).expect("fits");
+    assert_eq!(off.makespan().to_bits(), on.makespan().to_bits());
+    assert_eq!(off.trace.to_csv(), on.trace.to_csv());
+    assert!(off.telemetry.is_empty(), "disabled telemetry stays empty");
+    assert!(!on.telemetry.is_empty());
+}
+
+/// The telemetry JSONL stream is byte-identical at every `--threads`
+/// setting, including when several runs execute concurrently under
+/// `par_map` — host timing never leaks into the serialized stream.
+#[test]
+fn telemetry_jsonl_is_identical_across_thread_counts() {
+    let single = obs::run(&Context::default().with_threads(1)).jsonl;
+    let multi = obs::run(&Context::default().with_threads(4)).jsonl;
+    assert_eq!(single, multi);
+    let concurrent = par_map(4, &[(); 4], |_, _| obs::run(&Context::default()).jsonl);
+    assert!(concurrent.iter().all(|j| *j == single));
 }

@@ -28,7 +28,10 @@ use crate::data::{DataId, DataVersion};
 use crate::metrics::{RunMetrics, TaskRecord};
 use crate::scheduler::{decision_overhead, place, NodeAvail, ReadyQueue, SchedulingPolicy};
 use crate::task::TaskId;
-use crate::trace::{Trace, TraceRecord, TraceState};
+use crate::telemetry::{
+    CandidateScore, EventBus, LinkKind, SchedulerDecision, TelemetryEvent, TelemetryLog,
+};
+use crate::trace::{Trace, TraceState};
 use crate::workflow::{DagShape, Workflow};
 
 /// Configuration of one run — the factor combination of Table 1.
@@ -48,6 +51,12 @@ pub struct RunConfig {
     pub jitter_sigma: f64,
     /// Collect a Paraver-like trace (costs memory on big runs).
     pub collect_trace: bool,
+    /// Collect the full structured telemetry stream (task lifecycle,
+    /// scheduler decisions, cache activity, transfers, gauges) into
+    /// [`RunReport::telemetry`]. Costs memory on big runs; when both
+    /// this and `collect_trace` are off the event bus is inert and the
+    /// run pays one branch per emission site.
+    pub collect_telemetry: bool,
     /// Fraction of node RAM used as the worker object cache.
     pub cache_fraction: f64,
     /// CPU cores assigned to each CPU task's parallel fraction. The
@@ -70,6 +79,7 @@ impl RunConfig {
             seed: 0xC0FFEE,
             jitter_sigma: 0.02,
             collect_trace: false,
+            collect_telemetry: false,
             cache_fraction: 0.5,
             cpu_threads_per_task: 1,
         }
@@ -115,6 +125,13 @@ impl RunConfig {
     /// Enables trace collection.
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
+        self
+    }
+
+    /// Enables structured telemetry collection (see
+    /// [`RunReport::telemetry`]).
+    pub fn with_telemetry(mut self) -> Self {
+        self.collect_telemetry = true;
         self
     }
 }
@@ -191,6 +208,9 @@ pub struct RunReport {
     pub records: Vec<TaskRecord>,
     /// Paraver-like trace (empty unless requested).
     pub trace: Trace,
+    /// Structured telemetry stream (empty unless
+    /// [`RunConfig::collect_telemetry`] is set).
+    pub telemetry: TelemetryLog,
     /// DAG shape of the executed workflow.
     pub shape: DagShape,
     /// Processor factor of the run.
@@ -266,12 +286,13 @@ impl RunReport {
                 return Err(format!("{} ends after the makespan", r.task));
             }
         }
-        // Concurrency sweep per node: CPU-side records <= cores, GPU
-        // records <= devices.
+        // Concurrency sweep per node: held cores <= cores, GPU
+        // records <= devices. Multi-threaded CPU tasks weigh in with
+        // every core they hold.
         let mut events: HashMap<usize, Vec<(u64, i32, i32)>> = HashMap::new();
         for r in &self.records {
             let (dc, dg) = match r.processor {
-                ProcessorKind::Cpu => (1, 0),
+                ProcessorKind::Cpu => (r.cores.max(1) as i32, 0),
                 ProcessorKind::Gpu => (1, 1), // GPU task holds a core too
             };
             let e = events.entry(r.node).or_default();
@@ -381,12 +402,16 @@ struct TaskRun {
     on_gpu: bool,
     cores_held: usize,
     core_ids: Vec<u16>,
+    /// GPU device identity held for the task's lifetime, if any.
+    gpu_id: Option<u16>,
     inputs: Vec<(DataVersion, u64)>, // pending, reversed (pop from back)
     outputs: Vec<(DataVersion, u64)>, // pending, reversed
     in_bytes: u64,
     out_bytes: u64,
     host_footprint: u64,
     anchor: SimTime,
+    /// Start of the in-flight link flow (for transfer telemetry).
+    flow_start: SimTime,
     rec: TaskRecord,
 }
 
@@ -399,6 +424,8 @@ struct Exec<'a> {
     /// Free core identities per node (for trace lanes).
     core_stacks: Vec<Vec<u16>>,
     free_gpus: Vec<usize>,
+    /// Free GPU device identities per node (for telemetry lanes).
+    gpu_stacks: Vec<Vec<u16>>,
     peak_cores: Vec<usize>,
     ram_used: Vec<u64>,
     peak_ram: u64,
@@ -429,7 +456,10 @@ struct Exec<'a> {
     caches: Vec<BlockCache>,
     home: HashMap<DataId, usize>,
     jitter: Jitter,
-    trace: Trace,
+    /// The telemetry bus. Stage events double as the trace source, so
+    /// the bus runs whenever either collection is on; `finish` then
+    /// derives the trace and/or the log from one event stream.
+    bus: EventBus,
     gpu_kernel_seconds: f64,
     core_held_seconds: f64,
     gpu_held_seconds: f64,
@@ -474,6 +504,9 @@ impl<'a> Exec<'a> {
                 .map(|n| (0..c.cores_of(n) as u16).rev().collect())
                 .collect(),
             free_gpus: (0..nodes).map(|n| c.gpus_of(n)).collect(),
+            gpu_stacks: (0..nodes)
+                .map(|n| (0..c.gpus_of(n) as u16).rev().collect())
+                .collect(),
             peak_cores: vec![0; nodes],
             ram_used: vec![0; nodes],
             peak_ram: 0,
@@ -504,7 +537,7 @@ impl<'a> Exec<'a> {
             caches: (0..nodes).map(|_| BlockCache::new(cache_bytes)).collect(),
             home,
             jitter: Jitter::new(cfg.seed, cfg.jitter_sigma),
-            trace: Trace::new(),
+            bus: EventBus::new(cfg.collect_trace || cfg.collect_telemetry),
             gpu_kernel_seconds: 0.0,
             core_held_seconds: 0.0,
             gpu_held_seconds: 0.0,
@@ -519,6 +552,12 @@ impl<'a> Exec<'a> {
         for (i, &d) in self.deps_left.iter().enumerate() {
             if d == 0 {
                 self.ready.insert(self.upward_rank[i], TaskId(i as u32));
+                if self.bus.active() {
+                    self.bus.push(TelemetryEvent::TaskReady {
+                        at: SimTime::ZERO,
+                        task: TaskId(i as u32),
+                    });
+                }
             }
         }
     }
@@ -578,6 +617,12 @@ impl<'a> Exec<'a> {
             }
         });
         let Some(tid) = chosen else { return };
+        // Host-side decision timing, only when someone will consume it.
+        let host_t0 = if self.cfg.collect_telemetry {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
 
         // Score the nodes exactly once, for the task that will be
         // placed. The task's reads are resolved to `(version, bytes)`
@@ -614,9 +659,8 @@ impl<'a> Exec<'a> {
             });
         }
         let placed = place(self.cfg.policy, &avail, self.rr_cursor);
-        self.avail_scratch = avail;
-        self.reads_scratch = reads;
         let node = placed.expect("a ready task passing the slot pre-checks is placeable");
+        let queue_depth = self.ready.len();
         self.rr_cursor = self.rr_cursor.wrapping_add(1);
         self.ready.remove(self.upward_rank[tid.0 as usize], tid);
         self.master_busy = true;
@@ -627,6 +671,26 @@ impl<'a> Exec<'a> {
             self.cfg.cluster.sched_overhead_locality,
         );
         self.sched_overhead += overhead.as_secs_f64();
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::Decision(SchedulerDecision {
+                at: self.now(),
+                task: tid,
+                chosen: node,
+                queue_depth,
+                sim_overhead: overhead,
+                host_nanos: host_t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                candidates: avail
+                    .iter()
+                    .map(|a| CandidateScore {
+                        node: a.node,
+                        free_slots: a.free_slots,
+                        cached_bytes: a.cached_bytes,
+                    })
+                    .collect(),
+            }));
+        }
+        self.avail_scratch = avail;
+        self.reads_scratch = reads;
         self.engine.schedule_after(overhead, Ev::MasterDone);
     }
 
@@ -735,10 +799,13 @@ impl<'a> Exec<'a> {
                     .expect("core identity available")
             })
             .collect();
-        if on_gpu {
+        let gpu_id = if on_gpu {
             assert!(self.free_gpus[node] > 0, "dispatch without a free GPU");
             self.free_gpus[node] -= 1;
-        }
+            Some(self.gpu_stacks[node].pop().expect("GPU identity available"))
+        } else {
+            None
+        };
         let in_use = self.cfg.cluster.cores_of(node) - self.free_cores[node];
         self.peak_cores[node] = self.peak_cores[node].max(in_use);
         self.ram_used[node] += host_footprint;
@@ -755,17 +822,20 @@ impl<'a> Exec<'a> {
             on_gpu,
             cores_held: cores,
             core_ids,
+            gpu_id,
             inputs: inputs_rev,
             outputs: outputs_rev,
             in_bytes,
             out_bytes,
             host_footprint,
             anchor: now,
+            flow_start: now,
             rec: TaskRecord {
                 task: tid,
                 task_type: spec.task_type.clone(),
                 node,
                 core: 0, // set below from the acquired identity
+                cores: cores as u16,
                 processor: if on_gpu {
                     ProcessorKind::Gpu
                 } else {
@@ -787,8 +857,34 @@ impl<'a> Exec<'a> {
             let run = self.runs[tid.0 as usize].as_mut().expect("run");
             run.rec.core = run.core_ids[0];
         }
+        if self.bus.active() {
+            let run = self.runs[tid.0 as usize].as_ref().expect("run");
+            self.bus.push(TelemetryEvent::TaskDispatched {
+                at: now,
+                task: tid,
+                task_type: spec.task_type.clone(),
+                node,
+                core: run.rec.core,
+                cores: cores as u16,
+                gpu: gpu_id,
+            });
+            self.push_gauge(node, now);
+        }
         self.enter_inputs(tid);
         Ok(())
+    }
+
+    /// Emits a [`TelemetryEvent::NodeGauge`] sample for `node` (callers
+    /// guard on `bus.active()`).
+    fn push_gauge(&mut self, node: usize, at: SimTime) {
+        let c = &self.cfg.cluster;
+        self.bus.push(TelemetryEvent::NodeGauge {
+            at,
+            node,
+            ram_used: self.ram_used[node],
+            busy_cores: c.cores_of(node) - self.free_cores[node],
+            busy_gpus: c.gpus_of(node) - self.free_gpus[node],
+        });
     }
 
     /// Latency preceding a storage read of `data` from `node`.
@@ -855,7 +951,17 @@ impl<'a> Exec<'a> {
             let node = run.node;
             match run.inputs.pop() {
                 Some((key, bytes)) => {
-                    if self.caches[node].lookup(key) {
+                    let hit = self.caches[node].lookup(key);
+                    if self.bus.active() {
+                        self.bus.push(TelemetryEvent::CacheAccess {
+                            at: self.engine.now(),
+                            node,
+                            task: tid,
+                            key,
+                            hit,
+                        });
+                    }
+                    if hit {
                         self.runs[tid.0 as usize]
                             .as_mut()
                             .expect("run")
@@ -949,8 +1055,9 @@ impl<'a> Exec<'a> {
         let stage = self.runs[tid.0 as usize].as_ref().expect("run").stage;
         match stage {
             Stage::ReadLatency { key, bytes } => {
-                self.runs[tid.0 as usize].as_mut().expect("run").stage =
-                    Stage::ReadFlow { key, bytes };
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::ReadFlow { key, bytes };
+                run.flow_start = now;
                 self.start_read_flow(tid, key.id, bytes);
             }
             Stage::Decode { key, bytes } => {
@@ -958,7 +1065,7 @@ impl<'a> Exec<'a> {
                 let node = run.node;
                 run.rec.deser += now - run.anchor;
                 let (anchor, rnode) = (run.anchor, node);
-                self.caches[node].insert(key, bytes);
+                self.cache_insert(node, key, bytes, now);
                 self.push_trace(rnode, tid, TraceState::Deserialize, anchor, now);
                 self.enter_inputs(tid);
             }
@@ -972,6 +1079,7 @@ impl<'a> Exec<'a> {
             Stage::H2dLatency => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.stage = Stage::H2dFlow;
+                run.flow_start = now;
                 let bytes = run.in_bytes;
                 let node = run.node;
                 let flow = self.pcie[node].start(now, bytes as f64);
@@ -994,6 +1102,7 @@ impl<'a> Exec<'a> {
             Stage::D2hLatency => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.stage = Stage::D2hFlow;
+                run.flow_start = now;
                 let bytes = run.out_bytes;
                 let node = run.node;
                 let flow = self.pcie[node].start(now, bytes as f64);
@@ -1019,8 +1128,9 @@ impl<'a> Exec<'a> {
                 self.engine.schedule_after(latency, Ev::TaskDelay(tid));
             }
             Stage::WriteLatency { key, bytes } => {
-                self.runs[tid.0 as usize].as_mut().expect("run").stage =
-                    Stage::WriteFlow { key, bytes };
+                let run = self.runs[tid.0 as usize].as_mut().expect("run");
+                run.stage = Stage::WriteFlow { key, bytes };
+                run.flow_start = now;
                 self.start_write_flow(tid, bytes);
             }
             Stage::ReadFlow { .. } | Stage::H2dFlow | Stage::D2hFlow | Stage::WriteFlow { .. } => {
@@ -1030,11 +1140,29 @@ impl<'a> Exec<'a> {
         Ok(())
     }
 
+    /// Emits a [`TelemetryEvent::Transfer`] for a completed link flow
+    /// of `tid` (callers guard on `bus.active()`).
+    fn push_transfer(&mut self, tid: TaskId, link: LinkKind, bytes: u64, t1: SimTime) {
+        let run = self.runs[tid.0 as usize].as_ref().expect("run");
+        let (node, t0) = (run.node, run.flow_start);
+        self.bus.push(TelemetryEvent::Transfer {
+            task: tid,
+            node,
+            link,
+            bytes,
+            t0,
+            t1,
+        });
+    }
+
     fn on_flow_done(&mut self, tid: TaskId) -> Result<(), RunError> {
         let now = self.now();
         let stage = self.runs[tid.0 as usize].as_ref().expect("run").stage;
         match stage {
             Stage::ReadFlow { key, bytes } => {
+                if self.bus.active() {
+                    self.push_transfer(tid, LinkKind::StorageRead, bytes, now);
+                }
                 // Storage read finished; decode on the held core.
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.stage = Stage::Decode { key, bytes };
@@ -1046,7 +1174,10 @@ impl<'a> Exec<'a> {
             Stage::H2dFlow => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.rec.comm += now - run.anchor;
-                let (anchor, node) = (run.anchor, run.node);
+                let (anchor, node, bytes) = (run.anchor, run.node, run.in_bytes);
+                if self.bus.active() {
+                    self.push_transfer(tid, LinkKind::HostToDevice, bytes, now);
+                }
                 self.push_trace(node, tid, TraceState::CpuGpuComm, anchor, now);
                 let cost = self.wf.task(tid).cost;
                 let d = self
@@ -1060,7 +1191,10 @@ impl<'a> Exec<'a> {
             Stage::D2hFlow => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.rec.comm += now - run.anchor;
-                let (anchor, node) = (run.anchor, run.node);
+                let (anchor, node, bytes) = (run.anchor, run.node, run.out_bytes);
+                if self.bus.active() {
+                    self.push_transfer(tid, LinkKind::DeviceToHost, bytes, now);
+                }
                 self.push_trace(node, tid, TraceState::CpuGpuComm, anchor, now);
                 self.enter_outputs(tid);
             }
@@ -1069,9 +1203,12 @@ impl<'a> Exec<'a> {
                 run.rec.ser += now - run.anchor;
                 let node = run.node;
                 let anchor = run.anchor;
+                if self.bus.active() {
+                    self.push_transfer(tid, LinkKind::StorageWrite, bytes, now);
+                }
                 // Output object stays in the worker's memory cache and,
                 // with local disks, now lives on this node's disk.
-                self.caches[node].insert(key, bytes);
+                self.cache_insert(node, key, bytes, now);
                 if self.cfg.storage == StorageArchitecture::LocalDisk {
                     self.home.insert(key.id, node);
                 }
@@ -1094,21 +1231,38 @@ impl<'a> Exec<'a> {
             run.cores_held as f64 * (run.rec.end - run.rec.start).as_secs_f64();
         if run.on_gpu {
             self.free_gpus[node] += 1;
+            self.gpu_stacks[node].push(run.gpu_id.expect("GPU task holds a device"));
             self.gpu_held_seconds += (run.rec.end - run.rec.start).as_secs_f64();
         }
         self.ram_used[node] -= run.host_footprint;
         self.records.push(run.rec);
         self.done += 1;
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::TaskCompleted {
+                at: now,
+                task: tid,
+                node,
+            });
+            self.push_gauge(node, now);
+        }
         for &succ in self.wf.successors(tid) {
             let d = &mut self.deps_left[succ.0 as usize];
             *d -= 1;
             if *d == 0 {
                 self.ready.insert(self.upward_rank[succ.0 as usize], succ);
+                if self.bus.active() {
+                    self.bus.push(TelemetryEvent::TaskReady {
+                        at: now,
+                        task: succ,
+                    });
+                }
             }
         }
         self.try_start_master();
     }
 
+    /// Emits one processing-stage interval to the bus — the single
+    /// source feeding both the Paraver trace and the telemetry stream.
     fn push_trace(
         &mut self,
         node: usize,
@@ -1117,18 +1271,41 @@ impl<'a> Exec<'a> {
         t0: SimTime,
         t1: SimTime,
     ) {
-        if self.cfg.collect_trace {
-            let core = self.runs[task.0 as usize]
+        if self.bus.active() {
+            let (core, gpu_held) = self.runs[task.0 as usize]
                 .as_ref()
-                .map_or(0, |r| r.core_ids[0]);
-            self.trace.push(TraceRecord {
+                .map_or((0, None), |r| (r.core_ids[0], r.gpu_id));
+            // Only device-side stages run on the GPU; host-side stages
+            // of a GPU task still belong to the held core's lane.
+            let gpu = match state {
+                TraceState::ParallelFraction | TraceState::CpuGpuComm => gpu_held,
+                _ => None,
+            };
+            self.bus.push(TelemetryEvent::Stage {
+                task,
                 node,
                 core,
-                task,
+                gpu,
                 state,
                 t0,
                 t1,
             });
+        }
+    }
+
+    /// Inserts into a node cache, reporting LRU evictions to the bus.
+    fn cache_insert(&mut self, node: usize, key: DataVersion, bytes: u64, at: SimTime) {
+        let before = self.caches[node].evictions();
+        self.caches[node].insert(key, bytes);
+        if self.bus.active() {
+            let evicted = self.caches[node].evictions() - before;
+            if evicted > 0 {
+                self.bus.push(TelemetryEvent::CacheEvicted {
+                    at,
+                    node,
+                    count: evicted,
+                });
+            }
         }
     }
 
@@ -1159,10 +1336,23 @@ impl<'a> Exec<'a> {
             gpu_util,
             self.peak_ram,
         );
+        // One event stream feeds both requested views of the run.
+        let log = self.bus.into_log();
+        let trace = if self.cfg.collect_trace {
+            Trace::from_telemetry(&log)
+        } else {
+            Trace::new()
+        };
+        let telemetry = if self.cfg.collect_telemetry {
+            log
+        } else {
+            TelemetryLog::default()
+        };
         Ok(RunReport {
             metrics,
             records: self.records,
-            trace: self.trace,
+            trace,
+            telemetry,
             shape: self.wf.shape(),
             processor: self.cfg.processor,
             storage: self.cfg.storage,

@@ -17,6 +17,7 @@ mod executor;
 mod metrics;
 mod scheduler;
 mod task;
+pub mod telemetry;
 mod trace;
 pub mod trace_analysis;
 mod workflow;
@@ -29,5 +30,9 @@ pub use scheduler::{
     decision_overhead, pick, place, NodeAvail, RankKey, ReadyQueue, SchedulingPolicy,
 };
 pub use task::{CostProfile, Param, TaskId, TaskSpec, TaskType};
+pub use telemetry::{
+    to_chrome_trace, CandidateScore, ChromeTraceSink, EventBus, JsonlSink, LinkKind, MemorySink,
+    OverheadReport, SchedulerDecision, TelemetryEvent, TelemetryLog, TelemetrySink,
+};
 pub use trace::{paraver_pcf, to_paraver_prv, Trace, TraceRecord, TraceState};
 pub use workflow::{DagShape, Workflow, WorkflowBuilder};

@@ -23,9 +23,13 @@ pub struct TaskRecord {
     pub task_type: TaskType,
     /// Node that executed the task.
     pub node: usize,
-    /// Host core index (within the node) the task occupied — the first
-    /// of its cores when multi-threaded.
+    /// First host core index (within the node) the task occupied.
     pub core: u16,
+    /// Number of host cores the task held for its whole lifetime (1 for
+    /// GPU and serial tasks, `cpu_threads_per_task` for multi-threaded
+    /// CPU tasks). Utilization and concurrency accounting must weight
+    /// by this, not count records.
+    pub cores: u16,
     /// Processor that executed the parallel fraction.
     pub processor: ProcessorKind,
     /// DAG level.
@@ -230,6 +234,7 @@ mod tests {
             task_type: task_type.into(),
             node: 0,
             core: 0,
+            cores: 1,
             processor: ProcessorKind::Cpu,
             level,
             start: SimTime::from_nanos((start_s * 1e9) as u64),

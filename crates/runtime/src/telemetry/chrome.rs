@@ -1,0 +1,391 @@
+//! Chrome `trace_event` / Perfetto export.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) accepted
+//! by Perfetto and `chrome://tracing`:
+//!
+//! * one *process* per cluster node plus one for the master scheduler;
+//! * one *thread* (track) per host core, and one per GPU device
+//!   (`tid = 1000 + gpu`);
+//! * complete (`"X"`) events for every processing-stage interval and
+//!   every scheduler decision;
+//! * async (`"b"`/`"e"`) spans covering each task dispatch→completion;
+//! * counter (`"C"`) tracks for ready-queue depth, cluster-wide busy
+//!   cores/GPUs, and per-node working-set RAM, sampled at every
+//!   sim-time occupancy change.
+//!
+//! Timestamps are microseconds with nanosecond precision (`ts`/`dur`
+//! are fractional), directly comparable across exports of the same run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::task::TaskId;
+use crate::trace::TraceState;
+
+use super::event::{json_escape, TelemetryEvent};
+use super::sink::{MemorySink, TelemetrySink};
+use super::TelemetryLog;
+
+/// Thread-track id of GPU device `g` within its node's process.
+fn gpu_tid(g: u16) -> u32 {
+    1000 + g as u32
+}
+
+fn push_meta(out: &mut String, pid: usize, tid: Option<u32>, kind: &str, name: &str) {
+    match tid {
+        Some(tid) => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{kind}\",\"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(name)
+            );
+        }
+        None => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"{kind}\",\"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(name)
+            );
+        }
+    }
+}
+
+/// Microseconds with nanosecond precision, rendered deterministically.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Exports a telemetry log as a Chrome `trace_event` JSON document.
+pub fn to_chrome_trace(log: &TelemetryLog) -> String {
+    // Pass 1: discover tracks and task names.
+    let mut cores: BTreeMap<usize, Vec<u16>> = BTreeMap::new(); // node -> sorted cores
+    let mut gpus: BTreeMap<usize, Vec<u16>> = BTreeMap::new();
+    let mut task_names: BTreeMap<TaskId, String> = BTreeMap::new();
+    let mut max_node = 0usize;
+    for ev in log.events() {
+        match ev {
+            TelemetryEvent::Stage {
+                node, core, gpu, ..
+            } => {
+                max_node = max_node.max(*node);
+                cores.entry(*node).or_default().push(*core);
+                if let Some(g) = gpu {
+                    gpus.entry(*node).or_default().push(*g);
+                }
+            }
+            TelemetryEvent::TaskDispatched {
+                task,
+                task_type,
+                node,
+                ..
+            } => {
+                max_node = max_node.max(*node);
+                task_names.insert(*task, format!("{task_type} t{}", task.0));
+            }
+            TelemetryEvent::NodeGauge { node, .. } => max_node = max_node.max(*node),
+            _ => {}
+        }
+    }
+    for v in cores.values_mut().chain(gpus.values_mut()) {
+        v.sort_unstable();
+        v.dedup();
+    }
+    let master_pid = max_node + 1;
+
+    let mut evs: Vec<String> = Vec::with_capacity(log.len() + 16);
+    // Metadata: processes and named tracks.
+    for node in 0..=max_node {
+        let mut m = String::new();
+        push_meta(&mut m, node, None, "process_name", &format!("node {node}"));
+        evs.push(m);
+        for c in cores.get(&node).map(Vec::as_slice).unwrap_or(&[]) {
+            let mut m = String::new();
+            push_meta(
+                &mut m,
+                node,
+                Some(*c as u32),
+                "thread_name",
+                &format!("core {c}"),
+            );
+            evs.push(m);
+        }
+        for g in gpus.get(&node).map(Vec::as_slice).unwrap_or(&[]) {
+            let mut m = String::new();
+            push_meta(
+                &mut m,
+                node,
+                Some(gpu_tid(*g)),
+                "thread_name",
+                &format!("gpu {g}"),
+            );
+            evs.push(m);
+        }
+    }
+    {
+        let mut m = String::new();
+        push_meta(&mut m, master_pid, None, "process_name", "master scheduler");
+        evs.push(m);
+        let mut m = String::new();
+        push_meta(&mut m, master_pid, Some(0), "thread_name", "decisions");
+        evs.push(m);
+    }
+
+    // Pass 2: spans and counters. Cluster-wide busy counters are the
+    // running sum of the latest per-node gauges.
+    let mut node_busy_cores: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut node_busy_gpus: BTreeMap<usize, usize> = BTreeMap::new();
+    for ev in log.events() {
+        match ev {
+            TelemetryEvent::Stage {
+                task,
+                node,
+                core,
+                gpu,
+                state,
+                t0,
+                t1,
+            } => {
+                let tid = match (gpu, state) {
+                    (Some(g), TraceState::ParallelFraction | TraceState::CpuGpuComm) => gpu_tid(*g),
+                    _ => *core as u32,
+                };
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}\",\"cat\":\"stage\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"task\":{}}}}}",
+                    state.label(),
+                    node,
+                    tid,
+                    us(t0.as_nanos()),
+                    us(t1.as_nanos() - t0.as_nanos()),
+                    task.0
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::Decision(d) => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"place t{}\",\"cat\":\"decision\",\"ph\":\"X\",\"pid\":{},\"tid\":0,\"ts\":{},\"dur\":{},\"args\":{{\"chosen\":{},\"queue_depth\":{},\"candidates\":{}}}}}",
+                    d.task.0,
+                    master_pid,
+                    us(d.at.as_nanos()),
+                    us(d.sim_overhead.as_nanos()),
+                    d.chosen,
+                    d.queue_depth,
+                    d.candidates.len()
+                );
+                evs.push(s);
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"queue_depth\",\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"ready\":{}}}}}",
+                    master_pid,
+                    us(d.at.as_nanos()),
+                    d.queue_depth
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::TaskDispatched { at, task, node, .. } => {
+                let name = task_names
+                    .get(task)
+                    .cloned()
+                    .unwrap_or_else(|| format!("t{}", task.0));
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"b\",\"id\":{},\"pid\":{},\"tid\":0,\"ts\":{}}}",
+                    json_escape(&name),
+                    task.0,
+                    node,
+                    us(at.as_nanos())
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::TaskCompleted { at, task, node } => {
+                let name = task_names
+                    .get(task)
+                    .cloned()
+                    .unwrap_or_else(|| format!("t{}", task.0));
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"e\",\"id\":{},\"pid\":{},\"tid\":0,\"ts\":{}}}",
+                    json_escape(&name),
+                    task.0,
+                    node,
+                    us(at.as_nanos())
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::NodeGauge {
+                at,
+                node,
+                ram_used,
+                busy_cores,
+                busy_gpus,
+            } => {
+                node_busy_cores.insert(*node, *busy_cores);
+                node_busy_gpus.insert(*node, *busy_gpus);
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"ram_bytes\",\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"bytes\":{}}}}}",
+                    node,
+                    us(at.as_nanos()),
+                    ram_used
+                );
+                evs.push(s);
+                let total_cores: usize = node_busy_cores.values().sum();
+                let total_gpus: usize = node_busy_gpus.values().sum();
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"cluster_busy\",\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"cores\":{},\"gpus\":{}}}}}",
+                    master_pid,
+                    us(at.as_nanos()),
+                    total_cores,
+                    total_gpus
+                );
+                evs.push(s);
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::with_capacity(evs.iter().map(|e| e.len() + 6).sum::<usize>() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in evs.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < evs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// A [`TelemetrySink`] assembling a Chrome trace on [`finish`].
+///
+/// [`finish`]: TelemetrySink::finish
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceSink {
+    buffer: MemorySink,
+    output: String,
+}
+
+impl ChromeTraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assembled trace JSON (empty before [`TelemetrySink::finish`]).
+    pub fn as_str(&self) -> &str {
+        &self.output
+    }
+
+    /// Consumes the sink, returning the trace JSON.
+    pub fn into_string(self) -> String {
+        self.output
+    }
+}
+
+impl TelemetrySink for ChromeTraceSink {
+    fn on_event(&mut self, ev: &TelemetryEvent) {
+        self.buffer.on_event(ev);
+    }
+
+    fn finish(&mut self) {
+        let log = TelemetryLog::from_events(std::mem::take(&mut self.buffer.events));
+        self.output = to_chrome_trace(&log);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskType;
+    use gpuflow_sim::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn sample_log() -> TelemetryLog {
+        TelemetryLog::from_events(vec![
+            TelemetryEvent::TaskDispatched {
+                at: t(0),
+                task: TaskId(0),
+                task_type: TaskType::new("map"),
+                node: 0,
+                core: 1,
+                cores: 1,
+                gpu: Some(0),
+            },
+            TelemetryEvent::Stage {
+                task: TaskId(0),
+                node: 0,
+                core: 1,
+                gpu: Some(0),
+                state: TraceState::ParallelFraction,
+                t0: t(1_500),
+                t1: t(2_500),
+            },
+            TelemetryEvent::NodeGauge {
+                at: t(0),
+                node: 0,
+                ram_used: 42,
+                busy_cores: 1,
+                busy_gpus: 1,
+            },
+            TelemetryEvent::TaskCompleted {
+                at: t(3_000),
+                task: TaskId(0),
+                node: 0,
+            },
+        ])
+    }
+
+    #[test]
+    fn trace_has_envelope_and_tracks() {
+        let json = to_chrome_trace(&sample_log());
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("gpu 0"));
+        assert!(json.contains("\"ph\":\"C\""), "counter tracks required");
+        assert!(json.contains("\"ph\":\"b\"") && json.contains("\"ph\":\"e\""));
+    }
+
+    #[test]
+    fn kernel_stages_land_on_the_gpu_track() {
+        let json = to_chrome_trace(&sample_log());
+        assert!(json.contains("\"tid\":1000"), "gpu track tid: {json}");
+    }
+
+    #[test]
+    fn timestamps_are_fractional_microseconds() {
+        let json = to_chrome_trace(&sample_log());
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":1.000"));
+    }
+
+    #[test]
+    fn sink_assembles_on_finish() {
+        let mut sink = ChromeTraceSink::new();
+        for ev in sample_log().events() {
+            sink.on_event(ev);
+        }
+        assert!(sink.as_str().is_empty());
+        sink.finish();
+        assert!(sink.as_str().contains("traceEvents"));
+    }
+
+    #[test]
+    fn empty_log_is_still_valid() {
+        let json = to_chrome_trace(&TelemetryLog::default());
+        assert!(json.contains("traceEvents"));
+    }
+}

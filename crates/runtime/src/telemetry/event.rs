@@ -1,0 +1,470 @@
+//! Typed runtime events.
+//!
+//! Every observable action of the runtime — task lifecycle transitions,
+//! scheduler decisions, processing-stage intervals, link transfers,
+//! cache activity, and resource gauges — is one variant of
+//! [`TelemetryEvent`]. Events are emitted in simulation order, so a
+//! replayed stream reconstructs the run exactly.
+
+use std::fmt::Write as _;
+
+use gpuflow_sim::{SimDuration, SimTime};
+
+use crate::data::DataVersion;
+use crate::task::{TaskId, TaskType};
+use crate::trace::TraceState;
+
+/// One candidate node as the scheduler scored it for a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateScore {
+    /// Node index.
+    pub node: usize,
+    /// Free execution slots at decision time.
+    pub free_slots: usize,
+    /// Bytes of the task's inputs cached on this node (0 for policies
+    /// that do not score the cache).
+    pub cached_bytes: u64,
+}
+
+/// One master scheduling decision: the candidate set considered, the
+/// chosen placement, and what the decision cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerDecision {
+    /// Simulation instant of the decision.
+    pub at: SimTime,
+    /// The task being placed.
+    pub task: TaskId,
+    /// The chosen node.
+    pub chosen: usize,
+    /// Ready-queue depth at decision time (including this task).
+    pub queue_depth: usize,
+    /// Modelled master-side overhead of the decision, in simulation
+    /// time.
+    pub sim_overhead: SimDuration,
+    /// Wall-clock nanoseconds the host spent making this decision.
+    /// Nondeterministic; excluded from the JSONL export so event
+    /// streams stay byte-identical across runs.
+    pub host_nanos: u64,
+    /// The scored candidate set, one entry per cluster node.
+    pub candidates: Vec<CandidateScore>,
+}
+
+/// Which modelled link carried a data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Storage read (shared filesystem or a node-local disk).
+    StorageRead,
+    /// Storage write.
+    StorageWrite,
+    /// Host-to-device over the PCIe bus.
+    HostToDevice,
+    /// Device-to-host over the PCIe bus.
+    DeviceToHost,
+}
+
+impl LinkKind {
+    /// Short label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::StorageRead => "read",
+            LinkKind::StorageWrite => "write",
+            LinkKind::HostToDevice => "h2d",
+            LinkKind::DeviceToHost => "d2h",
+        }
+    }
+}
+
+/// A structured runtime event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A task's dependencies are satisfied; it entered the ready queue.
+    TaskReady {
+        /// Instant the task became ready.
+        at: SimTime,
+        /// The task.
+        task: TaskId,
+    },
+    /// The master placed a task (see [`SchedulerDecision`]).
+    Decision(SchedulerDecision),
+    /// A task acquired its resources and started executing.
+    TaskDispatched {
+        /// Dispatch instant.
+        at: SimTime,
+        /// The task.
+        task: TaskId,
+        /// Task type.
+        task_type: TaskType,
+        /// Executing node.
+        node: usize,
+        /// First host core held.
+        core: u16,
+        /// Number of host cores held.
+        cores: u16,
+        /// GPU device held, if any.
+        gpu: Option<u16>,
+    },
+    /// A task finished one processing stage of Fig. 4.
+    Stage {
+        /// The task.
+        task: TaskId,
+        /// Executing node.
+        node: usize,
+        /// Host core driving the stage.
+        core: u16,
+        /// GPU device, for kernel and CPU-GPU transfer stages.
+        gpu: Option<u16>,
+        /// The stage.
+        state: TraceState,
+        /// Interval start.
+        t0: SimTime,
+        /// Interval end.
+        t1: SimTime,
+    },
+    /// Bytes moved over a modelled link on behalf of a task.
+    Transfer {
+        /// The task.
+        task: TaskId,
+        /// Node that issued the transfer.
+        node: usize,
+        /// The link.
+        link: LinkKind,
+        /// Payload bytes.
+        bytes: u64,
+        /// Flow start (after protocol latency).
+        t0: SimTime,
+        /// Flow completion.
+        t1: SimTime,
+    },
+    /// A worker cache lookup.
+    CacheAccess {
+        /// Lookup instant.
+        at: SimTime,
+        /// Node whose cache was consulted.
+        node: usize,
+        /// The task reading its input.
+        task: TaskId,
+        /// The data version looked up.
+        key: DataVersion,
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+    /// A worker cache insert evicted least-recently-used entries.
+    CacheEvicted {
+        /// Insert instant.
+        at: SimTime,
+        /// Node whose cache evicted.
+        node: usize,
+        /// Entries evicted by this insert.
+        count: u64,
+    },
+    /// Sampled per-node resource occupancy (emitted on every dispatch
+    /// and completion, i.e. at every instant the occupancy changes).
+    NodeGauge {
+        /// Sample instant.
+        at: SimTime,
+        /// The node.
+        node: usize,
+        /// Working-set bytes resident on the node.
+        ram_used: u64,
+        /// Host cores currently held by tasks.
+        busy_cores: usize,
+        /// GPU devices currently held by tasks.
+        busy_gpus: usize,
+    },
+    /// A task released its resources with outputs on storage.
+    TaskCompleted {
+        /// Completion instant.
+        at: SimTime,
+        /// The task.
+        task: TaskId,
+        /// Node that executed it.
+        node: usize,
+    },
+}
+
+impl TelemetryEvent {
+    /// Short kind tag used by exports and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::TaskReady { .. } => "ready",
+            TelemetryEvent::Decision(_) => "decision",
+            TelemetryEvent::TaskDispatched { .. } => "dispatch",
+            TelemetryEvent::Stage { .. } => "stage",
+            TelemetryEvent::Transfer { .. } => "transfer",
+            TelemetryEvent::CacheAccess { .. } => "cache",
+            TelemetryEvent::CacheEvicted { .. } => "evict",
+            TelemetryEvent::NodeGauge { .. } => "gauge",
+            TelemetryEvent::TaskCompleted { .. } => "complete",
+        }
+    }
+
+    /// One deterministic JSON object (no trailing newline). Times are
+    /// integer nanoseconds; the nondeterministic `host_nanos` of
+    /// decisions is deliberately omitted so streams from identical runs
+    /// are byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        match self {
+            TelemetryEvent::TaskReady { at, task } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"ready\",\"t\":{},\"task\":{}}}",
+                    at.as_nanos(),
+                    task.0
+                );
+            }
+            TelemetryEvent::Decision(d) => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"decision\",\"t\":{},\"task\":{},\"node\":{},\"queue_depth\":{},\"overhead_ns\":{},\"candidates\":[",
+                    d.at.as_nanos(),
+                    d.task.0,
+                    d.chosen,
+                    d.queue_depth,
+                    d.sim_overhead.as_nanos()
+                );
+                for (i, c) in d.candidates.iter().enumerate() {
+                    let sep = if i == 0 { "" } else { "," };
+                    let _ = write!(
+                        s,
+                        "{sep}{{\"node\":{},\"free_slots\":{},\"cached_bytes\":{}}}",
+                        c.node, c.free_slots, c.cached_bytes
+                    );
+                }
+                s.push_str("]}");
+            }
+            TelemetryEvent::TaskDispatched {
+                at,
+                task,
+                task_type,
+                node,
+                core,
+                cores,
+                gpu,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"dispatch\",\"t\":{},\"task\":{},\"type\":\"{}\",\"node\":{},\"core\":{},\"cores\":{},\"gpu\":{}}}",
+                    at.as_nanos(),
+                    task.0,
+                    json_escape(task_type),
+                    node,
+                    core,
+                    cores,
+                    OptNum(*gpu)
+                );
+            }
+            TelemetryEvent::Stage {
+                task,
+                node,
+                core,
+                gpu,
+                state,
+                t0,
+                t1,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"stage\",\"task\":{},\"node\":{},\"core\":{},\"gpu\":{},\"state\":\"{}\",\"t0\":{},\"t1\":{}}}",
+                    task.0,
+                    node,
+                    core,
+                    OptNum(*gpu),
+                    state.label(),
+                    t0.as_nanos(),
+                    t1.as_nanos()
+                );
+            }
+            TelemetryEvent::Transfer {
+                task,
+                node,
+                link,
+                bytes,
+                t0,
+                t1,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"transfer\",\"task\":{},\"node\":{},\"link\":\"{}\",\"bytes\":{},\"t0\":{},\"t1\":{}}}",
+                    task.0,
+                    node,
+                    link.label(),
+                    bytes,
+                    t0.as_nanos(),
+                    t1.as_nanos()
+                );
+            }
+            TelemetryEvent::CacheAccess {
+                at,
+                node,
+                task,
+                key,
+                hit,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"cache\",\"t\":{},\"node\":{},\"task\":{},\"data\":{},\"version\":{},\"hit\":{}}}",
+                    at.as_nanos(),
+                    node,
+                    task.0,
+                    key.id.0,
+                    key.version,
+                    hit
+                );
+            }
+            TelemetryEvent::CacheEvicted { at, node, count } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"evict\",\"t\":{},\"node\":{},\"count\":{}}}",
+                    at.as_nanos(),
+                    node,
+                    count
+                );
+            }
+            TelemetryEvent::NodeGauge {
+                at,
+                node,
+                ram_used,
+                busy_cores,
+                busy_gpus,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"gauge\",\"t\":{},\"node\":{},\"ram\":{},\"busy_cores\":{},\"busy_gpus\":{}}}",
+                    at.as_nanos(),
+                    node,
+                    ram_used,
+                    busy_cores,
+                    busy_gpus
+                );
+            }
+            TelemetryEvent::TaskCompleted { at, task, node } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"complete\",\"t\":{},\"task\":{},\"node\":{}}}",
+                    at.as_nanos(),
+                    task.0,
+                    node
+                );
+            }
+        }
+        s
+    }
+}
+
+/// `Option<u16>` rendered as a JSON number or `null`.
+struct OptNum(Option<u16>);
+
+impl std::fmt::Display for OptNum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "null"),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_compact_objects() {
+        let ev = TelemetryEvent::TaskReady {
+            at: SimTime::from_nanos(5),
+            task: TaskId(3),
+        };
+        assert_eq!(ev.to_json(), "{\"ev\":\"ready\",\"t\":5,\"task\":3}");
+    }
+
+    #[test]
+    fn decision_serializes_candidates_in_order() {
+        let ev = TelemetryEvent::Decision(SchedulerDecision {
+            at: SimTime::from_nanos(10),
+            task: TaskId(1),
+            chosen: 2,
+            queue_depth: 4,
+            sim_overhead: SimDuration::from_micros(800),
+            host_nanos: 123, // must not appear in the JSON
+            candidates: vec![
+                CandidateScore {
+                    node: 0,
+                    free_slots: 1,
+                    cached_bytes: 0,
+                },
+                CandidateScore {
+                    node: 1,
+                    free_slots: 0,
+                    cached_bytes: 7,
+                },
+            ],
+        });
+        let json = ev.to_json();
+        assert!(json.contains("\"queue_depth\":4"));
+        assert!(json.contains("\"overhead_ns\":800000"));
+        assert!(json.contains("{\"node\":0,\"free_slots\":1,\"cached_bytes\":0}"));
+        assert!(!json.contains("123"), "host time must stay out: {json}");
+    }
+
+    #[test]
+    fn gpu_is_null_or_number() {
+        let mk = |gpu| TelemetryEvent::Stage {
+            task: TaskId(0),
+            node: 0,
+            core: 1,
+            gpu,
+            state: TraceState::ParallelFraction,
+            t0: SimTime::from_nanos(0),
+            t1: SimTime::from_nanos(1),
+        };
+        assert!(mk(None).to_json().contains("\"gpu\":null"));
+        assert!(mk(Some(2)).to_json().contains("\"gpu\":2"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let evs = [
+            TelemetryEvent::TaskReady {
+                at: SimTime::ZERO,
+                task: TaskId(0),
+            },
+            TelemetryEvent::CacheEvicted {
+                at: SimTime::ZERO,
+                node: 0,
+                count: 1,
+            },
+            TelemetryEvent::TaskCompleted {
+                at: SimTime::ZERO,
+                task: TaskId(0),
+                node: 0,
+            },
+        ];
+        let kinds: Vec<_> = evs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["ready", "evict", "complete"]);
+    }
+}

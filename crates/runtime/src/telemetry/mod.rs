@@ -1,0 +1,243 @@
+//! Structured runtime telemetry — the observability substrate of the
+//! reproduction.
+//!
+//! The paper's whole methodology is trace-driven (§4.2, §4.4.3): it
+//! derives (de)serialization costs, user-code fractions, and resource
+//! wastage from Paraver traces of the PyCOMPSs runtime. This module
+//! gives our runtime the equivalent first-class instrumentation:
+//!
+//! * a zero-cost-when-disabled **event bus** ([`EventBus`]) threaded
+//!   through the executor, scheduler, and worker caches, emitting typed
+//!   [`TelemetryEvent`]s for task lifecycle, scheduler decisions (with
+//!   scored candidate sets and per-decision master overhead), cache
+//!   hit/miss/evict, link transfers, and per-node resource gauges;
+//! * pluggable **sinks** ([`TelemetrySink`]): a Chrome
+//!   `trace_event`/Perfetto exporter ([`to_chrome_trace`]), a
+//!   deterministic JSONL serializer ([`JsonlSink`]), and an in-memory
+//!   buffer ([`MemorySink`]);
+//! * an [`OverheadReport`] decomposing the makespan into master /
+//!   compute / data-movement / idle buckets, after the Dask-overheads
+//!   analysis style.
+//!
+//! The Paraver export ([`crate::to_paraver_prv`]) and the trace
+//! analytics ([`crate::trace_analysis`]) consume the same stream via
+//! [`crate::Trace::from_telemetry`], so there is exactly one source of
+//! truth for what happened during a run.
+//!
+//! Enable collection with [`crate::RunConfig::with_telemetry`]; the
+//! resulting [`crate::RunReport::telemetry`] log replays into any sink.
+
+mod chrome;
+mod event;
+mod overhead;
+mod sink;
+
+use std::fmt::Write as _;
+
+pub use chrome::{to_chrome_trace, ChromeTraceSink};
+pub use event::{CandidateScore, LinkKind, SchedulerDecision, TelemetryEvent};
+pub use overhead::OverheadReport;
+pub use sink::{JsonlSink, MemorySink, TelemetrySink};
+
+/// The executor-side collector: a no-op unless activated, so disabled
+/// runs pay a single branch per emission site.
+#[derive(Debug, Clone, Default)]
+pub struct EventBus {
+    active: bool,
+    events: Vec<TelemetryEvent>,
+}
+
+impl EventBus {
+    /// A bus that records events iff `active`.
+    pub fn new(active: bool) -> Self {
+        EventBus {
+            active,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether emissions are recorded. Emission sites guard event
+    /// construction on this, so a disabled bus allocates nothing.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Records one event (dropped when inactive).
+    #[inline]
+    pub fn push(&mut self, ev: TelemetryEvent) {
+        if self.active {
+            self.events.push(ev);
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Consumes the bus into an immutable log.
+    pub fn into_log(self) -> TelemetryLog {
+        TelemetryLog {
+            events: self.events,
+        }
+    }
+}
+
+/// An immutable, replayable event stream from one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryLog {
+    events: Vec<TelemetryEvent>,
+}
+
+impl TelemetryLog {
+    /// Wraps a pre-built event sequence.
+    pub fn from_events(events: Vec<TelemetryEvent>) -> Self {
+        TelemetryLog { events }
+    }
+
+    /// The events, in emission order.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays the stream into `sink`, calling
+    /// [`TelemetrySink::finish`] at the end.
+    pub fn replay(&self, sink: &mut dyn TelemetrySink) {
+        for ev in &self.events {
+            sink.on_event(ev);
+        }
+        sink.finish();
+    }
+
+    /// The deterministic JSONL serialization of the stream.
+    pub fn to_jsonl(&self) -> String {
+        let mut sink = JsonlSink::new();
+        self.replay(&mut sink);
+        sink.into_string()
+    }
+
+    /// The scheduler decisions, in dispatch order.
+    pub fn decisions(&self) -> impl Iterator<Item = &SchedulerDecision> {
+        self.events.iter().filter_map(|e| match e {
+            TelemetryEvent::Decision(d) => Some(d),
+            _ => None,
+        })
+    }
+
+    /// Renders the scheduler decision log as a text table: one line per
+    /// decision with the scored candidate set and the chosen node.
+    pub fn render_decisions(&self) -> String {
+        let mut out = String::from(
+            "time_s       task   node  queue  overhead_us  host_us  candidates (node:slots/cached)\n",
+        );
+        for d in self.decisions() {
+            let mut cands = String::new();
+            for (i, c) in d.candidates.iter().enumerate() {
+                if i > 0 {
+                    cands.push(' ');
+                }
+                let _ = write!(cands, "{}:{}/{}", c.node, c.free_slots, c.cached_bytes);
+            }
+            let _ = writeln!(
+                out,
+                "{:<12.6} {:<6} {:<5} {:<6} {:<12.1} {:<8.1} {}",
+                d.at.as_secs_f64(),
+                d.task.0,
+                d.chosen,
+                d.queue_depth,
+                d.sim_overhead.as_nanos() as f64 / 1e3,
+                d.host_nanos as f64 / 1e3,
+                cands
+            );
+        }
+        out
+    }
+
+    /// Event counts per kind, in a fixed report order.
+    pub fn summary(&self) -> String {
+        const KINDS: [&str; 9] = [
+            "ready", "decision", "dispatch", "stage", "transfer", "cache", "evict", "gauge",
+            "complete",
+        ];
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry events: {}", self.len());
+        for kind in KINDS {
+            let n = self.events.iter().filter(|e| e.kind() == kind).count();
+            let _ = writeln!(out, "  {kind:<9} {n}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use gpuflow_sim::SimTime;
+
+    fn ready(task: u32) -> TelemetryEvent {
+        TelemetryEvent::TaskReady {
+            at: SimTime::ZERO,
+            task: TaskId(task),
+        }
+    }
+
+    #[test]
+    fn inactive_bus_drops_events() {
+        let mut bus = EventBus::new(false);
+        assert!(!bus.active());
+        bus.push(ready(0));
+        assert!(bus.into_log().is_empty());
+    }
+
+    #[test]
+    fn active_bus_preserves_order() {
+        let mut bus = EventBus::new(true);
+        bus.push(ready(2));
+        bus.push(ready(1));
+        let log = bus.into_log();
+        assert_eq!(log.len(), 2);
+        assert!(matches!(
+            log.events()[0],
+            TelemetryEvent::TaskReady {
+                task: TaskId(2),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn jsonl_replay_round_trips_counts() {
+        let mut bus = EventBus::new(true);
+        bus.push(ready(0));
+        bus.push(ready(1));
+        let log = bus.into_log();
+        assert_eq!(log.to_jsonl().lines().count(), log.len());
+    }
+
+    #[test]
+    fn summary_counts_kinds() {
+        let log = TelemetryLog::from_events(vec![ready(0), ready(1)]);
+        let s = log.summary();
+        assert!(s.contains("telemetry events: 2"));
+        assert!(s.contains("ready     2"));
+    }
+
+    #[test]
+    fn decision_log_renders_header_even_when_empty() {
+        let log = TelemetryLog::default();
+        assert!(log.render_decisions().starts_with("time_s"));
+        assert_eq!(log.decisions().count(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Makespan decomposition — the Dask-overheads view of a run.
+//!
+//! "Runtime vs Scheduler" style accounting: every instant of the
+//! makespan is attributed to exactly one bucket, by priority:
+//!
+//! 1. **compute** — at least one task is in its serial or parallel
+//!    fraction (CPU compute or GPU kernel);
+//! 2. **data movement** — no compute, but at least one task is
+//!    (de)serializing or moving data over the PCIe bus;
+//! 3. **master** — nothing executes and the master is making a
+//!    scheduling decision (pure scheduler overhead on the critical
+//!    path);
+//! 4. **idle** — nothing at all is happening (dependency stalls).
+//!
+//! Because the classification is exhaustive and exclusive, the four
+//! buckets sum to the makespan exactly.
+
+use std::fmt::Write as _;
+
+use crate::trace::TraceState;
+
+use super::event::TelemetryEvent;
+use super::TelemetryLog;
+
+/// Wall-clock attribution of one run (seconds).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OverheadReport {
+    /// The makespan being decomposed.
+    pub makespan: f64,
+    /// Seconds with at least one compute stage active.
+    pub compute: f64,
+    /// Seconds with data movement but no compute.
+    pub data_movement: f64,
+    /// Seconds where only the master was busy scheduling.
+    pub master: f64,
+    /// Seconds with nothing happening.
+    pub idle: f64,
+    /// Scheduling decisions made.
+    pub decisions: usize,
+    /// Total master decision time in sim seconds (decisions may overlap
+    /// task execution; this is the raw sum, not the critical-path
+    /// `master` bucket).
+    pub master_sim_total: f64,
+    /// Total wall-clock nanoseconds the host spent inside the
+    /// scheduler. Nondeterministic; informational only.
+    pub master_host_nanos: u64,
+}
+
+impl OverheadReport {
+    /// Decomposes `makespan` seconds using the stage and decision
+    /// events of `log`.
+    pub fn from_log(log: &TelemetryLog, makespan: f64) -> Self {
+        // Category depth deltas on the nanosecond timeline:
+        // 0 = compute, 1 = data movement, 2 = master.
+        let mut deltas: Vec<(u64, usize, i32)> = Vec::new();
+        let mut decisions = 0usize;
+        let mut master_sim_total = 0.0f64;
+        let mut master_host_nanos = 0u64;
+        for ev in log.events() {
+            match ev {
+                TelemetryEvent::Stage { state, t0, t1, .. } => {
+                    let cat = match state {
+                        TraceState::SerialFraction | TraceState::ParallelFraction => 0,
+                        TraceState::Deserialize
+                        | TraceState::Serialize
+                        | TraceState::CpuGpuComm => 1,
+                    };
+                    deltas.push((t0.as_nanos(), cat, 1));
+                    deltas.push((t1.as_nanos(), cat, -1));
+                }
+                TelemetryEvent::Transfer { t0, t1, .. } => {
+                    // Transfers are already covered by their stage
+                    // intervals, but standalone streams (e.g. filtered
+                    // logs) still classify them as data movement.
+                    deltas.push((t0.as_nanos(), 1, 1));
+                    deltas.push((t1.as_nanos(), 1, -1));
+                }
+                TelemetryEvent::Decision(d) => {
+                    decisions += 1;
+                    master_sim_total += d.sim_overhead.as_secs_f64();
+                    master_host_nanos += d.host_nanos;
+                    deltas.push((d.at.as_nanos(), 2, 1));
+                    deltas.push((d.at.as_nanos() + d.sim_overhead.as_nanos(), 2, -1));
+                }
+                _ => {}
+            }
+        }
+        deltas.sort_unstable();
+        let makespan_ns = (makespan * 1e9).round() as u64;
+        let mut depth = [0i64; 3];
+        let mut acc_ns = [0u64; 3]; // compute, data, master
+        let mut idle_ns = 0u64;
+        let mut prev = 0u64;
+        for (t, cat, d) in deltas {
+            let t_clamped = t.min(makespan_ns);
+            if t_clamped > prev {
+                let span = t_clamped - prev;
+                if depth[0] > 0 {
+                    acc_ns[0] += span;
+                } else if depth[1] > 0 {
+                    acc_ns[1] += span;
+                } else if depth[2] > 0 {
+                    acc_ns[2] += span;
+                } else {
+                    idle_ns += span;
+                }
+                prev = t_clamped;
+            }
+            depth[cat] += d as i64;
+        }
+        if makespan_ns > prev {
+            idle_ns += makespan_ns - prev;
+        }
+        OverheadReport {
+            makespan,
+            compute: acc_ns[0] as f64 / 1e9,
+            data_movement: acc_ns[1] as f64 / 1e9,
+            master: acc_ns[2] as f64 / 1e9,
+            idle: idle_ns as f64 / 1e9,
+            decisions,
+            master_sim_total,
+            master_host_nanos,
+        }
+    }
+
+    /// Sum of the four buckets (equals the makespan up to the
+    /// nanosecond grid).
+    pub fn total(&self) -> f64 {
+        self.compute + self.data_movement + self.master + self.idle
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let pct = |v: f64| {
+            if self.makespan > 0.0 {
+                100.0 * v / self.makespan
+            } else {
+                0.0
+            }
+        };
+        let _ = writeln!(out, "makespan decomposition ({:.6} s total)", self.makespan);
+        let _ = writeln!(
+            out,
+            "  compute        {:>12.6} s  {:>5.1} %",
+            self.compute,
+            pct(self.compute)
+        );
+        let _ = writeln!(
+            out,
+            "  data movement  {:>12.6} s  {:>5.1} %",
+            self.data_movement,
+            pct(self.data_movement)
+        );
+        let _ = writeln!(
+            out,
+            "  master         {:>12.6} s  {:>5.1} %",
+            self.master,
+            pct(self.master)
+        );
+        let _ = writeln!(
+            out,
+            "  idle           {:>12.6} s  {:>5.1} %",
+            self.idle,
+            pct(self.idle)
+        );
+        let _ = writeln!(
+            out,
+            "decisions: {}   total master sim-time: {:.6} s   host time: {:.3} ms",
+            self.decisions,
+            self.master_sim_total,
+            self.master_host_nanos as f64 / 1e6
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use crate::telemetry::event::SchedulerDecision;
+    use gpuflow_sim::{SimDuration, SimTime};
+
+    fn stage(state: TraceState, t0: u64, t1: u64) -> TelemetryEvent {
+        TelemetryEvent::Stage {
+            task: TaskId(0),
+            node: 0,
+            core: 0,
+            gpu: None,
+            state,
+            t0: SimTime::from_nanos(t0),
+            t1: SimTime::from_nanos(t1),
+        }
+    }
+
+    fn decision(at: u64, overhead: u64) -> TelemetryEvent {
+        TelemetryEvent::Decision(SchedulerDecision {
+            at: SimTime::from_nanos(at),
+            task: TaskId(0),
+            chosen: 0,
+            queue_depth: 1,
+            sim_overhead: SimDuration::from_nanos(overhead),
+            host_nanos: 5,
+            candidates: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn buckets_partition_the_makespan() {
+        // master 0..1, deser 1..3, compute 2..6 (wins the overlap),
+        // idle 6..10.
+        let log = TelemetryLog::from_events(vec![
+            decision(0, 1_000_000_000),
+            stage(TraceState::Deserialize, 1_000_000_000, 3_000_000_000),
+            stage(TraceState::ParallelFraction, 2_000_000_000, 6_000_000_000),
+        ]);
+        let r = OverheadReport::from_log(&log, 10.0);
+        assert!((r.master - 1.0).abs() < 1e-9, "{r:?}");
+        assert!((r.data_movement - 1.0).abs() < 1e-9, "{r:?}");
+        assert!((r.compute - 4.0).abs() < 1e-9, "{r:?}");
+        assert!((r.idle - 4.0).abs() < 1e-9, "{r:?}");
+        assert!((r.total() - r.makespan).abs() < 1e-9);
+        assert_eq!(r.decisions, 1);
+        assert_eq!(r.master_host_nanos, 5);
+    }
+
+    #[test]
+    fn compute_masks_concurrent_master_time() {
+        let log = TelemetryLog::from_events(vec![
+            stage(TraceState::ParallelFraction, 0, 4_000_000_000),
+            decision(1_000_000_000, 1_000_000_000),
+        ]);
+        let r = OverheadReport::from_log(&log, 4.0);
+        assert_eq!(r.master, 0.0, "masked by compute");
+        assert!((r.master_sim_total - 1.0).abs() < 1e-9, "raw sum kept");
+        assert!((r.compute - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_is_all_idle() {
+        let r = OverheadReport::from_log(&TelemetryLog::default(), 2.0);
+        assert!((r.idle - 2.0).abs() < 1e-12);
+        assert!((r.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_every_bucket() {
+        let r = OverheadReport::from_log(&TelemetryLog::default(), 1.0);
+        let text = r.render();
+        for needle in ["compute", "data movement", "master", "idle", "decisions"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

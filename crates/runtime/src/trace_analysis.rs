@@ -21,6 +21,7 @@ use gpuflow_sim::SimTime;
 
 use crate::metrics::TaskRecord;
 use crate::task::TaskId;
+use crate::telemetry::{TelemetryEvent, TelemetryLog};
 use crate::trace::{Trace, TraceState};
 use crate::workflow::Workflow;
 
@@ -125,16 +126,19 @@ pub fn node_timelines(records: &[TaskRecord]) -> BTreeMap<usize, Vec<BusyInterva
 }
 
 /// The resource-wastage measure of §1: seconds during which at least
-/// `cpu_threshold` CPU-side tasks run while *no* GPU kernel does
-/// ("CPUs busy while the GPUs stay idle"). Only meaningful for GPU runs.
+/// `cpu_threshold` CPU cores are busy while *no* GPU kernel runs
+/// ("CPUs busy while the GPUs stay idle"). Multi-threaded CPU tasks
+/// count every core they hold, not just the first. Only meaningful for
+/// GPU runs.
 pub fn cpu_busy_gpu_idle_seconds(records: &[TaskRecord], cpu_threshold: usize) -> f64 {
     // Event sweep over two counters.
     let mut events: Vec<(u64, i32, i32)> = Vec::new(); // (t, d_cpu, d_gpu)
     for r in records {
         match r.processor {
             ProcessorKind::Cpu => {
-                events.push((r.start.as_nanos(), 1, 0));
-                events.push((r.end.as_nanos(), -1, 0));
+                let cores = r.cores.max(1) as i32;
+                events.push((r.start.as_nanos(), cores, 0));
+                events.push((r.end.as_nanos(), -cores, 0));
             }
             ProcessorKind::Gpu => {
                 events.push((r.start.as_nanos(), 0, 1));
@@ -212,6 +216,103 @@ pub fn node_utilization(records: &[TaskRecord], makespan: f64) -> BTreeMap<usize
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Telemetry-stream adapters: the same analytics, fed from the runtime
+// event bus instead of post-hoc records, so traces, wastage, and the
+// overhead decomposition all read one source of truth.
+// ---------------------------------------------------------------------
+
+/// [`state_breakdown`] computed from a telemetry event stream.
+pub fn state_breakdown_from_telemetry(log: &TelemetryLog) -> StateBreakdown {
+    state_breakdown(&Trace::from_telemetry(log))
+}
+
+/// [`cpu_busy_gpu_idle_seconds`] computed from a telemetry event
+/// stream: dispatch/completion events bound each task's busy window,
+/// dispatch events carry the held core count and the device kind.
+pub fn cpu_busy_gpu_idle_from_telemetry(log: &TelemetryLog, cpu_threshold: usize) -> f64 {
+    let mut open: HashMap<crate::task::TaskId, (i32, bool)> = HashMap::new();
+    let mut events: Vec<(u64, i32, i32)> = Vec::new();
+    for ev in log.events() {
+        match ev {
+            TelemetryEvent::TaskDispatched {
+                at,
+                task,
+                cores,
+                gpu,
+                ..
+            } => {
+                let on_gpu = gpu.is_some();
+                open.insert(*task, ((*cores).max(1) as i32, on_gpu));
+                if on_gpu {
+                    events.push((at.as_nanos(), 0, 1));
+                } else {
+                    events.push((at.as_nanos(), (*cores).max(1) as i32, 0));
+                }
+            }
+            TelemetryEvent::TaskCompleted { at, task, .. } => {
+                if let Some((cores, on_gpu)) = open.remove(task) {
+                    if on_gpu {
+                        events.push((at.as_nanos(), 0, -1));
+                    } else {
+                        events.push((at.as_nanos(), -cores, 0));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    events.sort_unstable();
+    let (mut cpu, mut gpu) = (0i32, 0i32);
+    let mut wasted = 0u64;
+    let mut prev = 0u64;
+    for (t, dc, dg) in events {
+        if cpu as usize >= cpu_threshold && cpu > 0 && gpu == 0 {
+            wasted += t - prev;
+        }
+        cpu += dc;
+        gpu += dg;
+        prev = t;
+    }
+    wasted as f64 / 1e9
+}
+
+/// [`critical_path`] computed from a telemetry event stream: completion
+/// events supply the per-task finish times that the record-based
+/// variant reads from [`TaskRecord`]s.
+pub fn critical_path_from_telemetry(workflow: &Workflow, log: &TelemetryLog) -> Vec<CriticalHop> {
+    let mut end_of: HashMap<TaskId, SimTime> = HashMap::new();
+    for ev in log.events() {
+        if let TelemetryEvent::TaskCompleted { at, task, .. } = ev {
+            end_of.insert(*task, *at);
+        }
+    }
+    let Some((&last, &last_end)) = end_of.iter().max_by_key(|(t, at)| (**at, **t)) else {
+        return Vec::new();
+    };
+    let mut path = vec![CriticalHop {
+        task: last,
+        end: last_end,
+    }];
+    let mut current = last;
+    loop {
+        let pred = workflow
+            .predecessors(current)
+            .iter()
+            .filter_map(|p| end_of.get(p).map(|end| (*p, *end)))
+            .max_by_key(|&(task, end)| (end, task));
+        match pred {
+            Some((task, end)) => {
+                path.push(CriticalHop { task, end });
+                current = task;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +324,7 @@ mod tests {
             task_type: "t".into(),
             node,
             core: 0,
+            cores: 1,
             processor: proc,
             level: 0,
             start: SimTime::from_nanos((start_s * 1e9) as u64),

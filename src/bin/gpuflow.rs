@@ -6,6 +6,9 @@
 //!                [--clusters 10] [--iterations 3] [--processor gpu]
 //!                [--storage shared|local] [--policy fifo|locality]
 //!                [--threads N] [--prv out.prv] [--csv out.csv]
+//! gpuflow obs    <export-chrome|decisions|overhead|summary|jsonl>
+//!                --workload matmul --rows 16384 --cols 16384 --grid 16
+//!                [run options] [--out FILE]
 //! gpuflow advise --workload matmul --rows 32768 --cols 32768
 //! gpuflow dag    --workload kmeans --rows 4096 --cols 16 --grid 4 [--iterations 3]
 //! gpuflow help
@@ -18,7 +21,9 @@ use std::process::ExitCode;
 use gpuflow::advisor::{Advisor, SearchSpace, Workload};
 use gpuflow::cli::{policy_from, processor_from, storage_from, workload_from, Args};
 use gpuflow::cluster::{ClusterSpec, ProcessorKind};
-use gpuflow::runtime::{run, to_paraver_prv, trace_analysis, RunConfig, Workflow};
+use gpuflow::runtime::{
+    run, to_chrome_trace, to_paraver_prv, trace_analysis, OverheadReport, RunConfig, Workflow,
+};
 
 fn build_workflow(args: &Args) -> Result<(Workload, Workflow), String> {
     let workload = workload_from(args)?;
@@ -86,6 +91,48 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `gpuflow obs <view>`: run a workload with full telemetry and render
+/// one view of the event stream.
+fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
+    let (workload, workflow) = build_workflow(args)?;
+    let processor = processor_from(args)?;
+    let threads: usize = args.num("threads", 1)?;
+    let cluster = ClusterSpec::minotauro();
+    let config = RunConfig::new(cluster, processor)
+        .with_storage(storage_from(args)?)
+        .with_policy(policy_from(args)?)
+        .with_cpu_threads(threads)
+        .with_telemetry();
+    let report = run(&workflow, &config).map_err(|e| e.to_string())?;
+    let log = &report.telemetry;
+    let output = match sub {
+        "export-chrome" => to_chrome_trace(log),
+        "decisions" => log.render_decisions(),
+        "overhead" => OverheadReport::from_log(log, report.makespan()).render(),
+        "jsonl" => log.to_jsonl(),
+        "summary" => {
+            let mut s = String::new();
+            s.push_str(&format!("workload:  {}\n", workload.label()));
+            s.push_str(&format!("makespan:  {:.6} s\n", report.makespan()));
+            s.push_str(&log.summary());
+            s
+        }
+        other => {
+            return Err(format!(
+                "unknown obs view '{other}' (export-chrome, decisions, overhead, summary, jsonl)"
+            ))
+        }
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &output).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("{sub} written to {path}");
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
 fn cmd_advise(args: &Args) -> Result<(), String> {
     let workload = workload_from(args)?;
     let advisor = Advisor::new(ClusterSpec::minotauro());
@@ -124,8 +171,13 @@ fn help() {
          \n\
          USAGE:\n\
          \u{20} gpuflow run    --workload <w> --rows N --cols N --grid G [options]\n\
+         \u{20} gpuflow obs    <view> --workload <w> --rows N --cols N --grid G [options] [--out FILE]\n\
          \u{20} gpuflow advise --workload <w> --rows N --cols N\n\
          \u{20} gpuflow dag    --workload <w> --rows N --cols N --grid G\n\
+         \n\
+         OBS VIEWS: export-chrome (Perfetto/chrome://tracing JSON) | decisions\n\
+         \u{20}           (scheduler decision log) | overhead (makespan decomposition) |\n\
+         \u{20}           summary (event counts) | jsonl (raw event stream)\n\
          \n\
          WORKLOADS: matmul | fma | kmeans | knn | cholesky\n\
          \n\
@@ -152,6 +204,14 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "run" => Args::parse(rest).and_then(|a| cmd_run(&a)),
+        "obs" => match rest.split_first() {
+            Some((sub, rest)) if !sub.starts_with("--") => {
+                Args::parse(rest).and_then(|a| cmd_obs(sub, &a))
+            }
+            _ => Err(String::from(
+                "obs needs a view: export-chrome, decisions, overhead, summary, jsonl",
+            )),
+        },
         "advise" => Args::parse(rest).and_then(|a| cmd_advise(&a)),
         "dag" => Args::parse(rest).and_then(|a| cmd_dag(&a)),
         "help" | "--help" | "-h" => {
@@ -159,7 +219,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (run, advise, dag, help)"
+            "unknown command '{other}' (run, obs, advise, dag, help)"
         )),
     };
     match result {
