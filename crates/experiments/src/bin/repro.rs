@@ -18,14 +18,16 @@
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
 //! fig10a, fig10b, fig11, fig12, plus the extensions `sensitivity`
 //! (resource-parameter sweeps the paper defers to future work),
-//! `generalizability` (the §5.5.1 parallel-fraction spectrum), and `obs`
-//! (telemetry bundle: event summary + overhead decomposition).
+//! `generalizability` (the §5.5.1 parallel-fraction spectrum), `obs`
+//! (telemetry bundle: event summary + overhead decomposition), and
+//! `chaos` (fault-injection sensitivity: makespan and output
+//! convergence under transient failures and node crashes).
 
 use std::time::Instant;
 
 use gpuflow_experiments::{
-    ablation, factors, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9, generalizability, memory,
-    obs, prediction, sensitivity, Context,
+    ablation, factors, fault_sensitivity, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
+    generalizability, memory, obs, prediction, sensitivity, Context,
 };
 
 fn main() {
@@ -143,6 +145,7 @@ fn main() {
             "prediction" => prediction::run(&ctx).render(),
             "memory" => memory::run(&ctx).render(),
             "obs" => obs::run(&ctx).render(),
+            "chaos" => fault_sensitivity::run(&ctx).render(),
             "ablation" => format!(
                 "{}
 {}",

@@ -19,6 +19,7 @@
 //! | [`ablation`] | extension: scheduler ablation (incl. critical-path policy) and run-variance study |
 //! | [`memory`] | extension: the §1 "memory robustness" claim, quantified |
 //! | [`obs`] | extension: telemetry artifact bundle (JSONL, Chrome trace, decision log, overhead) |
+//! | [`fault_sensitivity`] | extension: makespan and output convergence under injected faults |
 //!
 //! Each module exposes `run(&Context)` returning structured results with
 //! a `render()` text table, so the `repro` binary, the Criterion benches,
@@ -29,6 +30,7 @@
 
 pub mod ablation;
 pub mod factors;
+pub mod fault_sensitivity;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -10,12 +10,16 @@
 //!   artifacts at any `--threads` setting;
 //! * **telemetry transparency** — the event bus is a pure observer:
 //!   disabled, artifacts are byte-identical to the seed; enabled, the
-//!   JSONL stream is byte-identical at every thread count.
+//!   JSONL stream is byte-identical at every thread count;
+//! * **chaos transparency** — an empty fault plan is a pure observer,
+//!   and a *faulted* run is itself a deterministic function of
+//!   (seed, plan): byte-identical at every thread count, and a
+//!   recoverable crash converges to the fault-free output fingerprint.
 
 use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
 use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
 use gpuflow_experiments::{fig11, measure::par_map, obs, Context};
-use gpuflow_runtime::{RunConfig, SchedulingPolicy, Workflow};
+use gpuflow_runtime::{FaultPlan, RunConfig, SchedulingPolicy, Workflow};
 
 fn canonical_matmul() -> Workflow {
     MatmulConfig::new(gpuflow_data::paper::matmul_128mb(), 4)
@@ -122,4 +126,78 @@ fn telemetry_jsonl_is_identical_across_thread_counts() {
     assert_eq!(single, multi);
     let concurrent = par_map(4, &[(); 4], |_, _| obs::run(&Context::default()).jsonl);
     assert!(concurrent.iter().all(|j| *j == single));
+}
+
+/// An *empty* fault plan is a pure observer, exactly like disabled
+/// telemetry: attaching it (plus the default recovery policy) changes no
+/// artifact bit — makespan, trace CSV, telemetry JSONL, or fingerprint.
+#[test]
+fn empty_fault_plan_is_a_pure_observer() {
+    let ctx = Context::default();
+    let wf = canonical_matmul();
+    let base = RunConfig::new(ctx.cluster.clone(), ProcessorKind::Gpu)
+        .with_seed(ctx.base_seed)
+        .with_trace()
+        .with_telemetry();
+    let off = gpuflow_runtime::run(&wf, &base.clone()).expect("fits");
+    let on = gpuflow_runtime::run(
+        &wf,
+        &base
+            .with_faults(FaultPlan::new(42))
+            .with_recovery(gpuflow_runtime::RecoveryPolicy::default()),
+    )
+    .expect("fits");
+    assert_eq!(off.makespan().to_bits(), on.makespan().to_bits());
+    assert_eq!(off.trace.to_csv(), on.trace.to_csv());
+    assert_eq!(off.telemetry.to_jsonl(), on.telemetry.to_jsonl());
+    assert_eq!(off.output_fingerprint, on.output_fingerprint);
+    assert_eq!(on.recovery, gpuflow_runtime::RecoveryStats::default());
+}
+
+/// A faulted run is a deterministic function of (seed, fault plan): the
+/// telemetry JSONL — which includes every fault and recovery event — is
+/// byte-identical across reruns and under concurrent execution at any
+/// thread count.
+#[test]
+fn faulted_runs_are_identical_across_thread_counts() {
+    let ctx = Context::default();
+    let wf = canonical_kmeans();
+    let plan = FaultPlan::new(7)
+        .with_node_crash(1, 0.05, Some(0.04))
+        .with_task_failures(None, 0.10);
+    let run_once = || {
+        let cfg = RunConfig::new(ctx.cluster.clone(), ProcessorKind::Cpu)
+            .with_storage(StorageArchitecture::LocalDisk)
+            .with_seed(ctx.base_seed)
+            .with_telemetry()
+            .with_faults(plan.clone());
+        let r = gpuflow_runtime::run(&wf, &cfg).expect("recoverable");
+        (r.makespan().to_bits(), r.telemetry.to_jsonl())
+    };
+    let single = run_once();
+    assert!(
+        single.1.contains("node-down"),
+        "the crash must be observable"
+    );
+    for threads in [1usize, 4, 8] {
+        let runs = par_map(threads, &[(); 8], |_, _| run_once());
+        assert!(runs.iter().all(|r| *r == single), "{threads} threads");
+    }
+}
+
+/// A recoverable node crash (with rejoin) on local-disk storage loses
+/// blocks mid-run, yet lineage-based regeneration converges to the exact
+/// fault-free output fingerprint.
+#[test]
+fn recoverable_crash_converges_to_the_fault_free_fingerprint() {
+    let ctx = Context::default();
+    let wf = canonical_kmeans();
+    let base = RunConfig::new(ctx.cluster.clone(), ProcessorKind::Cpu)
+        .with_storage(StorageArchitecture::LocalDisk)
+        .with_seed(ctx.base_seed);
+    let clean = gpuflow_runtime::run(&wf, &base.clone()).expect("fits");
+    let plan = FaultPlan::new(11).with_node_crash(0, clean.makespan() * 0.4, Some(0.02));
+    let faulted = gpuflow_runtime::run(&wf, &base.with_faults(plan)).expect("recoverable");
+    assert_eq!(clean.output_fingerprint, faulted.output_fingerprint);
+    assert!(faulted.check_invariants(&wf, &ctx.cluster).is_ok());
 }

@@ -109,6 +109,16 @@ impl BlockCache {
         }
     }
 
+    /// Drops every entry (a node crash wipes the worker's memory),
+    /// keeping the hit/miss/eviction counters so cumulative statistics
+    /// survive across restarts. Returns the number of entries dropped.
+    pub fn clear(&mut self) -> u64 {
+        let dropped = self.entries.len() as u64;
+        self.entries.clear();
+        self.used = 0;
+        dropped
+    }
+
     /// Bytes currently cached.
     pub fn used(&self) -> u64 {
         self.used
@@ -201,6 +211,21 @@ mod tests {
         c.invalidate(key(1, 0));
         assert!(!c.peek(key(1, 0)));
         assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let mut c = BlockCache::new(20);
+        c.insert(key(1, 0), 10);
+        c.insert(key(2, 0), 10);
+        c.insert(key(3, 0), 10); // one eviction
+        assert!(c.lookup(key(3, 0)));
+        assert_eq!(c.clear(), 2);
+        assert_eq!(c.used(), 0);
+        assert!(!c.peek(key(3, 0)));
+        assert_eq!(c.evictions(), 1, "counters survive the wipe");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.capacity(), 20);
     }
 
     #[test]

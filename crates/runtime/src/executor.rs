@@ -17,9 +17,10 @@
 //! object cache lets well-placed tasks skip deserialization, which is the
 //! mechanism coupling scheduling policy and storage architecture.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+use gpuflow_chaos::{mix64, FaultPlan, RecoveryPolicy};
 use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
 use gpuflow_sim::{Engine, FairShareLink, FlowId, GroupedLink, Jitter, SimDuration, SimTime};
 
@@ -65,6 +66,14 @@ pub struct RunConfig {
     /// task-level parallelism for intra-task thread parallelism with
     /// sub-linear scaling (see [`RunConfig::with_cpu_threads`]).
     pub cpu_threads_per_task: usize,
+    /// Deterministic fault plan injected into the run. `None` (or an
+    /// empty plan) leaves the executor byte-identical to a fault-free
+    /// run; any non-empty plan turns on the recovery machinery.
+    pub faults: Option<FaultPlan>,
+    /// Recovery policy applied when `faults` is active: retry budget,
+    /// virtual-time backoff, alternate-node resubmission, GPU-to-CPU
+    /// fallback.
+    pub recovery: RecoveryPolicy,
 }
 
 impl RunConfig {
@@ -82,6 +91,8 @@ impl RunConfig {
             collect_telemetry: false,
             cache_fraction: 0.5,
             cpu_threads_per_task: 1,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -134,6 +145,18 @@ impl RunConfig {
         self.collect_telemetry = true;
         self
     }
+
+    /// Injects a deterministic fault plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the recovery policy applied under fault injection.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
 }
 
 /// Why a run failed — the failure modes the paper reports in its charts.
@@ -166,6 +189,21 @@ pub enum RunError {
         /// Total tasks.
         total: usize,
     },
+    /// A task exhausted its retry budget under fault injection.
+    TaskFailed {
+        /// Task type that kept failing.
+        task_type: String,
+        /// Attempts made (initial dispatch plus retries).
+        attempts: u32,
+    },
+    /// The injected faults left the workflow unable to finish (e.g. all
+    /// nodes holding a required resource are permanently down).
+    Unrecoverable {
+        /// Tasks in a completed state when the run stalled.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
     /// The cluster specification is inconsistent.
     InvalidConfig(String),
 }
@@ -192,12 +230,49 @@ impl fmt::Display for RunError {
             RunError::Deadlock { completed, total } => {
                 write!(f, "executor deadlock after {completed}/{total} tasks")
             }
+            RunError::TaskFailed {
+                task_type,
+                attempts,
+            } => write!(
+                f,
+                "task '{task_type}' failed permanently after {attempts} attempts"
+            ),
+            RunError::Unrecoverable { completed, total } => {
+                write!(
+                    f,
+                    "injected faults are unrecoverable: stalled at {completed}/{total} tasks"
+                )
+            }
             RunError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// Counters of fault-injection and recovery activity during one run.
+/// All zero when the run had no fault plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Fault-plan entries armed for this run (crashes, GPU failures,
+    /// stragglers, link degradations, transient-rate rules).
+    pub faults_injected: usize,
+    /// Task attempts killed by sampled transient failures.
+    pub transient_failures: usize,
+    /// Task attempts killed by node crashes or GPU failures.
+    pub crash_failures: usize,
+    /// Retries scheduled after transient failures (backoff waits).
+    pub retries: usize,
+    /// Attempts resubmitted after losing their node or device.
+    pub resubmissions: usize,
+    /// Completed tasks re-executed to regenerate lost data (lineage
+    /// recovery).
+    pub regenerated_tasks: usize,
+    /// GPU-capable tasks degraded to CPU execution.
+    pub gpu_fallbacks: usize,
+    /// Cache entries and local-disk block versions destroyed by crashes.
+    pub blocks_invalidated: u64,
+}
 
 /// The outcome of a successful run.
 #[derive(Debug, Clone)]
@@ -219,6 +294,13 @@ pub struct RunReport {
     pub storage: StorageArchitecture,
     /// Policy factor of the run.
     pub policy: SchedulingPolicy,
+    /// Fault-injection and recovery activity (all zero without a plan).
+    pub recovery: RecoveryStats,
+    /// Deterministic lineage fingerprint of the workflow's terminal
+    /// outputs (versions written but never consumed). A faulted run
+    /// that recovered correctly produces the same fingerprint as a
+    /// fault-free run of the same workflow.
+    pub output_fingerprint: u64,
 }
 
 impl RunReport {
@@ -231,6 +313,12 @@ impl RunReport {
     /// cluster: record completeness, dependency ordering, per-node
     /// concurrency caps, metric decomposition, and cache accounting.
     /// Intended for tests (property suites call this after every run).
+    ///
+    /// Under fault injection each record describes a task's *first
+    /// successful* attempt (failed attempts and lineage re-executions
+    /// are not recorded), so there is still exactly one record per task,
+    /// dependency ordering holds between recorded attempts, and the
+    /// concurrency sweep bounds only successfully recorded work.
     ///
     /// # Errors
     /// Returns a description of the first violated invariant.
@@ -313,6 +401,13 @@ impl RunReport {
                 }
             }
         }
+        // Recovery accounting: every retry follows a transient failure.
+        if self.recovery.retries > self.recovery.transient_failures {
+            return Err(format!(
+                "{} retries for {} transient failures",
+                self.recovery.retries, self.recovery.transient_failures
+            ));
+        }
         Ok(())
     }
 }
@@ -351,12 +446,20 @@ pub fn run(workflow: &Workflow, config: &RunConfig) -> Result<RunReport, RunErro
             config.cache_fraction
         )));
     }
+    if let Some(plan) = &config.faults {
+        plan.validate(config.cluster.nodes)
+            .map_err(|errs| RunError::InvalidConfig(errs.join("; ")))?;
+    }
     let mut exec = Exec::new(workflow, config);
+    exec.schedule_faults();
     exec.seed_ready();
     exec.try_start_master();
     while let Some(ev) = exec.engine.pop() {
         let payload = ev.payload;
         exec.handle(payload)?;
+        if let Some(e) = exec.fatal.take() {
+            return Err(e);
+        }
     }
     exec.finish()
 }
@@ -375,8 +478,22 @@ enum LinkKey {
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     MasterDone,
-    TaskDelay(TaskId),
+    /// Stage delay for a task attempt; the attempt tag lets delays from
+    /// an aborted attempt be recognised as stale and dropped.
+    TaskDelay(TaskId, u32),
     LinkTick(LinkKey, u64),
+    /// A discrete fault from the plan (index into the fault timeline).
+    Fault(usize),
+    /// End of a transient-failure backoff window.
+    Retry(TaskId),
+}
+
+/// A discrete fault materialised from the plan at a fixed virtual time.
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    Crash { node: usize },
+    Rejoin { node: usize },
+    GpuFail { node: usize },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -412,6 +529,10 @@ struct TaskRun {
     anchor: SimTime,
     /// Start of the in-flight link flow (for transfer telemetry).
     flow_start: SimTime,
+    /// Lineage hash folded over this attempt's input versions at
+    /// dispatch time (inputs are guaranteed available then, even if a
+    /// later crash invalidates them mid-run).
+    in_hash: u64,
     rec: TaskRecord,
 }
 
@@ -463,6 +584,41 @@ struct Exec<'a> {
     gpu_kernel_seconds: f64,
     core_held_seconds: f64,
     gpu_held_seconds: f64,
+    // Fault injection & recovery. `faults` is `None` when the config has
+    // no plan *or* an empty one, so an empty plan is a pure observer.
+    faults: Option<&'a FaultPlan>,
+    /// Discrete faults in deterministic firing order.
+    fault_timeline: Vec<(SimTime, FaultAction)>,
+    /// Dispatch count per task (1-based after first dispatch).
+    attempts: Vec<u32>,
+    /// Transient failures per task, charged against the retry budget.
+    transient_fails: Vec<u32>,
+    /// Node of the task's last failed attempt (alternate-node
+    /// resubmission steers away from it when possible).
+    last_failed_node: Vec<Option<usize>>,
+    /// Task sits out a backoff window and must not be scheduled.
+    in_backoff: Vec<bool>,
+    /// Task currently has a valid completed output.
+    completed: Vec<bool>,
+    /// Task's first successful attempt has been recorded.
+    recorded: Vec<bool>,
+    node_up: Vec<bool>,
+    /// Permanently failed GPU devices per node.
+    gpus_dead: Vec<usize>,
+    /// Home node of every *written* (non-durable) version; shared-disk
+    /// writes are durable and never appear here.
+    version_home: HashMap<DataVersion, usize>,
+    /// Producing task of every written version.
+    producer: HashMap<DataVersion, TaskId>,
+    /// Versions written but never read by any task, sorted — the
+    /// fingerprint domain.
+    terminal: Vec<DataVersion>,
+    /// Lineage hash of every currently available produced version.
+    data_hash: HashMap<DataVersion, u64>,
+    stats: RecoveryStats,
+    /// Fatal error raised deep inside the stage machinery; the run loop
+    /// surfaces it after the current event.
+    fatal: Option<RunError>,
 }
 
 impl<'a> Exec<'a> {
@@ -495,6 +651,52 @@ impl<'a> Exec<'a> {
                 .fold(0.0, f64::max);
             upward_rank[idx] = est + succ_max;
         }
+        // Lineage bookkeeping: who writes each version, and which
+        // versions are terminal (written, never consumed).
+        let mut producer: HashMap<DataVersion, TaskId> = HashMap::new();
+        let mut consumed: HashSet<DataVersion> = HashSet::new();
+        for t in wf.tasks() {
+            for (id, version) in t.reads() {
+                consumed.insert(DataVersion { id, version });
+            }
+            for (id, version) in t.writes() {
+                producer.insert(DataVersion { id, version }, t.id);
+            }
+        }
+        let mut terminal: Vec<DataVersion> = producer
+            .keys()
+            .filter(|v| !consumed.contains(v))
+            .copied()
+            .collect();
+        terminal.sort_by_key(|v| (v.id.0, v.version));
+        // An empty plan must be indistinguishable from no plan.
+        let faults = cfg.faults.as_ref().filter(|p| !p.is_empty());
+        let mut fault_timeline: Vec<(SimTime, FaultAction)> = Vec::new();
+        if let Some(plan) = faults {
+            // (time, class, node) gives a total deterministic order;
+            // same-time events then fire in schedule order (FIFO).
+            let mut timed: Vec<(f64, u8, usize, FaultAction)> = Vec::new();
+            for cr in &plan.node_crashes {
+                timed.push((cr.at_secs, 0, cr.node, FaultAction::Crash { node: cr.node }));
+                if let Some(rejoin) = cr.rejoin_after_secs {
+                    timed.push((
+                        cr.at_secs + rejoin,
+                        2,
+                        cr.node,
+                        FaultAction::Rejoin { node: cr.node },
+                    ));
+                }
+            }
+            for g in &plan.gpu_failures {
+                timed.push((g.at_secs, 1, g.node, FaultAction::GpuFail { node: g.node }));
+            }
+            timed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            fault_timeline = timed
+                .into_iter()
+                .map(|(at, _, _, action)| (SimTime::ZERO + SimDuration::from_secs_f64(at), action))
+                .collect();
+        }
+        let n_tasks = wf.tasks().len();
         Exec {
             wf,
             cfg,
@@ -541,6 +743,61 @@ impl<'a> Exec<'a> {
             gpu_kernel_seconds: 0.0,
             core_held_seconds: 0.0,
             gpu_held_seconds: 0.0,
+            faults,
+            fault_timeline,
+            attempts: vec![0; n_tasks],
+            transient_fails: vec![0; n_tasks],
+            last_failed_node: vec![None; n_tasks],
+            in_backoff: vec![false; n_tasks],
+            completed: vec![false; n_tasks],
+            recorded: vec![false; n_tasks],
+            node_up: vec![true; nodes],
+            gpus_dead: vec![0; nodes],
+            version_home: HashMap::new(),
+            producer,
+            terminal,
+            data_hash: HashMap::new(),
+            stats: RecoveryStats::default(),
+            fatal: None,
+        }
+    }
+
+    /// Arms the discrete fault timeline and announces every plan entry
+    /// to the telemetry stream (continuous perturbations — stragglers,
+    /// link degradation, transient rates — need no engine events; they
+    /// are pure functions of the virtual clock).
+    fn schedule_faults(&mut self) {
+        for (idx, &(at, _)) in self.fault_timeline.iter().enumerate() {
+            self.engine.schedule_at(at, Ev::Fault(idx));
+        }
+        let Some(plan) = self.faults else { return };
+        self.stats.faults_injected = plan.node_crashes.len()
+            + plan.gpu_failures.len()
+            + plan.stragglers.len()
+            + plan.link_degradations.len()
+            + plan.task_failures.len();
+        if self.bus.active() {
+            for s in &plan.stragglers {
+                self.bus.push(TelemetryEvent::FaultInjected {
+                    at: SimTime::ZERO + SimDuration::from_secs_f64(s.at_secs),
+                    node: Some(s.node),
+                    what: "straggler",
+                });
+            }
+            for l in &plan.link_degradations {
+                self.bus.push(TelemetryEvent::FaultInjected {
+                    at: SimTime::ZERO + SimDuration::from_secs_f64(l.at_secs),
+                    node: None,
+                    what: "link-degradation",
+                });
+            }
+            for _ in &plan.task_failures {
+                self.bus.push(TelemetryEvent::FaultInjected {
+                    at: SimTime::ZERO,
+                    node: None,
+                    what: "transient-rate",
+                });
+            }
         }
     }
 
@@ -580,9 +837,66 @@ impl<'a> Exec<'a> {
         }
     }
 
+    /// GPU devices on `node` that have not permanently failed.
+    fn alive_gpus(&self, node: usize) -> usize {
+        self.cfg.cluster.gpus_of(node) - self.gpus_dead[node]
+    }
+
+    /// Schedules a stage delay tagged with the task's current attempt,
+    /// so delays outliving an aborted attempt are dropped as stale.
+    fn delay(&mut self, d: SimDuration, tid: TaskId) {
+        let att = self.attempts[tid.0 as usize];
+        self.engine.schedule_after(d, Ev::TaskDelay(tid, att));
+    }
+
+    /// Applies the active straggler slowdown of `node` to a stage
+    /// duration. A factor of exactly 1.0 (or no plan) returns `d`
+    /// untouched, keeping fault-free runs byte-identical.
+    fn stretch(&self, node: usize, d: SimDuration) -> SimDuration {
+        if let Some(plan) = self.faults {
+            let f = plan.straggle_factor(node, self.now().as_secs_f64());
+            if f != 1.0 {
+                return d.mul_f64(f);
+            }
+        }
+        d
+    }
+
+    /// Effective bytes of a link flow under the active link-degradation
+    /// window (degradation inflates the transferred volume).
+    fn flow_bytes(&self, bytes: u64) -> f64 {
+        let b = bytes as f64;
+        if let Some(plan) = self.faults {
+            let f = plan.link_factor(self.now().as_secs_f64());
+            if f != 1.0 {
+                return b * f;
+            }
+        }
+        b
+    }
+
+    /// Lineage hash of a version nobody produces (initial datasets, and
+    /// their durable re-fetched copies).
+    fn source_hash(v: DataVersion) -> u64 {
+        mix64(0x9E37_79B9_7F4A_7C15 ^ ((v.id.0 as u64) << 32) ^ v.version as u64)
+    }
+
     /// Free execution slots on `node` for `tid`.
     fn free_slots(&self, node: usize, tid: TaskId) -> usize {
+        if self.faults.is_some() && !self.node_up[node] {
+            return 0;
+        }
         if self.is_gpu_task(tid) {
+            if self.faults.is_some() && self.alive_gpus(node) == 0 {
+                // Every device on the node is dead: degrade to a CPU
+                // core when the policy allows it, else the node cannot
+                // host this task.
+                return if self.cfg.recovery.gpu_to_cpu_fallback {
+                    self.free_cores[node]
+                } else {
+                    0
+                };
+            }
             self.free_cores[node].min(self.free_gpus[node])
         } else {
             self.free_cores[node] / self.cores_needed(tid)
@@ -598,17 +912,51 @@ impl<'a> Exec<'a> {
         // the matching aggregate below is non-zero — so the first ready
         // task (in dispatch order) passing these O(1) tests is the one
         // the seed implementation placed after scoring every candidate.
-        let total_free_cores: usize = self.free_cores.iter().sum();
+        let chaos = self.faults.is_some();
+        let nodes = self.cfg.cluster.nodes;
+        let total_free_cores: usize = if chaos {
+            (0..nodes)
+                .filter(|&n| self.node_up[n])
+                .map(|n| self.free_cores[n])
+                .sum()
+        } else {
+            self.free_cores.iter().sum()
+        };
         if total_free_cores == 0 {
             return;
         }
-        let max_free_cores: usize = self.free_cores.iter().copied().max().unwrap_or(0);
-        let total_free_gpu_slots: usize = self
-            .free_cores
-            .iter()
-            .zip(&self.free_gpus)
-            .map(|(&c, &g)| c.min(g))
-            .sum();
+        let max_free_cores: usize = if chaos {
+            (0..nodes)
+                .filter(|&n| self.node_up[n])
+                .map(|n| self.free_cores[n])
+                .max()
+                .unwrap_or(0)
+        } else {
+            self.free_cores.iter().copied().max().unwrap_or(0)
+        };
+        let total_free_gpu_slots: usize = if chaos {
+            (0..nodes)
+                .map(|n| {
+                    if !self.node_up[n] {
+                        0
+                    } else if self.alive_gpus(n) == 0 {
+                        if self.cfg.recovery.gpu_to_cpu_fallback {
+                            self.free_cores[n]
+                        } else {
+                            0
+                        }
+                    } else {
+                        self.free_cores[n].min(self.free_gpus[n])
+                    }
+                })
+                .sum()
+        } else {
+            self.free_cores
+                .iter()
+                .zip(&self.free_gpus)
+                .map(|(&c, &g)| c.min(g))
+                .sum()
+        };
         let chosen = self.ready.iter().find(|&tid| {
             if self.is_gpu_task(tid) {
                 total_free_gpu_slots > 0
@@ -658,6 +1006,17 @@ impl<'a> Exec<'a> {
                 cached_bytes,
             });
         }
+        // Resubmission steers a previously failed task away from the
+        // node that killed it, when any alternative has capacity.
+        if chaos && self.cfg.recovery.resubmit_alternate {
+            if let Some(bad) = self.last_failed_node[tid.0 as usize] {
+                if avail.iter().any(|a| a.node != bad && a.free_slots > 0) {
+                    if let Some(slot) = avail.iter_mut().find(|a| a.node == bad) {
+                        slot.free_slots = 0;
+                    }
+                }
+            }
+        }
         let placed = place(self.cfg.policy, &avail, self.rr_cursor);
         let node = placed.expect("a ready task passing the slot pre-checks is placeable");
         let queue_depth = self.ready.len();
@@ -699,11 +1058,53 @@ impl<'a> Exec<'a> {
             Ev::MasterDone => {
                 let (tid, node) = self.pending_assign.take().expect("assignment pending");
                 self.master_busy = false;
+                if self.faults.is_some() {
+                    // A fault may have invalidated the assignment while
+                    // the master was deciding.
+                    let i = tid.0 as usize;
+                    if self.completed[i] || self.runs[i].is_some() {
+                        self.try_start_master();
+                        return Ok(());
+                    }
+                    if self.deps_left[i] > 0 {
+                        // Inputs were lost mid-decision; the task will
+                        // re-enter through dependency tracking.
+                        self.try_start_master();
+                        return Ok(());
+                    }
+                    if self.free_slots(node, tid) == 0 {
+                        if !self.in_backoff[i] {
+                            self.ready.insert(self.upward_rank[i], tid);
+                        }
+                        self.try_start_master();
+                        return Ok(());
+                    }
+                }
                 self.dispatch(tid, node)?;
                 self.try_start_master();
                 Ok(())
             }
-            Ev::TaskDelay(tid) => self.on_delay_done(tid),
+            Ev::TaskDelay(tid, att) => {
+                // Stale if the attempt died (abort) or was superseded.
+                let i = tid.0 as usize;
+                if self.runs[i].is_none() || att != self.attempts[i] {
+                    return Ok(());
+                }
+                self.on_delay_done(tid)
+            }
+            Ev::Fault(idx) => {
+                let (_, action) = self.fault_timeline[idx];
+                match action {
+                    FaultAction::Crash { node } => self.on_node_crash(node),
+                    FaultAction::Rejoin { node } => self.on_node_rejoin(node),
+                    FaultAction::GpuFail { node } => self.on_gpu_failure(node),
+                }
+                Ok(())
+            }
+            Ev::Retry(tid) => {
+                self.on_retry(tid);
+                Ok(())
+            }
             Ev::LinkTick(key, gen) => {
                 if gen != self.link_generation(key) {
                     return Ok(()); // stale tick
@@ -750,7 +1151,15 @@ impl<'a> Exec<'a> {
 
     fn dispatch(&mut self, tid: TaskId, node: usize) -> Result<(), RunError> {
         let spec = self.wf.task(tid);
-        let on_gpu = self.is_gpu_task(tid);
+        let gpu_capable = self.is_gpu_task(tid);
+        // Graceful degradation: a GPU task lands on its core when every
+        // device on the node has failed (the scheduler only offers such
+        // a node when the fallback policy is on).
+        let on_gpu = gpu_capable && (self.faults.is_none() || self.alive_gpus(node) > 0);
+        if gpu_capable && !on_gpu {
+            self.stats.gpu_fallbacks += 1;
+        }
+        self.attempts[tid.0 as usize] += 1;
         let reg = self.wf.registry();
         let inputs: Vec<(DataVersion, u64)> = spec
             .reads()
@@ -812,6 +1221,17 @@ impl<'a> Exec<'a> {
         self.peak_ram = self.peak_ram.max(self.ram_used[node]);
 
         let now = self.now();
+        // Fold the attempt's input lineage now: every input version is
+        // available at dispatch (dependency tracking guarantees it).
+        let mut in_hash = mix64(0x517C_C1B7_2722_0A95 ^ tid.0 as u64);
+        for (v, _) in &inputs {
+            let hv = self
+                .data_hash
+                .get(v)
+                .copied()
+                .unwrap_or_else(|| Self::source_hash(*v));
+            in_hash = mix64(in_hash ^ hv);
+        }
         let mut inputs_rev = inputs;
         inputs_rev.reverse();
         let mut outputs_rev = outputs;
@@ -830,6 +1250,7 @@ impl<'a> Exec<'a> {
             host_footprint,
             anchor: now,
             flow_start: now,
+            in_hash,
             rec: TaskRecord {
                 task: tid,
                 task_type: spec.task_type.clone(),
@@ -916,9 +1337,10 @@ impl<'a> Exec<'a> {
                 LinkKey::Disk(home)
             }
         };
+        let eff = self.flow_bytes(bytes);
         let flow = match key {
-            LinkKey::Shared => self.shared.start(now, node, bytes as f64),
-            LinkKey::Disk(n) => self.disks[n].start(now, bytes as f64),
+            LinkKey::Shared => self.shared.start(now, node, eff),
+            LinkKey::Disk(n) => self.disks[n].start(now, eff),
             LinkKey::Pcie(_) => unreachable!("reads never use the PCIe bus"),
         };
         self.flow_task.insert((key, flow), tid);
@@ -934,9 +1356,10 @@ impl<'a> Exec<'a> {
             StorageArchitecture::SharedDisk => LinkKey::Shared,
             StorageArchitecture::LocalDisk => LinkKey::Disk(node),
         };
+        let eff = self.flow_bytes(bytes);
         let flow = match key {
-            LinkKey::Shared => self.shared.start(now, node, bytes as f64),
-            LinkKey::Disk(n) => self.disks[n].start(now, bytes as f64),
+            LinkKey::Shared => self.shared.start(now, node, eff),
+            LinkKey::Disk(n) => self.disks[n].start(now, eff),
             LinkKey::Pcie(_) => unreachable!("writes never use the PCIe bus"),
         };
         self.flow_task.insert((key, flow), tid);
@@ -976,7 +1399,7 @@ impl<'a> Exec<'a> {
                         run.stage = Stage::ReadLatency { key, bytes };
                     }
                     let latency = self.read_latency(node, key.id);
-                    self.engine.schedule_after(latency, Ev::TaskDelay(tid));
+                    self.delay(latency, tid);
                     return;
                 }
                 None => {
@@ -996,7 +1419,9 @@ impl<'a> Exec<'a> {
             let run = self.runs[tid.0 as usize].as_mut().expect("run");
             run.stage = Stage::SerialFrac;
             run.anchor = now;
-            self.engine.schedule_after(d, Ev::TaskDelay(tid));
+            let node = run.node;
+            let d = self.stretch(node, d);
+            self.delay(d, tid);
         } else {
             self.enter_parallel(tid);
         }
@@ -1015,7 +1440,7 @@ impl<'a> Exec<'a> {
             run.stage = Stage::H2dLatency;
             run.anchor = now;
             let latency = self.cfg.cluster.node.pcie.latency;
-            self.engine.schedule_after(latency, Ev::TaskDelay(tid));
+            self.delay(latency, tid);
         } else {
             let threads = self.runs[tid.0 as usize].as_ref().expect("run").cores_held;
             let single = self.cfg.cluster.node.cpu.time(&cost.parallel);
@@ -1025,7 +1450,9 @@ impl<'a> Exec<'a> {
             let run = self.runs[tid.0 as usize].as_mut().expect("run");
             run.stage = Stage::CpuCompute;
             run.anchor = now;
-            self.engine.schedule_after(d, Ev::TaskDelay(tid));
+            let node = run.node;
+            let d = self.stretch(node, d);
+            self.delay(d, tid);
         }
     }
 
@@ -1041,10 +1468,12 @@ impl<'a> Exec<'a> {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.stage = Stage::Encode { key, bytes };
                 run.anchor = now;
+                let node = run.node;
                 let d = self
                     .jitter
                     .apply(self.cfg.cluster.serde.serialize_time(bytes as f64));
-                self.engine.schedule_after(d, Ev::TaskDelay(tid));
+                let d = self.stretch(node, d);
+                self.delay(d, tid);
             }
             None => self.finalize(tid),
         }
@@ -1082,7 +1511,8 @@ impl<'a> Exec<'a> {
                 run.flow_start = now;
                 let bytes = run.in_bytes;
                 let node = run.node;
-                let flow = self.pcie[node].start(now, bytes as f64);
+                let eff = self.flow_bytes(bytes);
+                let flow = self.pcie[node].start(now, eff);
                 self.flow_task.insert((LinkKey::Pcie(node), flow), tid);
                 self.reschedule_link(LinkKey::Pcie(node));
             }
@@ -1097,7 +1527,7 @@ impl<'a> Exec<'a> {
                 run.stage = Stage::D2hLatency;
                 run.anchor = now;
                 let latency = self.cfg.cluster.node.pcie.latency;
-                self.engine.schedule_after(latency, Ev::TaskDelay(tid));
+                self.delay(latency, tid);
             }
             Stage::D2hLatency => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
@@ -1105,7 +1535,8 @@ impl<'a> Exec<'a> {
                 run.flow_start = now;
                 let bytes = run.out_bytes;
                 let node = run.node;
-                let flow = self.pcie[node].start(now, bytes as f64);
+                let eff = self.flow_bytes(bytes);
+                let flow = self.pcie[node].start(now, eff);
                 self.flow_task.insert((LinkKey::Pcie(node), flow), tid);
                 self.reschedule_link(LinkKey::Pcie(node));
             }
@@ -1125,7 +1556,7 @@ impl<'a> Exec<'a> {
                     }
                     StorageArchitecture::LocalDisk => self.cfg.cluster.node.local_disk.latency,
                 };
-                self.engine.schedule_after(latency, Ev::TaskDelay(tid));
+                self.delay(latency, tid);
             }
             Stage::WriteLatency { key, bytes } => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
@@ -1166,10 +1597,12 @@ impl<'a> Exec<'a> {
                 // Storage read finished; decode on the held core.
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.stage = Stage::Decode { key, bytes };
+                let node = run.node;
                 let d = self
                     .jitter
                     .apply(self.cfg.cluster.serde.deserialize_time(bytes as f64));
-                self.engine.schedule_after(d, Ev::TaskDelay(tid));
+                let d = self.stretch(node, d);
+                self.delay(d, tid);
             }
             Stage::H2dFlow => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
@@ -1183,10 +1616,11 @@ impl<'a> Exec<'a> {
                 let d = self
                     .jitter
                     .apply(self.cfg.cluster.node.gpu.time(&cost.parallel));
+                let d = self.stretch(node, d);
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
                 run.stage = Stage::Kernel;
                 run.anchor = now;
-                self.engine.schedule_after(d, Ev::TaskDelay(tid));
+                self.delay(d, tid);
             }
             Stage::D2hFlow => {
                 let run = self.runs[tid.0 as usize].as_mut().expect("run");
@@ -1211,6 +1645,11 @@ impl<'a> Exec<'a> {
                 self.cache_insert(node, key, bytes, now);
                 if self.cfg.storage == StorageArchitecture::LocalDisk {
                     self.home.insert(key.id, node);
+                    if self.faults.is_some() {
+                        // Written versions on a local disk die with the
+                        // node; shared-disk writes are durable.
+                        self.version_home.insert(key, node);
+                    }
                 }
                 self.push_trace(node, tid, TraceState::Serialize, anchor, now);
                 self.enter_outputs(tid);
@@ -1221,8 +1660,28 @@ impl<'a> Exec<'a> {
     }
 
     fn finalize(&mut self, tid: TaskId) {
+        let i = tid.0 as usize;
+        // A chaos plan may kill this attempt at its commit point; the
+        // sampler is a stateless hash of (plan seed, task, attempt), so
+        // the verdict is identical at any thread count and the jitter
+        // stream is never touched.
+        if let Some(plan) = self.faults {
+            let p = plan.failure_probability(self.wf.task(tid).task_type.as_str());
+            if p > 0.0
+                && gpuflow_chaos::transient_failure(
+                    plan.seed,
+                    tid.0,
+                    self.attempts[i].saturating_sub(1),
+                    p,
+                )
+            {
+                self.fail_transient(tid);
+                self.try_start_master();
+                return;
+            }
+        }
         let now = self.now();
-        let mut run = self.runs[tid.0 as usize].take().expect("run");
+        let mut run = self.runs[i].take().expect("run");
         run.rec.end = now;
         let node = run.node;
         self.free_cores[node] += run.cores_held;
@@ -1235,8 +1694,23 @@ impl<'a> Exec<'a> {
             self.gpu_held_seconds += (run.rec.end - run.rec.start).as_secs_f64();
         }
         self.ram_used[node] -= run.host_footprint;
-        self.records.push(run.rec);
-        self.done += 1;
+        // Commit the outputs' lineage hashes: pure functions of the task
+        // and its input lineage, so a regenerated producer reinserts the
+        // exact value a crash destroyed.
+        for (id, version) in self.wf.task(tid).writes() {
+            let key = DataVersion { id, version };
+            let h = mix64(run.in_hash ^ (((key.id.0 as u64) << 32) | key.version as u64));
+            self.data_hash.insert(key, h);
+        }
+        debug_assert!(!self.completed[i], "double completion of {tid}");
+        self.completed[i] = true;
+        if !self.recorded[i] {
+            // Only the first successful attempt is recorded; lineage
+            // re-executions keep the books at one record per task.
+            self.recorded[i] = true;
+            self.records.push(run.rec);
+            self.done += 1;
+        }
         if self.bus.active() {
             self.bus.push(TelemetryEvent::TaskCompleted {
                 at: now,
@@ -1246,19 +1720,373 @@ impl<'a> Exec<'a> {
             self.push_gauge(node, now);
         }
         for &succ in self.wf.successors(tid) {
-            let d = &mut self.deps_left[succ.0 as usize];
-            *d -= 1;
+            let si = succ.0 as usize;
+            if self.completed[si] || self.runs[si].is_some() {
+                // A lineage re-execution's successor may already be
+                // done or running; never feed it back into the queue.
+                continue;
+            }
+            let d = &mut self.deps_left[si];
+            *d = d.saturating_sub(1);
             if *d == 0 {
-                self.ready.insert(self.upward_rank[succ.0 as usize], succ);
-                if self.bus.active() {
-                    self.bus.push(TelemetryEvent::TaskReady {
-                        at: now,
-                        task: succ,
-                    });
+                let pending = self.pending_assign.map(|(t, _)| t) == Some(succ);
+                if !self.in_backoff[si] && !pending {
+                    self.ready.insert(self.upward_rank[si], succ);
+                    if self.bus.active() {
+                        self.bus.push(TelemetryEvent::TaskReady {
+                            at: now,
+                            task: succ,
+                        });
+                    }
                 }
             }
         }
         self.try_start_master();
+    }
+
+    /// Tears down a live attempt: releases its core(s), RAM, and —
+    /// unless the device itself died — its GPU, drops its in-flight
+    /// link flows (the orphaned flows drain harmlessly; their
+    /// completions find no owner), and reports the failure. Pending
+    /// stage delays become stale via the attempt tag.
+    fn abort_attempt(&mut self, tid: TaskId, reason: &'static str, release_gpu: bool) {
+        let now = self.now();
+        let i = tid.0 as usize;
+        let run = self.runs[i].take().expect("aborting a live attempt");
+        let node = run.node;
+        self.free_cores[node] += run.cores_held;
+        self.core_stacks[node].extend(run.core_ids.iter().copied());
+        self.core_held_seconds += run.cores_held as f64 * (now - run.rec.start).as_secs_f64();
+        if run.on_gpu {
+            self.gpu_held_seconds += (now - run.rec.start).as_secs_f64();
+            if release_gpu {
+                self.free_gpus[node] += 1;
+                self.gpu_stacks[node].push(run.gpu_id.expect("GPU attempt holds a device"));
+            }
+        }
+        self.ram_used[node] -= run.host_footprint;
+        self.flow_task.retain(|_, t| *t != tid);
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::TaskFailed {
+                at: now,
+                task: tid,
+                node,
+                attempt: self.attempts[i].saturating_sub(1),
+                started: run.rec.start,
+                reason,
+            });
+            self.push_gauge(node, now);
+        }
+    }
+
+    /// Kills the current attempt with a sampled transient failure and
+    /// either schedules a backed-off retry or, with the budget spent,
+    /// raises the fatal [`RunError::TaskFailed`].
+    fn fail_transient(&mut self, tid: TaskId) {
+        let i = tid.0 as usize;
+        let now = self.now();
+        let node = self.runs[i].as_ref().expect("failing a live attempt").node;
+        self.stats.transient_failures += 1;
+        self.transient_fails[i] += 1;
+        self.abort_attempt(tid, "transient", true);
+        if self.transient_fails[i] > self.cfg.recovery.max_retries {
+            self.fatal = Some(RunError::TaskFailed {
+                task_type: self.wf.task(tid).task_type.to_string(),
+                attempts: self.attempts[i],
+            });
+            return;
+        }
+        if self.cfg.recovery.resubmit_alternate {
+            self.last_failed_node[i] = Some(node);
+        }
+        self.stats.retries += 1;
+        let backoff =
+            SimDuration::from_secs_f64(self.cfg.recovery.backoff_secs(self.transient_fails[i]));
+        self.in_backoff[i] = true;
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::TaskRetry {
+                at: now,
+                task: tid,
+                attempt: self.attempts[i],
+                until: now + backoff,
+            });
+        }
+        self.engine.schedule_after(backoff, Ev::Retry(tid));
+    }
+
+    /// End of a backoff window: the task re-enters the ready queue if
+    /// its dependencies still hold (a crash may have invalidated them;
+    /// dependency tracking re-admits it later in that case).
+    fn on_retry(&mut self, tid: TaskId) {
+        let i = tid.0 as usize;
+        if !self.in_backoff[i] {
+            return;
+        }
+        self.in_backoff[i] = false;
+        self.requeue(tid);
+        self.try_start_master();
+    }
+
+    /// Re-inserts a task whose attempt was torn down, if it is runnable
+    /// right now (dependencies met, not completed/running/pending).
+    fn requeue(&mut self, tid: TaskId) {
+        let i = tid.0 as usize;
+        if self.completed[i]
+            || self.runs[i].is_some()
+            || self.in_backoff[i]
+            || self.deps_left[i] > 0
+            || self.pending_assign.map(|(t, _)| t) == Some(tid)
+        {
+            return;
+        }
+        // A crash may have destroyed produced input versions while this
+        // attempt ran on a surviving node or sat in backoff — it was
+        // live then, so no crash-time sweep chased its inputs. Re-read
+        // lineage now: a missing produced version forces regeneration of
+        // its producer before this task may run again.
+        let lost_input = self.wf.task(tid).reads().any(|(id, version)| {
+            let v = DataVersion { id, version };
+            !self.data_hash.contains_key(&v) && self.producer.contains_key(&v)
+        });
+        if lost_input {
+            self.mark_regeneration(&[]);
+            self.rebuild_dependencies();
+            return;
+        }
+        self.ready.insert(self.upward_rank[i], tid);
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::TaskReady {
+                at: self.now(),
+                task: tid,
+            });
+        }
+    }
+
+    /// A node dies: every attempt on it is killed and resubmitted, its
+    /// worker cache is wiped, and (with local disks) every block version
+    /// written to its disk is lost — forcing lineage regeneration of the
+    /// producers. Initial dataset blocks are durable and are re-homed
+    /// onto surviving nodes.
+    fn on_node_crash(&mut self, node: usize) {
+        if !self.node_up[node] {
+            return;
+        }
+        let now = self.now();
+        self.node_up[node] = false;
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::FaultInjected {
+                at: now,
+                node: Some(node),
+                what: "node-crash",
+            });
+            self.bus.push(TelemetryEvent::NodeDown { at: now, node });
+        }
+        let victims: Vec<TaskId> = (0..self.runs.len())
+            .filter(|&i| self.runs[i].as_ref().is_some_and(|r| r.node == node))
+            .map(|i| TaskId(i as u32))
+            .collect();
+        for tid in victims {
+            self.stats.crash_failures += 1;
+            self.stats.resubmissions += 1;
+            if self.cfg.recovery.resubmit_alternate {
+                self.last_failed_node[tid.0 as usize] = Some(node);
+            }
+            self.abort_attempt(tid, "node-crash", true);
+            if self.bus.active() {
+                self.bus.push(TelemetryEvent::TaskResubmitted {
+                    at: now,
+                    task: tid,
+                    from_node: node,
+                });
+            }
+        }
+        let dropped = self.caches[node].clear();
+        let mut lost: Vec<DataVersion> = Vec::new();
+        if self.cfg.storage == StorageArchitecture::LocalDisk {
+            lost = self
+                .version_home
+                .iter()
+                .filter(|&(_, &h)| h == node)
+                .map(|(&v, _)| v)
+                .collect();
+            lost.sort_by_key(|v| (v.id.0, v.version));
+            for &v in &lost {
+                self.version_home.remove(&v);
+                self.data_hash.remove(&v);
+                // Cached copies elsewhere are invalidated too: a lost
+                // version must be regenerated before anyone consumes it
+                // again, which is what makes fingerprint equality prove
+                // lineage recovery.
+                for cache in &mut self.caches {
+                    cache.invalidate(v);
+                }
+            }
+            // Durable initial blocks move to surviving disks.
+            let mut ids: Vec<DataId> = self
+                .home
+                .iter()
+                .filter(|&(_, &h)| h == node)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.sort_by_key(|d| d.0);
+            let alive: Vec<usize> = (0..self.cfg.cluster.nodes)
+                .filter(|&n| self.node_up[n])
+                .collect();
+            if !alive.is_empty() {
+                for (k, id) in ids.into_iter().enumerate() {
+                    self.home.insert(id, alive[k % alive.len()]);
+                }
+            }
+        }
+        self.stats.blocks_invalidated += dropped + lost.len() as u64;
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::BlocksInvalidated {
+                at: now,
+                node,
+                count: dropped,
+                lost_versions: lost.len() as u64,
+            });
+        }
+        self.mark_regeneration(&lost);
+        self.rebuild_dependencies();
+        self.try_start_master();
+    }
+
+    /// A transiently crashed node comes back: empty cache, full core
+    /// complement (permanently failed GPUs stay dead).
+    fn on_node_rejoin(&mut self, node: usize) {
+        if self.node_up[node] {
+            return;
+        }
+        let now = self.now();
+        self.node_up[node] = true;
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::NodeUp { at: now, node });
+        }
+        self.try_start_master();
+    }
+
+    /// One GPU device on `node` fails permanently. An idle device is
+    /// simply removed from the pool; otherwise the lowest-id running
+    /// GPU attempt on the node dies with its device and is resubmitted.
+    fn on_gpu_failure(&mut self, node: usize) {
+        if self.gpus_dead[node] >= self.cfg.cluster.gpus_of(node) {
+            return;
+        }
+        let now = self.now();
+        self.gpus_dead[node] += 1;
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::FaultInjected {
+                at: now,
+                node: Some(node),
+                what: "gpu-failure",
+            });
+        }
+        if self.free_gpus[node] > 0 {
+            self.free_gpus[node] -= 1;
+            self.gpu_stacks[node].pop();
+        } else if let Some(tid) = (0..self.runs.len())
+            .find(|&i| {
+                self.runs[i]
+                    .as_ref()
+                    .is_some_and(|r| r.node == node && r.on_gpu)
+            })
+            .map(|i| TaskId(i as u32))
+        {
+            self.stats.crash_failures += 1;
+            self.stats.resubmissions += 1;
+            if self.cfg.recovery.resubmit_alternate {
+                self.last_failed_node[tid.0 as usize] = Some(node);
+            }
+            self.abort_attempt(tid, "gpu-failure", false);
+            if self.bus.active() {
+                self.bus.push(TelemetryEvent::TaskResubmitted {
+                    at: now,
+                    task: tid,
+                    from_node: node,
+                });
+            }
+            self.requeue(tid);
+        }
+        self.try_start_master();
+    }
+
+    /// Marks every task whose (transitive) inputs were lost for
+    /// re-execution. Seeds are all pending tasks (they may need lost
+    /// inputs) plus the producers of lost *terminal* versions, which
+    /// must regenerate even with no pending consumer — the run's output
+    /// set itself was damaged.
+    fn mark_regeneration(&mut self, lost: &[DataVersion]) {
+        let n = self.wf.tasks().len();
+        let mut work: Vec<TaskId> = (0..n)
+            .filter(|&i| !self.completed[i] && self.runs[i].is_none())
+            .map(|i| TaskId(i as u32))
+            .collect();
+        for v in lost {
+            if self
+                .terminal
+                .binary_search_by_key(&(v.id.0, v.version), |t| (t.id.0, t.version))
+                .is_ok()
+            {
+                if let Some(&p) = self.producer.get(v) {
+                    work.push(p);
+                }
+            }
+        }
+        let mut visited = vec![false; n];
+        while let Some(t) = work.pop() {
+            let i = t.0 as usize;
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            if self.completed[i] {
+                self.completed[i] = false;
+                self.stats.regenerated_tasks += 1;
+            }
+            // Chase lost inputs upstream: a produced version missing
+            // from the lineage table forces its producer to re-run
+            // (initial versions have no producer — they are durable).
+            for (id, version) in self.wf.task(t).reads() {
+                let v = DataVersion { id, version };
+                if !self.data_hash.contains_key(&v) {
+                    if let Some(&p) = self.producer.get(&v) {
+                        if !visited[p.0 as usize] {
+                            work.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes `deps_left` and rebuilds the ready queue from scratch
+    /// after regeneration changed the completion frontier.
+    fn rebuild_dependencies(&mut self) {
+        let now = self.now();
+        let mut ready = ReadyQueue::new(self.cfg.policy);
+        for i in 0..self.wf.tasks().len() {
+            if self.completed[i] || self.runs[i].is_some() {
+                continue;
+            }
+            let tid = TaskId(i as u32);
+            let deps = self
+                .wf
+                .predecessors(tid)
+                .iter()
+                .filter(|p| !self.completed[p.0 as usize])
+                .count();
+            self.deps_left[i] = deps;
+            let pending = self.pending_assign.map(|(t, _)| t) == Some(tid);
+            if deps == 0 && !self.in_backoff[i] && !pending {
+                ready.insert(self.upward_rank[i], tid);
+                if self.bus.active() {
+                    self.bus
+                        .push(TelemetryEvent::TaskReady { at: now, task: tid });
+                }
+            }
+        }
+        self.ready = ready;
     }
 
     /// Emits one processing-stage interval to the bus — the single
@@ -1311,7 +2139,17 @@ impl<'a> Exec<'a> {
 
     fn finish(self) -> Result<RunReport, RunError> {
         let total = self.wf.tasks().len();
-        if self.done < total {
+        let completed_now = self.completed.iter().filter(|&&c| c).count();
+        if self.done < total || completed_now < total {
+            // With a fault plan the stall is the plan's doing (e.g. a
+            // permanent crash of the only capable node); without one it
+            // is an internal invariant violation.
+            if self.faults.is_some() {
+                return Err(RunError::Unrecoverable {
+                    completed: completed_now,
+                    total,
+                });
+            }
             return Err(RunError::Deadlock {
                 completed: self.done,
                 total,
@@ -1348,6 +2186,12 @@ impl<'a> Exec<'a> {
         } else {
             TelemetryLog::default()
         };
+        // Fold the lineage hashes of the terminal outputs, in a fixed
+        // order — the run's output fingerprint.
+        let mut fingerprint = 0xCBF2_9CE4_8422_2325u64;
+        for v in &self.terminal {
+            fingerprint = mix64(fingerprint ^ self.data_hash.get(v).copied().unwrap_or(0));
+        }
         Ok(RunReport {
             metrics,
             records: self.records,
@@ -1357,6 +2201,8 @@ impl<'a> Exec<'a> {
             processor: self.cfg.processor,
             storage: self.cfg.storage,
             policy: self.cfg.policy,
+            recovery: self.stats,
+            output_fingerprint: fingerprint,
         })
     }
 }
@@ -1935,5 +2781,204 @@ mod heterogeneous_tests {
             t_spread < t_packed,
             "dedicated buses must win: spread {t_spread} vs packed {t_packed}"
         );
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::data::Direction;
+    use crate::task::CostProfile;
+    use crate::workflow::WorkflowBuilder;
+    use gpuflow_cluster::KernelWork;
+
+    const MB: u64 = 1 << 20;
+
+    fn compute_cost(flops: f64) -> CostProfile {
+        CostProfile::fully_parallel(KernelWork {
+            flops,
+            bytes: flops / 10.0,
+            parallelism: 1e9,
+        })
+    }
+
+    /// A three-stage pipeline over `width` independent chains; plenty of
+    /// intermediates to lose in a crash.
+    fn pipeline(width: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new();
+        for i in 0..width {
+            let x = b.input(format!("x{i}"), MB);
+            let a = b.intermediate(format!("a{i}"), MB);
+            let c = b.intermediate(format!("c{i}"), MB);
+            b.submit(
+                "stage0",
+                compute_cost(1e9),
+                &[(x, Direction::In), (a, Direction::Out)],
+                false,
+            )
+            .unwrap();
+            b.submit(
+                "stage1",
+                compute_cost(1e9),
+                &[(a, Direction::In), (c, Direction::Out)],
+                false,
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    fn base_cfg() -> RunConfig {
+        let mut c = RunConfig::new(ClusterSpec::tiny(), ProcessorKind::Cpu);
+        c.jitter_sigma = 0.0;
+        c.storage = StorageArchitecture::LocalDisk;
+        c
+    }
+
+    #[test]
+    fn empty_plan_is_a_pure_observer() {
+        let wf = pipeline(6);
+        let plain = run(&wf, &base_cfg().with_telemetry()).unwrap();
+        let observed = run(
+            &wf,
+            &base_cfg().with_telemetry().with_faults(FaultPlan::new(7)),
+        )
+        .unwrap();
+        assert_eq!(plain.telemetry.to_jsonl(), observed.telemetry.to_jsonl());
+        assert_eq!(plain.makespan(), observed.makespan());
+        assert_eq!(plain.output_fingerprint, observed.output_fingerprint);
+        assert_eq!(observed.recovery, RecoveryStats::default());
+    }
+
+    #[test]
+    fn transient_failures_retry_and_converge() {
+        let wf = pipeline(6);
+        let baseline = run(&wf, &base_cfg()).unwrap();
+        let plan = FaultPlan::new(42).with_task_failures(None, 0.3);
+        let faulted = run(&wf, &base_cfg().with_faults(plan)).unwrap();
+        assert!(faulted.recovery.transient_failures > 0, "p=0.3 must bite");
+        assert_eq!(
+            faulted.recovery.retries,
+            faulted.recovery.transient_failures
+        );
+        assert_eq!(faulted.output_fingerprint, baseline.output_fingerprint);
+        assert!(faulted.makespan() > baseline.makespan());
+        faulted.check_invariants(&wf, &ClusterSpec::tiny()).unwrap();
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_typed_error() {
+        let wf = pipeline(2);
+        let plan = FaultPlan::new(1).with_task_failures(Some("stage0"), 0.9999);
+        match run(&wf, &base_cfg().with_faults(plan)) {
+            Err(RunError::TaskFailed {
+                task_type,
+                attempts,
+            }) => {
+                assert_eq!(task_type, "stage0");
+                assert_eq!(attempts, RecoveryPolicy::default().max_retries + 1);
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_node_crash_recovers_with_same_fingerprint() {
+        let wf = pipeline(8);
+        let baseline = run(&wf, &base_cfg()).unwrap();
+        // Crash node 0 mid-run, long before the fault-free makespan
+        // ends, and bring it back shortly after.
+        let at = baseline.makespan() * 0.4;
+        let plan = FaultPlan::new(3).with_node_crash(0, at, Some(at));
+        let faulted = run(&wf, &base_cfg().with_telemetry().with_faults(plan)).unwrap();
+        assert_eq!(faulted.output_fingerprint, baseline.output_fingerprint);
+        assert!(
+            faulted.recovery.blocks_invalidated > 0,
+            "the crash must cost something: {:?}",
+            faulted.recovery
+        );
+        faulted.check_invariants(&wf, &ClusterSpec::tiny()).unwrap();
+        let jsonl = faulted.telemetry.to_jsonl();
+        assert!(jsonl.contains("\"ev\":\"node-down\""));
+        assert!(jsonl.contains("\"ev\":\"node-up\""));
+    }
+
+    #[test]
+    fn permanent_crash_of_every_node_is_unrecoverable() {
+        let wf = pipeline(4);
+        let plan = FaultPlan::new(5)
+            .with_node_crash(0, 1e-4, None)
+            .with_node_crash(1, 1e-4, None);
+        match run(&wf, &base_cfg().with_faults(plan)) {
+            Err(RunError::Unrecoverable { completed, total }) => {
+                assert!(completed < total);
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gpu_failure_degrades_to_cpu_only_when_allowed() {
+        let wf = pipeline(4);
+        let mut cfg = base_cfg();
+        cfg.processor = ProcessorKind::Gpu;
+        let baseline = run(&wf, &cfg).unwrap();
+        // Kill the single GPU on both tiny-cluster nodes immediately.
+        let plan = FaultPlan::new(9)
+            .with_gpu_failure(0, 0.0)
+            .with_gpu_failure(1, 0.0);
+        let strict = run(&wf, &cfg.clone().with_faults(plan.clone()));
+        assert!(
+            matches!(strict, Err(RunError::Unrecoverable { .. })),
+            "no fallback, no devices, no progress: {strict:?}"
+        );
+        let fallback = RecoveryPolicy {
+            gpu_to_cpu_fallback: true,
+            ..RecoveryPolicy::default()
+        };
+        let degraded = run(&wf, &cfg.with_faults(plan).with_recovery(fallback)).unwrap();
+        assert!(degraded.recovery.gpu_fallbacks > 0);
+        assert_eq!(degraded.output_fingerprint, baseline.output_fingerprint);
+        assert!(
+            degraded
+                .records
+                .iter()
+                .all(|r| r.processor == ProcessorKind::Cpu),
+            "every recorded attempt ran on a core"
+        );
+    }
+
+    #[test]
+    fn straggler_and_link_degradation_slow_the_run() {
+        let wf = pipeline(6);
+        let baseline = run(&wf, &base_cfg()).unwrap();
+        let horizon = baseline.makespan() * 10.0;
+        let slow = FaultPlan::new(11)
+            .with_straggler(0, 0.0, horizon, 4.0)
+            .with_straggler(1, 0.0, horizon, 4.0)
+            .with_link_degradation(0.0, horizon, 3.0);
+        let slowed = run(&wf, &base_cfg().with_faults(slow)).unwrap();
+        assert!(
+            slowed.makespan() > baseline.makespan() * 2.0,
+            "4x compute + 3x links must dominate: {} vs {}",
+            slowed.makespan(),
+            baseline.makespan()
+        );
+        assert_eq!(slowed.output_fingerprint, baseline.output_fingerprint);
+    }
+
+    #[test]
+    fn faulted_runs_reproduce_bit_for_bit() {
+        let wf = pipeline(8);
+        let plan = FaultPlan::new(21)
+            .with_node_crash(1, 0.02, Some(0.05))
+            .with_task_failures(None, 0.15);
+        let cfg = base_cfg().with_telemetry().with_faults(plan);
+        let a = run(&wf, &cfg).unwrap();
+        let b = run(&wf, &cfg).unwrap();
+        assert_eq!(a.telemetry.to_jsonl(), b.telemetry.to_jsonl());
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.output_fingerprint, b.output_fingerprint);
     }
 }

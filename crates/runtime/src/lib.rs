@@ -24,7 +24,8 @@ mod workflow;
 
 pub use cache::BlockCache;
 pub use data::{DataId, DataRegistry, DataVersion, Direction};
-pub use executor::{run, RunConfig, RunError, RunReport};
+pub use executor::{run, RecoveryStats, RunConfig, RunError, RunReport};
+pub use gpuflow_chaos::{FaultPlan, RecoveryPolicy};
 pub use metrics::{LevelStats, RunMetrics, TaskRecord, UserCodeStats};
 pub use scheduler::{
     decision_overhead, pick, place, NodeAvail, RankKey, ReadyQueue, SchedulingPolicy,

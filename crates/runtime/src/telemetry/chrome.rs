@@ -83,6 +83,13 @@ pub fn to_chrome_trace(log: &TelemetryLog) -> String {
                 task_names.insert(*task, format!("{task_type} t{}", task.0));
             }
             TelemetryEvent::NodeGauge { node, .. } => max_node = max_node.max(*node),
+            TelemetryEvent::FaultInjected {
+                node: Some(node), ..
+            }
+            | TelemetryEvent::TaskFailed { node, .. }
+            | TelemetryEvent::NodeDown { node, .. }
+            | TelemetryEvent::NodeUp { node, .. }
+            | TelemetryEvent::BlocksInvalidated { node, .. } => max_node = max_node.max(*node),
             _ => {}
         }
     }
@@ -249,6 +256,107 @@ pub fn to_chrome_trace(log: &TelemetryLog) -> String {
                 );
                 evs.push(s);
             }
+            TelemetryEvent::FaultInjected { at, node, what } => {
+                let pid = node.unwrap_or(master_pid);
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"fault: {what}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"pid\":{},\"tid\":0,\"ts\":{}}}",
+                    pid,
+                    us(at.as_nanos())
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::TaskFailed {
+                at,
+                task,
+                node,
+                attempt,
+                reason,
+                ..
+            } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"failed t{} ({reason})\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"attempt\":{}}}}}",
+                    task.0,
+                    node,
+                    us(at.as_nanos()),
+                    attempt
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::TaskRetry {
+                at,
+                task,
+                attempt,
+                until,
+            } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"backoff t{}\",\"cat\":\"recovery\",\"ph\":\"X\",\"pid\":{},\"tid\":0,\"ts\":{},\"dur\":{},\"args\":{{\"attempt\":{}}}}}",
+                    task.0,
+                    master_pid,
+                    us(at.as_nanos()),
+                    us(until.as_nanos() - at.as_nanos()),
+                    attempt
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::TaskResubmitted {
+                at,
+                task,
+                from_node,
+            } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"resubmit t{}\",\"cat\":\"recovery\",\"ph\":\"i\",\"s\":\"p\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"from_node\":{}}}}}",
+                    task.0,
+                    master_pid,
+                    us(at.as_nanos()),
+                    from_node
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::NodeDown { at, node } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"node down\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"pid\":{},\"tid\":0,\"ts\":{}}}",
+                    node,
+                    us(at.as_nanos())
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::NodeUp { at, node } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"node up\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"pid\":{},\"tid\":0,\"ts\":{}}}",
+                    node,
+                    us(at.as_nanos())
+                );
+                evs.push(s);
+            }
+            TelemetryEvent::BlocksInvalidated {
+                at,
+                node,
+                count,
+                lost_versions,
+            } => {
+                let mut s = String::new();
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"blocks invalidated\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"count\":{},\"lost_versions\":{}}}}}",
+                    node,
+                    us(at.as_nanos()),
+                    count,
+                    lost_versions
+                );
+                evs.push(s);
+            }
             _ => {}
         }
     }
@@ -387,5 +495,40 @@ mod tests {
     fn empty_log_is_still_valid() {
         let json = to_chrome_trace(&TelemetryLog::default());
         assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn fault_events_render_as_instants_and_spans() {
+        let log = TelemetryLog::from_events(vec![
+            TelemetryEvent::NodeDown {
+                at: t(1_000),
+                node: 2,
+            },
+            TelemetryEvent::TaskFailed {
+                at: t(2_000),
+                task: TaskId(7),
+                node: 2,
+                attempt: 0,
+                started: t(500),
+                reason: "node-crash",
+            },
+            TelemetryEvent::TaskRetry {
+                at: t(2_000),
+                task: TaskId(7),
+                attempt: 1,
+                until: t(4_000),
+            },
+            TelemetryEvent::NodeUp {
+                at: t(9_000),
+                node: 2,
+            },
+        ]);
+        let json = to_chrome_trace(&log);
+        assert!(json.contains("\"name\":\"node down\""), "{json}");
+        assert!(json.contains("\"name\":\"failed t7 (node-crash)\""));
+        assert!(json.contains("\"name\":\"backoff t7\""));
+        assert!(json.contains("\"ph\":\"i\""), "instant markers required");
+        // The crashed node's process exists even with no stage events.
+        assert!(json.contains("node 2"), "{json}");
     }
 }

@@ -180,6 +180,80 @@ pub enum TelemetryEvent {
         /// Node that executed it.
         node: usize,
     },
+    /// A fault from the configured plan fired.
+    FaultInjected {
+        /// Injection instant.
+        at: SimTime,
+        /// Affected node (cluster-wide faults carry `None`).
+        node: Option<usize>,
+        /// What was injected (`node-crash`, `node-rejoin`,
+        /// `gpu-failure`).
+        what: &'static str,
+    },
+    /// A running task attempt was lost.
+    TaskFailed {
+        /// Failure instant.
+        at: SimTime,
+        /// The task.
+        task: TaskId,
+        /// Node the attempt ran on.
+        node: usize,
+        /// The attempt that failed (first execution is attempt 0).
+        attempt: u32,
+        /// Dispatch instant of the lost attempt (its work in
+        /// `[started, at]` is wasted and attributed to recovery).
+        started: SimTime,
+        /// Failure cause (`transient`, `node-crash`, `gpu-failure`).
+        reason: &'static str,
+    },
+    /// A failed task entered its virtual-time retry backoff.
+    TaskRetry {
+        /// Backoff start.
+        at: SimTime,
+        /// The task.
+        task: TaskId,
+        /// The upcoming attempt number.
+        attempt: u32,
+        /// Backoff end: the task re-enters the ready queue here.
+        until: SimTime,
+    },
+    /// A task lost with its node re-entered the ready queue for
+    /// placement elsewhere.
+    TaskResubmitted {
+        /// Resubmission instant.
+        at: SimTime,
+        /// The task.
+        task: TaskId,
+        /// The node the previous attempt was lost on.
+        from_node: usize,
+    },
+    /// A node left the cluster (quarantined until rejoin, if any).
+    NodeDown {
+        /// Quarantine instant.
+        at: SimTime,
+        /// The node.
+        node: usize,
+    },
+    /// A quarantined node rejoined with cold caches and empty local
+    /// storage.
+    NodeUp {
+        /// Rejoin instant.
+        at: SimTime,
+        /// The node.
+        node: usize,
+    },
+    /// Blocks resident on a crashed node were invalidated (their
+    /// producers re-run via lineage).
+    BlocksInvalidated {
+        /// Invalidation instant.
+        at: SimTime,
+        /// The crashed node.
+        node: usize,
+        /// Cache entries dropped.
+        count: u64,
+        /// Local-storage data versions lost (regenerated via lineage).
+        lost_versions: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -195,6 +269,13 @@ impl TelemetryEvent {
             TelemetryEvent::CacheEvicted { .. } => "evict",
             TelemetryEvent::NodeGauge { .. } => "gauge",
             TelemetryEvent::TaskCompleted { .. } => "complete",
+            TelemetryEvent::FaultInjected { .. } => "fault",
+            TelemetryEvent::TaskFailed { .. } => "failed",
+            TelemetryEvent::TaskRetry { .. } => "retry",
+            TelemetryEvent::TaskResubmitted { .. } => "resubmit",
+            TelemetryEvent::NodeDown { .. } => "node-down",
+            TelemetryEvent::NodeUp { .. } => "node-up",
+            TelemetryEvent::BlocksInvalidated { .. } => "invalidate",
         }
     }
 
@@ -347,6 +428,93 @@ impl TelemetryEvent {
                     node
                 );
             }
+            TelemetryEvent::FaultInjected { at, node, what } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"fault\",\"t\":{},\"node\":{},\"what\":\"{}\"}}",
+                    at.as_nanos(),
+                    OptUsize(*node),
+                    what
+                );
+            }
+            TelemetryEvent::TaskFailed {
+                at,
+                task,
+                node,
+                attempt,
+                started,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"failed\",\"t\":{},\"task\":{},\"node\":{},\"attempt\":{},\"started\":{},\"reason\":\"{}\"}}",
+                    at.as_nanos(),
+                    task.0,
+                    node,
+                    attempt,
+                    started.as_nanos(),
+                    reason
+                );
+            }
+            TelemetryEvent::TaskRetry {
+                at,
+                task,
+                attempt,
+                until,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"retry\",\"t\":{},\"task\":{},\"attempt\":{},\"until\":{}}}",
+                    at.as_nanos(),
+                    task.0,
+                    attempt,
+                    until.as_nanos()
+                );
+            }
+            TelemetryEvent::TaskResubmitted {
+                at,
+                task,
+                from_node,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"resubmit\",\"t\":{},\"task\":{},\"from_node\":{}}}",
+                    at.as_nanos(),
+                    task.0,
+                    from_node
+                );
+            }
+            TelemetryEvent::NodeDown { at, node } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"node-down\",\"t\":{},\"node\":{}}}",
+                    at.as_nanos(),
+                    node
+                );
+            }
+            TelemetryEvent::NodeUp { at, node } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"node-up\",\"t\":{},\"node\":{}}}",
+                    at.as_nanos(),
+                    node
+                );
+            }
+            TelemetryEvent::BlocksInvalidated {
+                at,
+                node,
+                count,
+                lost_versions,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"invalidate\",\"t\":{},\"node\":{},\"count\":{},\"lost_versions\":{}}}",
+                    at.as_nanos(),
+                    node,
+                    count,
+                    lost_versions
+                );
+            }
         }
         s
     }
@@ -356,6 +524,18 @@ impl TelemetryEvent {
 struct OptNum(Option<u16>);
 
 impl std::fmt::Display for OptNum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "null"),
+        }
+    }
+}
+
+/// `Option<usize>` rendered as a JSON number or `null`.
+struct OptUsize(Option<usize>);
+
+impl std::fmt::Display for OptUsize {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.0 {
             Some(v) => write!(f, "{v}"),
@@ -466,5 +646,67 @@ mod tests {
         ];
         let kinds: Vec<_> = evs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds, vec!["ready", "evict", "complete"]);
+    }
+
+    #[test]
+    fn fault_events_serialize_deterministically() {
+        let failed = TelemetryEvent::TaskFailed {
+            at: SimTime::from_nanos(20),
+            task: TaskId(4),
+            node: 1,
+            attempt: 0,
+            started: SimTime::from_nanos(5),
+            reason: "transient",
+        };
+        assert_eq!(
+            failed.to_json(),
+            "{\"ev\":\"failed\",\"t\":20,\"task\":4,\"node\":1,\"attempt\":0,\"started\":5,\"reason\":\"transient\"}"
+        );
+        let fault = TelemetryEvent::FaultInjected {
+            at: SimTime::from_nanos(7),
+            node: None,
+            what: "node-crash",
+        };
+        assert!(fault.to_json().contains("\"node\":null"));
+        let retry = TelemetryEvent::TaskRetry {
+            at: SimTime::from_nanos(20),
+            task: TaskId(4),
+            attempt: 1,
+            until: SimTime::from_nanos(30),
+        };
+        assert!(retry.to_json().contains("\"until\":30"));
+        let inval = TelemetryEvent::BlocksInvalidated {
+            at: SimTime::from_nanos(9),
+            node: 2,
+            count: 3,
+            lost_versions: 1,
+        };
+        assert!(inval.to_json().contains("\"lost_versions\":1"));
+    }
+
+    #[test]
+    fn fault_kinds_are_distinct_tags() {
+        let evs = [
+            TelemetryEvent::FaultInjected {
+                at: SimTime::ZERO,
+                node: Some(0),
+                what: "gpu-failure",
+            },
+            TelemetryEvent::TaskResubmitted {
+                at: SimTime::ZERO,
+                task: TaskId(0),
+                from_node: 0,
+            },
+            TelemetryEvent::NodeDown {
+                at: SimTime::ZERO,
+                node: 0,
+            },
+            TelemetryEvent::NodeUp {
+                at: SimTime::ZERO,
+                node: 0,
+            },
+        ];
+        let kinds: Vec<_> = evs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["fault", "resubmit", "node-down", "node-up"]);
     }
 }

@@ -166,15 +166,29 @@ impl TelemetryLog {
 
     /// Event counts per kind, in a fixed report order.
     pub fn summary(&self) -> String {
-        const KINDS: [&str; 9] = [
-            "ready", "decision", "dispatch", "stage", "transfer", "cache", "evict", "gauge",
+        const KINDS: [&str; 16] = [
+            "ready",
+            "decision",
+            "dispatch",
+            "stage",
+            "transfer",
+            "cache",
+            "evict",
+            "gauge",
             "complete",
+            "fault",
+            "failed",
+            "retry",
+            "resubmit",
+            "node-down",
+            "node-up",
+            "invalidate",
         ];
         let mut out = String::new();
         let _ = writeln!(out, "telemetry events: {}", self.len());
         for kind in KINDS {
             let n = self.events.iter().filter(|e| e.kind() == kind).count();
-            let _ = writeln!(out, "  {kind:<9} {n}");
+            let _ = writeln!(out, "  {kind:<10} {n}");
         }
         out
     }
@@ -231,7 +245,8 @@ mod tests {
         let log = TelemetryLog::from_events(vec![ready(0), ready(1)]);
         let s = log.summary();
         assert!(s.contains("telemetry events: 2"));
-        assert!(s.contains("ready     2"));
+        assert!(s.contains("ready      2"));
+        assert!(s.contains("failed     0"), "fault kinds listed: {s}");
     }
 
     #[test]

@@ -7,14 +7,20 @@
 //!    fraction (CPU compute or GPU kernel);
 //! 2. **data movement** — no compute, but at least one task is
 //!    (de)serializing or moving data over the PCIe bus;
-//! 3. **master** — nothing executes and the master is making a
+//! 3. **recovery** — no productive work, but fault handling is under
+//!    way: stage/transfer intervals that belong to a task attempt which
+//!    later failed (wasted work), and retry backoff windows;
+//! 4. **master** — nothing executes and the master is making a
 //!    scheduling decision (pure scheduler overhead on the critical
 //!    path);
-//! 4. **idle** — nothing at all is happening (dependency stalls).
+//! 5. **idle** — nothing at all is happening (dependency stalls).
 //!
-//! Because the classification is exhaustive and exclusive, the four
-//! buckets sum to the makespan exactly.
+//! Because the classification is exhaustive and exclusive, the five
+//! buckets sum to the makespan exactly. Runs without a fault plan emit
+//! no failure events, so `recovery` is identically zero and the report
+//! reduces to the original four-bucket decomposition.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::trace::TraceState;
@@ -31,12 +37,20 @@ pub struct OverheadReport {
     pub compute: f64,
     /// Seconds with data movement but no compute.
     pub data_movement: f64,
+    /// Seconds spent on fault recovery with no productive work
+    /// overlapping: wasted stages of attempts that later failed, plus
+    /// retry backoff windows.
+    pub recovery: f64,
     /// Seconds where only the master was busy scheduling.
     pub master: f64,
     /// Seconds with nothing happening.
     pub idle: f64,
     /// Scheduling decisions made.
     pub decisions: usize,
+    /// Task attempts lost to injected faults.
+    pub task_failures: usize,
+    /// Retry backoffs entered.
+    pub retries: usize,
     /// Total master decision time in sim seconds (decisions may overlap
     /// task execution; this is the raw sum, not the critical-path
     /// `master` bucket).
@@ -50,30 +64,68 @@ impl OverheadReport {
     /// Decomposes `makespan` seconds using the stage and decision
     /// events of `log`.
     pub fn from_log(log: &TelemetryLog, makespan: f64) -> Self {
+        // Pre-pass: the [dispatch, failure] windows of attempts that
+        // were later lost. Stage/transfer intervals fully inside such a
+        // window are wasted work — reclassified as recovery.
+        let mut failed_windows: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+        let mut task_failures = 0usize;
+        let mut retries = 0usize;
+        for ev in log.events() {
+            if let TelemetryEvent::TaskFailed {
+                task, started, at, ..
+            } = ev
+            {
+                task_failures += 1;
+                failed_windows
+                    .entry(task.0)
+                    .or_default()
+                    .push((started.as_nanos(), at.as_nanos()));
+            }
+        }
+        let wasted = |task: u32, t0: u64, t1: u64| {
+            failed_windows
+                .get(&task)
+                .is_some_and(|ws| ws.iter().any(|&(s, e)| s <= t0 && t1 <= e))
+        };
         // Category depth deltas on the nanosecond timeline:
-        // 0 = compute, 1 = data movement, 2 = master.
+        // 0 = compute, 1 = data movement, 2 = master, 3 = recovery.
         let mut deltas: Vec<(u64, usize, i32)> = Vec::new();
         let mut decisions = 0usize;
         let mut master_sim_total = 0.0f64;
         let mut master_host_nanos = 0u64;
         for ev in log.events() {
             match ev {
-                TelemetryEvent::Stage { state, t0, t1, .. } => {
-                    let cat = match state {
-                        TraceState::SerialFraction | TraceState::ParallelFraction => 0,
-                        TraceState::Deserialize
-                        | TraceState::Serialize
-                        | TraceState::CpuGpuComm => 1,
+                TelemetryEvent::Stage {
+                    task,
+                    state,
+                    t0,
+                    t1,
+                    ..
+                } => {
+                    let cat = if wasted(task.0, t0.as_nanos(), t1.as_nanos()) {
+                        3
+                    } else {
+                        match state {
+                            TraceState::SerialFraction | TraceState::ParallelFraction => 0,
+                            TraceState::Deserialize
+                            | TraceState::Serialize
+                            | TraceState::CpuGpuComm => 1,
+                        }
                     };
                     deltas.push((t0.as_nanos(), cat, 1));
                     deltas.push((t1.as_nanos(), cat, -1));
                 }
-                TelemetryEvent::Transfer { t0, t1, .. } => {
+                TelemetryEvent::Transfer { task, t0, t1, .. } => {
                     // Transfers are already covered by their stage
                     // intervals, but standalone streams (e.g. filtered
                     // logs) still classify them as data movement.
-                    deltas.push((t0.as_nanos(), 1, 1));
-                    deltas.push((t1.as_nanos(), 1, -1));
+                    let cat = if wasted(task.0, t0.as_nanos(), t1.as_nanos()) {
+                        3
+                    } else {
+                        1
+                    };
+                    deltas.push((t0.as_nanos(), cat, 1));
+                    deltas.push((t1.as_nanos(), cat, -1));
                 }
                 TelemetryEvent::Decision(d) => {
                     decisions += 1;
@@ -82,13 +134,18 @@ impl OverheadReport {
                     deltas.push((d.at.as_nanos(), 2, 1));
                     deltas.push((d.at.as_nanos() + d.sim_overhead.as_nanos(), 2, -1));
                 }
+                TelemetryEvent::TaskRetry { at, until, .. } => {
+                    retries += 1;
+                    deltas.push((at.as_nanos(), 3, 1));
+                    deltas.push((until.as_nanos(), 3, -1));
+                }
                 _ => {}
             }
         }
         deltas.sort_unstable();
         let makespan_ns = (makespan * 1e9).round() as u64;
-        let mut depth = [0i64; 3];
-        let mut acc_ns = [0u64; 3]; // compute, data, master
+        let mut depth = [0i64; 4];
+        let mut acc_ns = [0u64; 4]; // compute, data, master, recovery
         let mut idle_ns = 0u64;
         let mut prev = 0u64;
         for (t, cat, d) in deltas {
@@ -99,6 +156,8 @@ impl OverheadReport {
                     acc_ns[0] += span;
                 } else if depth[1] > 0 {
                     acc_ns[1] += span;
+                } else if depth[3] > 0 {
+                    acc_ns[3] += span;
                 } else if depth[2] > 0 {
                     acc_ns[2] += span;
                 } else {
@@ -115,18 +174,21 @@ impl OverheadReport {
             makespan,
             compute: acc_ns[0] as f64 / 1e9,
             data_movement: acc_ns[1] as f64 / 1e9,
+            recovery: acc_ns[3] as f64 / 1e9,
             master: acc_ns[2] as f64 / 1e9,
             idle: idle_ns as f64 / 1e9,
             decisions,
+            task_failures,
+            retries,
             master_sim_total,
             master_host_nanos,
         }
     }
 
-    /// Sum of the four buckets (equals the makespan up to the
+    /// Sum of the five buckets (equals the makespan up to the
     /// nanosecond grid).
     pub fn total(&self) -> f64 {
-        self.compute + self.data_movement + self.master + self.idle
+        self.compute + self.data_movement + self.recovery + self.master + self.idle
     }
 
     /// Human-readable report.
@@ -154,6 +216,12 @@ impl OverheadReport {
         );
         let _ = writeln!(
             out,
+            "  recovery       {:>12.6} s  {:>5.1} %",
+            self.recovery,
+            pct(self.recovery)
+        );
+        let _ = writeln!(
+            out,
             "  master         {:>12.6} s  {:>5.1} %",
             self.master,
             pct(self.master)
@@ -171,6 +239,13 @@ impl OverheadReport {
             self.master_sim_total,
             self.master_host_nanos as f64 / 1e6
         );
+        if self.task_failures > 0 || self.retries > 0 {
+            let _ = writeln!(
+                out,
+                "task failures: {}   retries: {}",
+                self.task_failures, self.retries
+            );
+        }
         out
     }
 }
@@ -248,8 +323,65 @@ mod tests {
     fn render_mentions_every_bucket() {
         let r = OverheadReport::from_log(&TelemetryLog::default(), 1.0);
         let text = r.render();
-        for needle in ["compute", "data movement", "master", "idle", "decisions"] {
+        for needle in [
+            "compute",
+            "data movement",
+            "recovery",
+            "master",
+            "idle",
+            "decisions",
+        ] {
             assert!(text.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn failed_attempt_work_and_backoff_count_as_recovery() {
+        // Attempt 0 of task 0 deserializes 0..1 s and computes 1..2 s,
+        // then fails at 2 s; backoff spans 2..3 s; the rerun computes
+        // 3..5 s. The first attempt's work plus the backoff is
+        // recovery; only the rerun is compute.
+        let log = TelemetryLog::from_events(vec![
+            stage(TraceState::Deserialize, 0, 1_000_000_000),
+            stage(TraceState::ParallelFraction, 1_000_000_000, 2_000_000_000),
+            TelemetryEvent::TaskFailed {
+                at: SimTime::from_nanos(2_000_000_000),
+                task: TaskId(0),
+                node: 0,
+                attempt: 0,
+                started: SimTime::from_nanos(0),
+                reason: "transient",
+            },
+            TelemetryEvent::TaskRetry {
+                at: SimTime::from_nanos(2_000_000_000),
+                task: TaskId(0),
+                attempt: 1,
+                until: SimTime::from_nanos(3_000_000_000),
+            },
+            stage(TraceState::ParallelFraction, 3_000_000_000, 5_000_000_000),
+        ]);
+        let r = OverheadReport::from_log(&log, 5.0);
+        assert!((r.recovery - 3.0).abs() < 1e-9, "{r:?}");
+        assert!((r.compute - 2.0).abs() < 1e-9, "{r:?}");
+        assert_eq!(r.data_movement, 0.0, "wasted deser reclassified: {r:?}");
+        assert!((r.total() - r.makespan).abs() < 1e-9);
+        assert_eq!(r.task_failures, 1);
+        assert_eq!(r.retries, 1);
+    }
+
+    #[test]
+    fn live_compute_masks_concurrent_recovery() {
+        let log = TelemetryLog::from_events(vec![
+            stage(TraceState::ParallelFraction, 0, 4_000_000_000),
+            TelemetryEvent::TaskRetry {
+                at: SimTime::from_nanos(1_000_000_000),
+                task: TaskId(9),
+                attempt: 1,
+                until: SimTime::from_nanos(2_000_000_000),
+            },
+        ]);
+        let r = OverheadReport::from_log(&log, 4.0);
+        assert_eq!(r.recovery, 0.0, "masked by compute: {r:?}");
+        assert!((r.compute - 4.0).abs() < 1e-9);
     }
 }

@@ -11,15 +11,24 @@
 //!                [run options] [--out FILE]
 //! gpuflow advise --workload matmul --rows 32768 --cols 32768
 //! gpuflow dag    --workload kmeans --rows 4096 --cols 16 --grid 4 [--iterations 3]
+//! gpuflow chaos  [--threads N]
 //! gpuflow help
 //! ```
+//!
+//! `run` additionally accepts a deterministic fault-injection plan
+//! (`--faults SPEC`, grammar in `docs/fault_tolerance.md`) and recovery
+//! tuning (`--max-retries`, `--backoff`, `--resubmit`, `--fallback`);
+//! `chaos` sweeps failure rate x recovery policy for both paper
+//! workloads and reports makespan and output convergence.
 //!
 //! Workloads: `matmul`, `fma`, `kmeans`, `knn`, `cholesky`.
 
 use std::process::ExitCode;
 
 use gpuflow::advisor::{Advisor, SearchSpace, Workload};
-use gpuflow::cli::{policy_from, processor_from, storage_from, workload_from, Args};
+use gpuflow::cli::{
+    faults_from, policy_from, processor_from, recovery_from, storage_from, workload_from, Args,
+};
 use gpuflow::cluster::{ClusterSpec, ProcessorKind};
 use gpuflow::runtime::{
     run, to_chrome_trace, to_paraver_prv, trace_analysis, OverheadReport, RunConfig, Workflow,
@@ -40,10 +49,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let threads: usize = args.num("threads", 1)?;
     let cluster = ClusterSpec::minotauro();
     let want_trace = args.get("prv").is_some() || args.get("csv").is_some();
+    let faults = faults_from(args)?;
     let mut config = RunConfig::new(cluster.clone(), processor)
         .with_storage(storage_from(args)?)
         .with_policy(policy_from(args)?)
-        .with_cpu_threads(threads);
+        .with_cpu_threads(threads)
+        .with_recovery(recovery_from(args)?);
+    if let Some(plan) = faults.clone() {
+        config = config.with_faults(plan);
+    }
     if want_trace {
         config = config.with_trace();
     }
@@ -79,6 +93,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let wasted = trace_analysis::cpu_busy_gpu_idle_seconds(&report.records, 1);
         println!("resource wastage (CPU busy, GPUs idle): {wasted:.3} s");
     }
+    if faults.is_some() {
+        let r = &report.recovery;
+        println!(
+            "faults:    {} injected | {} transient, {} crash-induced failures",
+            r.faults_injected, r.transient_failures, r.crash_failures
+        );
+        println!(
+            "recovery:  {} retries, {} resubmissions, {} regenerated tasks, {} GPU->CPU fallbacks, {} blocks invalidated",
+            r.retries, r.resubmissions, r.regenerated_tasks, r.gpu_fallbacks, r.blocks_invalidated
+        );
+        println!("output fingerprint: {:#018x}", report.output_fingerprint);
+    }
     if let Some(path) = args.get("prv") {
         let prv = to_paraver_prv(&report.trace, cluster.nodes);
         std::fs::write(path, prv).map_err(|e| format!("writing {path}: {e}"))?;
@@ -98,11 +124,15 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
     let processor = processor_from(args)?;
     let threads: usize = args.num("threads", 1)?;
     let cluster = ClusterSpec::minotauro();
-    let config = RunConfig::new(cluster, processor)
+    let mut config = RunConfig::new(cluster, processor)
         .with_storage(storage_from(args)?)
         .with_policy(policy_from(args)?)
         .with_cpu_threads(threads)
+        .with_recovery(recovery_from(args)?)
         .with_telemetry();
+    if let Some(plan) = faults_from(args)? {
+        config = config.with_faults(plan);
+    }
     let report = run(&workflow, &config).map_err(|e| e.to_string())?;
     let log = &report.telemetry;
     let output = match sub {
@@ -165,6 +195,21 @@ fn cmd_dag(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `gpuflow chaos`: the fault-injection sensitivity sweep (also the
+/// `chaos` target of the `repro` binary).
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let threads: usize = args.num("threads", 0)?;
+    let ctx = gpuflow::experiments::Context::default().with_threads(threads);
+    let study = gpuflow::experiments::fault_sensitivity::run(&ctx);
+    print!("{}", study.render());
+    println!(
+        "{} of {} completed scenarios converged to the fault-free output",
+        study.converged(),
+        study.points.len()
+    );
+    Ok(())
+}
+
 fn help() {
     println!(
         "gpuflow — distributed GPU-accelerated task-based workflows, simulated\n\
@@ -174,6 +219,7 @@ fn help() {
          \u{20} gpuflow obs    <view> --workload <w> --rows N --cols N --grid G [options] [--out FILE]\n\
          \u{20} gpuflow advise --workload <w> --rows N --cols N\n\
          \u{20} gpuflow dag    --workload <w> --rows N --cols N --grid G\n\
+         \u{20} gpuflow chaos  [--threads N]   fault-injection sensitivity sweep\n\
          \n\
          OBS VIEWS: export-chrome (Perfetto/chrome://tracing JSON) | decisions\n\
          \u{20}           (scheduler decision log) | overhead (makespan decomposition) |\n\
@@ -190,6 +236,9 @@ fn help() {
          \u{20} --queries Q --k K        (knn)\n\
          \u{20} --seed S                 jitter/dataset seed\n\
          \u{20} --prv FILE --csv FILE    trace exports\n\
+         \u{20} --faults SPEC            deterministic fault plan, e.g.\n\
+         \u{20}                          'seed:42;crash:node=1,at=0.2,rejoin=0.1;taskfail:p=0.05'\n\
+         \u{20} --max-retries N --backoff SECS --resubmit alt|same --fallback on|off\n\
          \n\
          Regenerate the paper's figures with the `repro` binary:\n\
          \u{20} cargo run --release -p gpuflow-experiments --bin repro -- all"
@@ -214,12 +263,13 @@ fn main() -> ExitCode {
         },
         "advise" => Args::parse(rest).and_then(|a| cmd_advise(&a)),
         "dag" => Args::parse(rest).and_then(|a| cmd_dag(&a)),
+        "chaos" => Args::parse(rest).and_then(|a| cmd_chaos(&a)),
         "help" | "--help" | "-h" => {
             help();
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (run, obs, advise, dag, help)"
+            "unknown command '{other}' (run, obs, advise, dag, chaos, help)"
         )),
     };
     match result {

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use gpuflow_advisor::Workload;
 use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
 use gpuflow_data::DatasetSpec;
-use gpuflow_runtime::SchedulingPolicy;
+use gpuflow_runtime::{FaultPlan, RecoveryPolicy, SchedulingPolicy};
 
 /// Parsed `--key value` flags.
 #[derive(Debug, Clone)]
@@ -133,6 +133,48 @@ pub fn policy_from(args: &Args) -> Result<SchedulingPolicy, String> {
     }
 }
 
+/// Parses `--faults SPEC` into a fault plan (see
+/// [`FaultPlan::parse`] for the clause grammar, e.g.
+/// `seed:42;crash:node=1,at=0.2,rejoin=0.1;taskfail:p=0.05`).
+///
+/// # Errors
+/// Reports malformed specifications.
+pub fn faults_from(args: &Args) -> Result<Option<FaultPlan>, String> {
+    match args.get("faults") {
+        None => Ok(None),
+        Some(spec) => FaultPlan::parse(spec)
+            .map(Some)
+            .map_err(|e| format!("--faults: {e}")),
+    }
+}
+
+/// Parses the recovery-policy flags `--max-retries N`,
+/// `--backoff SECS`, `--resubmit alt|same`, `--fallback on|off`.
+///
+/// # Errors
+/// Reports unparsable values.
+pub fn recovery_from(args: &Args) -> Result<RecoveryPolicy, String> {
+    let default = RecoveryPolicy::default();
+    let resubmit_alternate = match args.get("resubmit") {
+        None => default.resubmit_alternate,
+        Some("alt") => true,
+        Some("same") => false,
+        Some(other) => return Err(format!("--resubmit: '{other}' (alt, same)")),
+    };
+    let gpu_to_cpu_fallback = match args.get("fallback") {
+        None => default.gpu_to_cpu_fallback,
+        Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("--fallback: '{other}' (on, off)")),
+    };
+    Ok(RecoveryPolicy {
+        max_retries: args.num("max-retries", default.max_retries)?,
+        backoff_base_secs: args.num("backoff", default.backoff_base_secs)?,
+        resubmit_alternate,
+        gpu_to_cpu_fallback,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +255,44 @@ mod tests {
         assert_eq!(processor_from(&a).unwrap(), ProcessorKind::Cpu);
         assert_eq!(storage_from(&a).unwrap(), StorageArchitecture::SharedDisk);
         assert_eq!(policy_from(&a).unwrap(), SchedulingPolicy::GenerationOrder);
+    }
+
+    #[test]
+    fn fault_flags_parse_and_round_trip() {
+        let a = args(&[]);
+        assert_eq!(faults_from(&a).unwrap(), None);
+        assert_eq!(recovery_from(&a).unwrap(), RecoveryPolicy::default());
+
+        let a = args(&["--faults", "seed:7;crash:node=1,at=0.2,rejoin=0.1"]);
+        let plan = faults_from(&a).unwrap().unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.node_crashes.len(), 1);
+
+        let a = args(&[
+            "--max-retries",
+            "5",
+            "--backoff",
+            "0.5",
+            "--resubmit",
+            "same",
+            "--fallback",
+            "on",
+        ]);
+        let p = recovery_from(&a).unwrap();
+        assert_eq!(p.max_retries, 5);
+        assert_eq!(p.backoff_base_secs, 0.5);
+        assert!(!p.resubmit_alternate);
+        assert!(p.gpu_to_cpu_fallback);
+    }
+
+    #[test]
+    fn bad_fault_flags_error_clearly() {
+        let a = args(&["--faults", "crash:node=x"]);
+        assert!(faults_from(&a).unwrap_err().starts_with("--faults:"));
+        let a = args(&["--resubmit", "elsewhere"]);
+        assert!(recovery_from(&a).unwrap_err().contains("alt, same"));
+        let a = args(&["--fallback", "maybe"]);
+        assert!(recovery_from(&a).unwrap_err().contains("on, off"));
     }
 
     #[test]
