@@ -1,0 +1,35 @@
+gpuflow-profile v1
+label kmeans_cpu_shared_fifo
+makespan_ns 178916613
+tasks 24
+decisions 24
+wastage_ns 174116613
+cache_hits 5
+cache_misses 51
+factor grid 8
+factor policy task gen. order
+factor processor CPU
+factor storage shared disk
+factor workload kmeans
+bucket compute 99401431
+bucket data_movement 74715182
+bucket recovery 0
+bucket master 4800000
+bucket idle 0
+type count 6 sum 31048579 min 3878212 p25 3882521 p50 5173241 p75 6468368 p90 6470507 p99 6470507 max 6470507 deser 23262280 ser 7753899 serial 32400 parallel 0 comm 0 xfer_bytes 193920 xfer_ns 176304 name merge
+type count 16 sum 1093324581 min 66676283 p25 67972852 p50 68371258 p75 68663385 p90 68844519 p99 69088896 max 69088896 deser 356809897 ser 20714588 serial 515228206 parallel 200571890 comm 0 xfer_bytes 200249280 xfer_ns 191266631 name partial_sum
+type count 2 sum 5168923 min 2583700 p25 2583700 p50 2583700 p75 2585223 p90 2585223 p99 2585223 max 2585223 deser 2578108 ser 2586713 serial 4102 parallel 0 comm 0 xfer_bytes 32160 xfer_ns 29238 name update_centers
+resource 0 busy 142072723 intervals 3
+resource 1 busy 143097682 intervals 3
+resource 2 busy 140604515 intervals 3
+resource 3 busy 138350402 intervals 3
+resource 4 busy 141545167 intervals 3
+resource 5 busy 143494325 intervals 3
+resource 6 busy 141093989 intervals 3
+resource 7 busy 139283280 intervals 3
+path hops 1 span 74444519 type partial_sum
+path hops 2 span 11950889 type merge
+path hops 1 span 3385223 type update_centers
+path hops 1 span 73803563 type partial_sum
+path hops 2 span 11948719 type merge
+path hops 1 span 3383700 type update_centers

@@ -1,0 +1,33 @@
+gpuflow-profile v1
+label kmeans_gpu_local_locality
+makespan_ns 199427746
+tasks 24
+decisions 24
+wastage_ns 18236973
+cache_hits 23
+cache_misses 33
+factor grid 8
+factor policy data locality
+factor processor GPU
+factor storage local disk
+factor workload kmeans
+bucket compute 134292283
+bucket data_movement 37135463
+bucket recovery 0
+bucket master 28000000
+bucket idle 0
+type count 6 sum 26464795 min 2581635 p25 2589473 p50 5317051 p75 5326141 p90 5327248 p99 5327248 max 5327248 deser 19162866 ser 7269305 serial 32624 parallel 0 comm 0 xfer_bytes 161600 xfer_ns 80820 name merge
+type count 16 sum 844465037 min 44032091 p25 44786588 p50 46124075 p75 60432352 p90 60853545 p99 60928177 max 60928177 deser 137117168 ser 19368934 serial 518364155 parallel 118590444 comm 51024336 xfer_bytes 300474560 xfer_ns 100172992 name partial_sum
+type count 2 sum 2425567 min 1209892 p25 1209892 p50 1209892 p75 1215675 p90 1215675 p99 1215675 max 1215675 deser 0 ser 2421542 serial 4025 parallel 0 comm 0 xfer_bytes 16000 xfer_ns 8000 name update_centers
+resource 0 busy 164623284 intervals 8
+resource 1 busy 146190773 intervals 2
+resource 2 busy 116527081 intervals 4
+resource 3 busy 106583771 intervals 2
+resource 4 busy 106556427 intervals 2
+resource 5 busy 106616049 intervals 2
+path hops 1 span 87664651 type partial_sum
+path hops 2 span 14898686 type merge
+path hops 1 span 4715675 type update_centers
+path hops 1 span 72526122 type partial_sum
+path hops 2 span 14912720 type merge
+path hops 1 span 4709892 type update_centers

@@ -1,0 +1,30 @@
+gpuflow-profile v1
+label matmul_cpu_shared_fifo
+makespan_ns 440342880
+tasks 112
+decisions 112
+wastage_ns 439542880
+cache_hits 46
+cache_misses 178
+factor grid 4
+factor policy task gen. order
+factor processor CPU
+factor storage shared disk
+factor workload matmul
+bucket compute 286966971
+bucket data_movement 152575909
+bucket recovery 0
+bucket master 800000
+bucket idle 0
+type count 48 sum 3426744916 min 39688795 p25 53704892 p50 72832340 p75 85164597 p90 94506265 p99 113443826 max 113443826 deser 2125818356 ser 1071039824 serial 0 parallel 229886736 comm 0 xfer_bytes 1032000000 xfer_ns 2307586950 name add_func
+type count 64 sum 15763397583 min 202725607 p25 236244912 p50 244903959 p75 267797328 p90 274995277 p99 278015726 max 278015726 deser 4279236820 ser 2953285106 serial 0 parallel 8530875657 comm 0 xfer_bytes 1288000000 xfer_ns 6114551667 name matmul_func
+resource 0 busy 427810394 intervals 1
+resource 1 busy 427619259 intervals 1
+resource 2 busy 424514972 intervals 1
+resource 3 busy 429502583 intervals 1
+resource 4 busy 426882809 intervals 2
+resource 5 busy 424441111 intervals 1
+resource 6 busy 428059097 intervals 1
+resource 7 busy 433942880 intervals 1
+path hops 1 span 291797328 type matmul_func
+path hops 2 span 148545552 type add_func

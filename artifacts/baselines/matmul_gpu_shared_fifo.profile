@@ -1,0 +1,30 @@
+gpuflow-profile v1
+label matmul_gpu_shared_fifo
+makespan_ns 562062436
+tasks 112
+decisions 112
+wastage_ns 0
+cache_hits 42
+cache_misses 182
+factor grid 4
+factor policy task gen. order
+factor processor GPU
+factor storage shared disk
+factor workload matmul
+bucket compute 375479265
+bucket data_movement 185783171
+bucket recovery 0
+bucket master 800000
+bucket idle 0
+type count 48 sum 2658332274 min 34800325 p25 48458371 p50 55496558 p75 64236448 p90 70940664 p99 96722942 max 96722942 deser 1344329290 ser 960644510 serial 0 parallel 8147206 comm 345211268 xfer_bytes 2064000000 xfer_ns 1852621677 name add_func
+type count 64 sum 9762591008 min 110559520 p25 144658160 p50 157935030 p75 167168100 p90 171244124 p99 176715141 max 176715141 deser 2810823083 ser 1484704727 serial 0 parallel 5047475331 comm 419587867 xfer_bytes 2976000000 xfer_ns 3474010914 name matmul_func
+resource 0 busy 452925960 intervals 2
+resource 1 busy 453572491 intervals 2
+resource 2 busy 474054013 intervals 1
+resource 3 busy 481995380 intervals 1
+resource 4 busy 499259375 intervals 1
+resource 5 busy 506866578 intervals 2
+resource 6 busy 480725096 intervals 3
+resource 7 busy 512047166 intervals 2
+path hops 1 span 463388272 type matmul_func
+path hops 2 span 98674164 type add_func

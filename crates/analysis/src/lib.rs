@@ -3,17 +3,21 @@
 //! Implements the analysis machinery of §5.4: tie-aware Spearman rank
 //! correlation, one-hot encoding of categorical factors, correlation
 //! matrices over experiment feature tables (Fig. 11), the speedup /
-//! summary statistics used throughout the evaluation, and a CART
-//! regression tree for the §5.4.3 "learning models" direction.
+//! summary statistics used throughout the evaluation, a CART
+//! regression tree for the §5.4.3 "learning models" direction, and the
+//! Jain-style bottleneck doctor ([`DoctorReport`]) that turns a run
+//! profile into ranked findings.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod doctor;
 mod features;
 mod predictor;
 mod spearman;
 mod stats;
 
+pub use doctor::{DoctorReport, Finding, Severity, WhatIf};
 pub use features::{one_hot, CorrMatrix, CorrMethod, FeatureTable};
 pub use predictor::{r2_score, train_test_split, Forest, RegressionTree, TreeParams};
 pub use spearman::{pearson, ranks, spearman, spearman_pairwise};

@@ -13,6 +13,11 @@
 //!                            # telemetry and write telemetry.jsonl,
 //!                            # trace.chrome.json, decisions.log,
 //!                            # overhead.txt into DIR
+//! repro gate                 # perf-regression gate against committed
+//!                            # baselines (artifacts/baselines); exits 1
+//!                            # on regression or missing baseline
+//! repro gate --update        # rewrite the baseline profiles
+//! repro gate --baselines DIR --tolerance PCT --report FILE
 //! ```
 //!
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
@@ -26,9 +31,47 @@
 use std::time::Instant;
 
 use gpuflow_experiments::{
-    ablation, factors, fault_sensitivity, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9,
+    ablation, factors, fault_sensitivity, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9, gate,
     generalizability, memory, obs, prediction, sensitivity, Context,
 };
+
+/// Runs the perf-regression gate (`repro gate [--update] [--baselines
+/// DIR] [--tolerance PCT] [--report FILE]`); exits nonzero on failure.
+fn run_gate(ctx: &Context, args: &[String]) {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let dir = value_of("--baselines").unwrap_or_else(|| "artifacts/baselines".to_string());
+    let dir = std::path::Path::new(&dir);
+    if args.iter().any(|a| a == "--update") {
+        let written = gate::update(ctx, dir).expect("write baseline profiles");
+        for path in &written {
+            eprintln!("[baseline -> {}]", path.display());
+        }
+        println!(
+            "updated {} baseline profiles in {}",
+            written.len(),
+            dir.display()
+        );
+        return;
+    }
+    let tolerance = value_of("--tolerance")
+        .map(|v| v.parse::<f64>().expect("--tolerance takes a percentage"))
+        .unwrap_or(gate::DEFAULT_TOLERANCE_PCT);
+    let report = gate::check(ctx, dir, tolerance);
+    let text = report.render();
+    println!("{text}");
+    if let Some(path) = value_of("--report") {
+        std::fs::write(&path, &text).expect("write gate report");
+        eprintln!("[gate report -> {path}]");
+    }
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +94,11 @@ fn main() {
         .position(|a| a == "--telemetry")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    if args.iter().any(|a| a == "gate") {
+        let ctx = Context::default().with_threads(threads.unwrap_or(0));
+        run_gate(&ctx, &args);
+        return;
+    }
     let mut skip_values: Vec<usize> = Vec::new();
     for flag in ["--out", "--threads", "--telemetry"] {
         if let Some(i) = args.iter().position(|a| a == flag) {

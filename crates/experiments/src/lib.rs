@@ -20,6 +20,7 @@
 //! | [`memory`] | extension: the §1 "memory robustness" claim, quantified |
 //! | [`obs`] | extension: telemetry artifact bundle (JSONL, Chrome trace, decision log, overhead) |
 //! | [`fault_sensitivity`] | extension: makespan and output convergence under injected faults |
+//! | [`gate`] | extension: perf-regression gate over committed baseline profiles |
 //!
 //! Each module exposes `run(&Context)` returning structured results with
 //! a `render()` text table, so the `repro` binary, the Criterion benches,
@@ -39,6 +40,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod gate;
 pub mod generalizability;
 pub mod measure;
 pub mod memory;

@@ -1,0 +1,156 @@
+//! Differential-analysis acceptance tests over real artifact runs:
+//! the record- and telemetry-fed critical paths must agree, diff blame
+//! tables must conserve the makespan delta on real run pairs, and
+//! profiles/diffs must be byte-identical at every thread count.
+
+use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
+use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
+use gpuflow_experiments::{gate, Context};
+use gpuflow_runtime::trace_analysis::{critical_path, critical_path_from_telemetry};
+use gpuflow_runtime::{RunConfig, RunDiff, RunProfile, RunReport, SchedulingPolicy, Workflow};
+
+/// The artifact-run configurations the tests sweep: both workloads,
+/// both processors, both storage architectures, both policies.
+fn artifact_runs() -> Vec<(&'static str, Workflow, RunConfig)> {
+    let ctx = Context::default();
+    let matmul = || {
+        MatmulConfig::new(gpuflow_data::paper::matmul_128mb(), 4)
+            .unwrap()
+            .build_workflow()
+    };
+    let kmeans = || {
+        KmeansConfig::new(gpuflow_data::paper::kmeans_100mb(), 8, 10, 2)
+            .unwrap()
+            .build_workflow()
+    };
+    let cfg = |proc, storage, policy| {
+        RunConfig::new(ctx.cluster.clone(), proc)
+            .with_storage(storage)
+            .with_policy(policy)
+            .with_seed(ctx.base_seed)
+            .with_telemetry()
+    };
+    vec![
+        (
+            "matmul cpu shared fifo",
+            matmul(),
+            cfg(
+                ProcessorKind::Cpu,
+                StorageArchitecture::SharedDisk,
+                SchedulingPolicy::GenerationOrder,
+            ),
+        ),
+        (
+            "matmul gpu shared fifo",
+            matmul(),
+            cfg(
+                ProcessorKind::Gpu,
+                StorageArchitecture::SharedDisk,
+                SchedulingPolicy::GenerationOrder,
+            ),
+        ),
+        (
+            "kmeans cpu shared fifo",
+            kmeans(),
+            cfg(
+                ProcessorKind::Cpu,
+                StorageArchitecture::SharedDisk,
+                SchedulingPolicy::GenerationOrder,
+            ),
+        ),
+        (
+            "kmeans gpu local locality",
+            kmeans(),
+            cfg(
+                ProcessorKind::Gpu,
+                StorageArchitecture::LocalDisk,
+                SchedulingPolicy::DataLocality,
+            ),
+        ),
+    ]
+}
+
+fn profile(label: &str, workflow: &Workflow, report: &RunReport) -> RunProfile {
+    RunProfile::from_telemetry(label, workflow, &report.telemetry, report.makespan()).unwrap()
+}
+
+#[test]
+fn critical_paths_agree_between_records_and_telemetry() {
+    for (label, workflow, cfg) in artifact_runs() {
+        let report = gpuflow_runtime::run(&workflow, &cfg).unwrap();
+        let from_records = critical_path(&workflow, &report.records);
+        let from_telemetry = critical_path_from_telemetry(&workflow, &report.telemetry);
+        assert!(!from_records.is_empty(), "{label}: empty critical path");
+        assert_eq!(
+            from_records, from_telemetry,
+            "{label}: record- and telemetry-fed critical paths diverge"
+        );
+    }
+}
+
+#[test]
+fn blame_table_conserves_makespan_delta_on_artifact_pairs() {
+    let runs = artifact_runs();
+    let profiles: Vec<RunProfile> = runs
+        .iter()
+        .map(|(label, workflow, cfg)| {
+            let report = gpuflow_runtime::run(workflow, cfg).unwrap();
+            profile(label, workflow, &report)
+        })
+        .collect();
+    // Two same-workload pairs (CPU vs GPU matmul; fifo/shared vs
+    // locality/local kmeans) plus a cross-workload pair.
+    let pairs = [(0usize, 1usize), (2, 3), (0, 2)];
+    for (a, b) in pairs {
+        let diff = RunDiff::compare(&profiles[a], &profiles[b]);
+        assert!(
+            diff.is_conservative(),
+            "{} vs {}: attributed {} ns != makespan delta {} ns",
+            profiles[a].label,
+            profiles[b].label,
+            diff.attributed_delta_ns(),
+            diff.makespan_delta_ns()
+        );
+        assert_ne!(
+            diff.makespan_delta_ns(),
+            0,
+            "pair should differ: {} vs {}",
+            profiles[a].label,
+            profiles[b].label
+        );
+    }
+}
+
+#[test]
+fn profiles_and_diffs_are_byte_identical_across_thread_counts() {
+    let render_all = |threads: usize| {
+        let ctx = Context::default().with_threads(threads);
+        let profiles = gate::suite_profiles(&ctx);
+        let mut out = String::new();
+        for (_, p) in &profiles {
+            out.push_str(&p.render());
+        }
+        // Diff every adjacent pair, in both text and JSON form.
+        for pair in profiles.windows(2) {
+            let diff = RunDiff::compare(&pair[0].1, &pair[1].1);
+            out.push_str(&diff.render());
+            out.push_str(&diff.to_json());
+        }
+        out
+    };
+    let one = render_all(1);
+    assert_eq!(one, render_all(4), "threads 1 vs 4 differ");
+    assert_eq!(one, render_all(8), "threads 1 vs 8 differ");
+}
+
+#[test]
+fn profile_render_parse_is_a_fixed_point_on_real_runs() {
+    for (label, workflow, cfg) in artifact_runs() {
+        let report = gpuflow_runtime::run(&workflow, &cfg).unwrap();
+        let p = profile(label, &workflow, &report);
+        let text = p.render();
+        let reparsed = RunProfile::parse(&text).unwrap();
+        assert_eq!(p, reparsed, "{label}: parse(render) != id");
+        assert_eq!(text, reparsed.render(), "{label}: render not a fixed point");
+    }
+}

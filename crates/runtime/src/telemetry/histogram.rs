@@ -1,0 +1,277 @@
+//! Exact deterministic histograms for run profiling.
+//!
+//! The differential analysis ([`crate::telemetry::diff`]) compares two
+//! runs per task type, which needs distribution summaries that are
+//! *exactly* reproducible: the same event stream must digest to the
+//! same bytes on every machine and at every thread count. Floating
+//! point percentile interpolation is therefore out; this module keeps
+//! raw integer nanosecond samples and reports **nearest-rank**
+//! percentiles, computed entirely in integer arithmetic.
+
+use std::fmt::Write as _;
+
+/// A collection of integer samples (nanoseconds or bytes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The exact nearest-rank digest of the samples recorded so far.
+    pub fn digest(&self) -> HistogramDigest {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        HistogramDigest::from_sorted(&sorted)
+    }
+}
+
+/// Exact distribution summary: count, sum, and nearest-rank
+/// percentiles over integer samples. Two digests of the same sample
+/// multiset are identical bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramDigest {
+    /// Samples digested.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// 25th percentile (nearest rank).
+    pub p25: u64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 75th percentile (nearest rank).
+    pub p75: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element such that at least `q`% of samples are ≤ it. Integer
+/// arithmetic only, so the result is exact and deterministic.
+fn nearest_rank(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    // ceil(q * n / 100), clamped to [1, n]; then 0-indexed.
+    let rank = (q * n).div_ceil(100).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+impl HistogramDigest {
+    /// Digests an ascending-sorted sample slice.
+    pub fn from_sorted(sorted: &[u64]) -> Self {
+        HistogramDigest {
+            count: sorted.len() as u64,
+            sum: sorted.iter().sum(),
+            min: sorted.first().copied().unwrap_or(0),
+            p25: nearest_rank(sorted, 25),
+            p50: nearest_rank(sorted, 50),
+            p75: nearest_rank(sorted, 75),
+            p90: nearest_rank(sorted, 90),
+            p99: nearest_rank(sorted, 99),
+            max: sorted.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Mean sample value as a float (display only — comparisons should
+    /// use the integer fields).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The digest fields as `key value` pairs in serialization order.
+    pub fn fields(&self) -> [(&'static str, u64); 9] {
+        [
+            ("count", self.count),
+            ("sum", self.sum),
+            ("min", self.min),
+            ("p25", self.p25),
+            ("p50", self.p50),
+            ("p75", self.p75),
+            ("p90", self.p90),
+            ("p99", self.p99),
+            ("max", self.max),
+        ]
+    }
+
+    /// Parses the pairs written by [`HistogramDigest::fields`] from a
+    /// token stream.
+    ///
+    /// # Errors
+    /// Reports missing or unparsable fields.
+    pub fn parse_fields<'a, I: Iterator<Item = &'a str>>(tokens: &mut I) -> Result<Self, String> {
+        let mut digest = HistogramDigest::default();
+        for (key, _) in HistogramDigest::default().fields() {
+            let k = tokens.ok_or(format!("expected '{key}'"))?;
+            if k != key {
+                return Err(format!("expected '{key}', found '{k}'"));
+            }
+            let v: u64 = tokens
+                .ok_or(format!("'{key}' needs a value"))?
+                .parse()
+                .map_err(|_| format!("'{key}': not a number"))?;
+            match key {
+                "count" => digest.count = v,
+                "sum" => digest.sum = v,
+                "min" => digest.min = v,
+                "p25" => digest.p25 = v,
+                "p50" => digest.p50 = v,
+                "p75" => digest.p75 = v,
+                "p90" => digest.p90 = v,
+                "p99" => digest.p99 = v,
+                "max" => digest.max = v,
+                _ => unreachable!(),
+            }
+        }
+        Ok(digest)
+    }
+
+    /// Compact human rendering in seconds (inputs are nanoseconds).
+    pub fn render_secs(&self) -> String {
+        let s = |ns: u64| ns as f64 / 1e9;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "n={} mean={:.6}s p50={:.6}s p90={:.6}s p99={:.6}s max={:.6}s",
+            self.count,
+            self.mean() / 1e9,
+            s(self.p50),
+            s(self.p90),
+            s(self.p99),
+            s(self.max)
+        );
+        out
+    }
+}
+
+/// `Iterator::next` with a string error, used by the parsers.
+trait NextField<'a> {
+    fn ok_or(&mut self, msg: String) -> Result<&'a str, String>;
+}
+
+impl<'a, I: Iterator<Item = &'a str>> NextField<'a> for I {
+    fn ok_or(&mut self, msg: String) -> Result<&'a str, String> {
+        self.next().ok_or(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_all_zero() {
+        let d = Histogram::new().digest();
+        assert_eq!(d, HistogramDigest::default());
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(v);
+        }
+        let d = h.digest();
+        assert_eq!(d.count, 10);
+        assert_eq!(d.sum, 550);
+        assert_eq!(d.min, 10);
+        assert_eq!(d.max, 100);
+        // Nearest rank over 10 samples: p25 -> rank 3, p50 -> rank 5,
+        // p75 -> rank 8, p90 -> rank 9, p99 -> rank 10.
+        assert_eq!(d.p25, 30);
+        assert_eq!(d.p50, 50);
+        assert_eq!(d.p75, 80);
+        assert_eq!(d.p90, 90);
+        assert_eq!(d.p99, 100);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let d = h.digest();
+        for v in [d.min, d.p25, d.p50, d.p75, d.p90, d.p99, d.max] {
+            assert_eq!(v, 42);
+        }
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [5, 1, 9, 3] {
+            a.record(v);
+        }
+        for v in [3, 9, 1, 5] {
+            b.record(v);
+        }
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn fields_round_trip_through_parse() {
+        let mut h = Histogram::new();
+        for v in [7, 11, 13] {
+            h.record(v);
+        }
+        let d = h.digest();
+        let text: Vec<String> = d
+            .fields()
+            .iter()
+            .flat_map(|(k, v)| [k.to_string(), v.to_string()])
+            .collect();
+        let mut toks = text.iter().map(String::as_str);
+        let parsed = HistogramDigest::parse_fields(&mut toks).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_streams() {
+        let mut toks = ["count", "x"].into_iter();
+        assert!(HistogramDigest::parse_fields(&mut toks)
+            .unwrap_err()
+            .contains("not a number"));
+        let mut toks = ["wrong", "1"].into_iter();
+        assert!(HistogramDigest::parse_fields(&mut toks).is_err());
+    }
+
+    #[test]
+    fn render_mentions_count_and_tail() {
+        let mut h = Histogram::new();
+        h.record(1_000_000_000);
+        let text = h.digest().render_secs();
+        assert!(text.contains("n=1"));
+        assert!(text.contains("p99=1.000000s"));
+    }
+}

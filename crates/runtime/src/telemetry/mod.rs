@@ -28,14 +28,21 @@
 //! resulting [`crate::RunReport::telemetry`] log replays into any sink.
 
 mod chrome;
+mod diff;
 mod event;
+mod histogram;
 mod overhead;
 mod sink;
 
 use std::fmt::Write as _;
 
 pub use chrome::{to_chrome_trace, ChromeTraceSink};
+pub use diff::{
+    BucketDelta, CriticalSegment, PathChange, PathDelta, ResourceProfile, RunDiff, RunProfile,
+    TaskTypeProfile, TypeDelta,
+};
 pub use event::{CandidateScore, LinkKind, SchedulerDecision, TelemetryEvent};
+pub use histogram::{Histogram, HistogramDigest};
 pub use overhead::OverheadReport;
 pub use sink::{JsonlSink, MemorySink, TelemetrySink};
 
@@ -164,8 +171,8 @@ impl TelemetryLog {
         out
     }
 
-    /// Event counts per kind, in a fixed report order.
-    pub fn summary(&self) -> String {
+    /// Event counts per kind, `(kind, count)` in a fixed report order.
+    pub fn summary_counts(&self) -> Vec<(&'static str, usize)> {
         const KINDS: [&str; 16] = [
             "ready",
             "decision",
@@ -184,12 +191,41 @@ impl TelemetryLog {
             "node-up",
             "invalidate",
         ];
+        KINDS
+            .iter()
+            .map(|kind| {
+                (
+                    *kind,
+                    self.events.iter().filter(|e| e.kind() == *kind).count(),
+                )
+            })
+            .collect()
+    }
+
+    /// Event counts per kind, in a fixed report order.
+    pub fn summary(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "telemetry events: {}", self.len());
-        for kind in KINDS {
-            let n = self.events.iter().filter(|e| e.kind() == kind).count();
+        for (kind, n) in self.summary_counts() {
             let _ = writeln!(out, "  {kind:<10} {n}");
         }
+        out
+    }
+
+    /// Machine-readable counterpart of [`TelemetryLog::summary`]: a
+    /// single deterministic JSON object, `{"events": N, "kinds":
+    /// {"ready": N, ...}}` with kinds in the fixed report order.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{\"events\":");
+        let _ = write!(out, "{}", self.len());
+        out.push_str(",\"kinds\":{");
+        for (i, (kind, n)) in self.summary_counts().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{kind}\":{n}");
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -247,6 +283,20 @@ mod tests {
         assert!(s.contains("telemetry events: 2"));
         assert!(s.contains("ready      2"));
         assert!(s.contains("failed     0"), "fault kinds listed: {s}");
+    }
+
+    #[test]
+    fn summary_json_matches_text_counts() {
+        let log = TelemetryLog::from_events(vec![ready(0), ready(1)]);
+        let json = log.summary_json();
+        assert!(json.starts_with("{\"events\":2,\"kinds\":{"));
+        assert!(json.contains("\"ready\":2"));
+        assert!(json.contains("\"invalidate\":0"));
+        assert!(json.ends_with("}}"));
+        // Every kind in the text summary appears in the JSON.
+        for (kind, _) in log.summary_counts() {
+            assert!(json.contains(&format!("\"{kind}\":")));
+        }
     }
 
     #[test]

@@ -58,6 +58,20 @@ pub struct OverheadReport {
     /// Total wall-clock nanoseconds the host spent inside the
     /// scheduler. Nondeterministic; informational only.
     pub master_host_nanos: u64,
+    /// The makespan on the nanosecond grid. The five `*_ns` buckets sum
+    /// to this **exactly** — the differential analysis relies on the
+    /// integer identity, not the floating-point one.
+    pub makespan_ns: u64,
+    /// `compute` in integer nanoseconds.
+    pub compute_ns: u64,
+    /// `data_movement` in integer nanoseconds.
+    pub data_movement_ns: u64,
+    /// `recovery` in integer nanoseconds.
+    pub recovery_ns: u64,
+    /// `master` in integer nanoseconds.
+    pub master_ns: u64,
+    /// `idle` in integer nanoseconds.
+    pub idle_ns: u64,
 }
 
 impl OverheadReport {
@@ -182,7 +196,25 @@ impl OverheadReport {
             retries,
             master_sim_total,
             master_host_nanos,
+            makespan_ns,
+            compute_ns: acc_ns[0],
+            data_movement_ns: acc_ns[1],
+            recovery_ns: acc_ns[3],
+            master_ns: acc_ns[2],
+            idle_ns,
         }
+    }
+
+    /// The five buckets in integer nanoseconds, in report order. They
+    /// sum to [`OverheadReport::makespan_ns`] exactly.
+    pub fn buckets_ns(&self) -> [(&'static str, u64); 5] {
+        [
+            ("compute", self.compute_ns),
+            ("data_movement", self.data_movement_ns),
+            ("recovery", self.recovery_ns),
+            ("master", self.master_ns),
+            ("idle", self.idle_ns),
+        ]
     }
 
     /// Sum of the five buckets (equals the makespan up to the

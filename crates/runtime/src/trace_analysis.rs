@@ -174,28 +174,36 @@ pub struct CriticalHop {
 /// finished last through, at each step, the latest-finishing predecessor.
 /// The returned path is in execution order (first task first).
 pub fn critical_path(workflow: &Workflow, records: &[TaskRecord]) -> Vec<CriticalHop> {
-    let by_task: HashMap<TaskId, &TaskRecord> = records.iter().map(|r| (r.task, r)).collect();
-    let Some(last) = records.iter().max_by_key(|r| r.end) else {
+    let end_of: HashMap<TaskId, SimTime> = records.iter().map(|r| (r.task, r.end)).collect();
+    critical_path_walk_back(workflow, &end_of)
+}
+
+/// The shared walk-back over per-task completion times: start at the
+/// latest-finishing task, repeatedly hop to the latest-finishing
+/// predecessor. Ties break on the higher [`TaskId`], so the record- and
+/// telemetry-fed variants agree hop for hop.
+fn critical_path_walk_back(
+    workflow: &Workflow,
+    end_of: &HashMap<TaskId, SimTime>,
+) -> Vec<CriticalHop> {
+    let Some((&last, &last_end)) = end_of.iter().max_by_key(|(t, at)| (**at, **t)) else {
         return Vec::new();
     };
     let mut path = vec![CriticalHop {
-        task: last.task,
-        end: last.end,
+        task: last,
+        end: last_end,
     }];
-    let mut current = last.task;
+    let mut current = last;
     loop {
         let pred = workflow
             .predecessors(current)
             .iter()
-            .filter_map(|p| by_task.get(p))
-            .max_by_key(|r| r.end);
+            .filter_map(|p| end_of.get(p).map(|end| (*p, *end)))
+            .max_by_key(|&(task, end)| (end, task));
         match pred {
-            Some(r) => {
-                path.push(CriticalHop {
-                    task: r.task,
-                    end: r.end,
-                });
-                current = r.task;
+            Some((task, end)) => {
+                path.push(CriticalHop { task, end });
+                current = task;
             }
             None => break,
         }
@@ -231,6 +239,12 @@ pub fn state_breakdown_from_telemetry(log: &TelemetryLog) -> StateBreakdown {
 /// stream: dispatch/completion events bound each task's busy window,
 /// dispatch events carry the held core count and the device kind.
 pub fn cpu_busy_gpu_idle_from_telemetry(log: &TelemetryLog, cpu_threshold: usize) -> f64 {
+    cpu_busy_gpu_idle_nanos_from_telemetry(log, cpu_threshold) as f64 / 1e9
+}
+
+/// [`cpu_busy_gpu_idle_from_telemetry`] on the integer nanosecond grid,
+/// for exact profile digests ([`crate::telemetry::RunProfile`]).
+pub fn cpu_busy_gpu_idle_nanos_from_telemetry(log: &TelemetryLog, cpu_threshold: usize) -> u64 {
     let mut open: HashMap<crate::task::TaskId, (i32, bool)> = HashMap::new();
     let mut events: Vec<(u64, i32, i32)> = Vec::new();
     for ev in log.events() {
@@ -274,12 +288,14 @@ pub fn cpu_busy_gpu_idle_from_telemetry(log: &TelemetryLog, cpu_threshold: usize
         gpu += dg;
         prev = t;
     }
-    wasted as f64 / 1e9
+    wasted
 }
 
 /// [`critical_path`] computed from a telemetry event stream: completion
 /// events supply the per-task finish times that the record-based
-/// variant reads from [`TaskRecord`]s.
+/// variant reads from [`TaskRecord`]s. Both variants share the same
+/// walk-back over per-task completion times, so they agree hop for hop
+/// on the same run.
 pub fn critical_path_from_telemetry(workflow: &Workflow, log: &TelemetryLog) -> Vec<CriticalHop> {
     let mut end_of: HashMap<TaskId, SimTime> = HashMap::new();
     for ev in log.events() {
@@ -287,30 +303,7 @@ pub fn critical_path_from_telemetry(workflow: &Workflow, log: &TelemetryLog) -> 
             end_of.insert(*task, *at);
         }
     }
-    let Some((&last, &last_end)) = end_of.iter().max_by_key(|(t, at)| (**at, **t)) else {
-        return Vec::new();
-    };
-    let mut path = vec![CriticalHop {
-        task: last,
-        end: last_end,
-    }];
-    let mut current = last;
-    loop {
-        let pred = workflow
-            .predecessors(current)
-            .iter()
-            .filter_map(|p| end_of.get(p).map(|end| (*p, *end)))
-            .max_by_key(|&(task, end)| (end, task));
-        match pred {
-            Some((task, end)) => {
-                path.push(CriticalHop { task, end });
-                current = task;
-            }
-            None => break,
-        }
-    }
-    path.reverse();
-    path
+    critical_path_walk_back(workflow, &end_of)
 }
 
 #[cfg(test)]

@@ -172,3 +172,43 @@ fn retry_after_crash_regenerates_lost_inputs() {
     assert!(a.recovery.blocks_invalidated > 0, "needs the lost blocks");
     assert_eq!(a.output_fingerprint, clean.output_fingerprint);
 }
+
+/// The five overhead buckets (compute, data movement, recovery, master,
+/// idle) partition the makespan *exactly* in integer nanoseconds, even
+/// for a faulted run with crashes and retries — the conservation
+/// guarantee the differential blame table is built on.
+#[test]
+fn overhead_buckets_partition_faulted_makespan_exactly() {
+    use gpuflow_runtime::OverheadReport;
+    let wf = pipeline(5);
+    let clean = run(&wf, &base_cfg()).expect("fault-free run completes");
+    let plan = FaultPlan::new(892)
+        .with_task_failures(None, 0.017_440_394_530_819_06)
+        .with_node_crash(0, clean.makespan() * 0.5, Some(clean.makespan() * 0.1));
+    let policy = RecoveryPolicy {
+        max_retries: 8,
+        ..RecoveryPolicy::default()
+    };
+    let cfg = base_cfg()
+        .with_telemetry()
+        .with_faults(plan)
+        .with_recovery(policy);
+    let report = run(&wf, &cfg).expect("recoverable");
+    assert!(report.recovery.transient_failures >= 1, "needs real faults");
+
+    let overhead = OverheadReport::from_log(&report.telemetry, report.makespan());
+    let total: u64 = overhead.buckets_ns().iter().map(|(_, ns)| ns).sum();
+    assert_eq!(
+        total,
+        overhead.makespan_ns,
+        "buckets {:?} must sum to the makespan exactly",
+        overhead.buckets_ns()
+    );
+    let recovery = overhead
+        .buckets_ns()
+        .iter()
+        .find(|(name, _)| *name == "recovery")
+        .map(|(_, ns)| *ns)
+        .unwrap();
+    assert!(recovery > 0, "a faulted run must book recovery time");
+}

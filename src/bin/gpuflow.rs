@@ -6,9 +6,12 @@
 //!                [--clusters 10] [--iterations 3] [--processor gpu]
 //!                [--storage shared|local] [--policy fifo|locality]
 //!                [--threads N] [--prv out.prv] [--csv out.csv]
-//! gpuflow obs    <export-chrome|decisions|overhead|summary|jsonl>
+//! gpuflow obs    <export-chrome|decisions|overhead|profile|summary|jsonl>
 //!                --workload matmul --rows 16384 --cols 16384 --grid 16
-//!                [run options] [--out FILE]
+//!                [run options] [--out FILE] [--json]
+//! gpuflow diff   A.profile B.profile [--json] [--out FILE]
+//! gpuflow doctor --workload matmul --rows 16384 --cols 16384 --grid 16
+//!                [run options] [--json]   (or: --profile FILE)
 //! gpuflow advise --workload matmul --rows 32768 --cols 32768
 //! gpuflow dag    --workload kmeans --rows 4096 --cols 16 --grid 4 [--iterations 3]
 //! gpuflow chaos  [--threads N]
@@ -26,12 +29,14 @@
 use std::process::ExitCode;
 
 use gpuflow::advisor::{Advisor, SearchSpace, Workload};
+use gpuflow::analysis::{DoctorReport, WhatIf};
 use gpuflow::cli::{
     faults_from, policy_from, processor_from, recovery_from, storage_from, workload_from, Args,
 };
-use gpuflow::cluster::{ClusterSpec, ProcessorKind};
+use gpuflow::cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
 use gpuflow::runtime::{
-    run, to_chrome_trace, to_paraver_prv, trace_analysis, OverheadReport, RunConfig, Workflow,
+    run, to_chrome_trace, to_paraver_prv, trace_analysis, OverheadReport, RunConfig, RunDiff,
+    RunProfile, SchedulingPolicy, Workflow,
 };
 
 fn build_workflow(args: &Args) -> Result<(Workload, Workflow), String> {
@@ -117,9 +122,62 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a workload with full telemetry and distills the stream into a
+/// [`RunProfile`] carrying the configuration factors, so `obs profile`,
+/// `doctor`, and `diff` inputs all describe runs the same way.
+fn profile_from_args(args: &Args) -> Result<(Workload, RunProfile), String> {
+    let (workload, workflow) = build_workflow(args)?;
+    let grid: u64 = args.required_num("grid")?;
+    let processor = processor_from(args)?;
+    let storage = storage_from(args)?;
+    let policy = policy_from(args)?;
+    let threads: usize = args.num("threads", 1)?;
+    let mut config = RunConfig::new(ClusterSpec::minotauro(), processor)
+        .with_storage(storage)
+        .with_policy(policy)
+        .with_cpu_threads(threads)
+        .with_recovery(recovery_from(args)?)
+        .with_telemetry();
+    if let Some(plan) = faults_from(args)? {
+        config = config.with_faults(plan);
+    }
+    let report = run(&workflow, &config).map_err(|e| e.to_string())?;
+    let label = format!(
+        "{} grid {grid} {} {} {}",
+        workload.label(),
+        processor.label(),
+        storage.label(),
+        policy.label()
+    );
+    let profile =
+        RunProfile::from_telemetry(&label, &workflow, &report.telemetry, report.makespan())?
+            .with_factor("workload", &workload.label())
+            .with_factor("grid", &grid.to_string())
+            .with_factor("processor", processor.label())
+            .with_factor("storage", storage.label())
+            .with_factor("policy", policy.label());
+    Ok((workload, profile))
+}
+
+/// Prints `output`, or writes it to `--out FILE` when given.
+fn emit(args: &Args, what: &str, output: &str) -> Result<(), String> {
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, output).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("{what} written to {path}");
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
 /// `gpuflow obs <view>`: run a workload with full telemetry and render
 /// one view of the event stream.
 fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
+    if sub == "profile" {
+        let (_, profile) = profile_from_args(args)?;
+        return emit(args, sub, &profile.render());
+    }
     let (workload, workflow) = build_workflow(args)?;
     let processor = processor_from(args)?;
     let threads: usize = args.num("threads", 1)?;
@@ -140,6 +198,15 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
         "decisions" => log.render_decisions(),
         "overhead" => OverheadReport::from_log(log, report.makespan()).render(),
         "jsonl" => log.to_jsonl(),
+        "summary" if args.flag("json") => {
+            // Schema documented in docs/observability.md.
+            format!(
+                "{{\"workload\":\"{}\",\"makespan_ns\":{},\"telemetry\":{}}}\n",
+                workload.label().replace('"', "\\\""),
+                (report.makespan() * 1e9).round() as u64,
+                log.summary_json()
+            )
+        }
         "summary" => {
             let mut s = String::new();
             s.push_str(&format!("workload:  {}\n", workload.label()));
@@ -149,18 +216,135 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "unknown obs view '{other}' (export-chrome, decisions, overhead, summary, jsonl)"
+                "unknown obs view '{other}' (export-chrome, decisions, overhead, profile, summary, jsonl)"
             ))
         }
     };
-    match args.get("out") {
-        Some(path) => {
-            std::fs::write(path, &output).map_err(|e| format!("writing {path}: {e}"))?;
-            eprintln!("{sub} written to {path}");
+    emit(args, sub, &output)
+}
+
+/// Reads and parses a profile file written by `gpuflow obs profile` or
+/// `repro gate`.
+fn read_profile(path: &str) -> Result<RunProfile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    RunProfile::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `gpuflow diff <runA> <runB>`: compare two profile files.
+fn cmd_diff(a_path: &str, b_path: &str, args: &Args) -> Result<(), String> {
+    let a = read_profile(a_path)?;
+    let b = read_profile(b_path)?;
+    let diff = RunDiff::compare(&a, &b);
+    let output = if args.flag("json") {
+        let mut s = diff.to_json();
+        s.push('\n');
+        s
+    } else {
+        diff.render()
+    };
+    emit(args, "diff", &output)
+}
+
+/// Simulation-backed counterfactuals for the doctor: rerun the workload
+/// under one factor change at a time (the advisor's evaluation idea,
+/// specialized to the observed configuration's neighborhood).
+fn doctor_whatifs(args: &Args, baseline: f64) -> Result<Vec<WhatIf>, String> {
+    let workload = workload_from(args)?;
+    let grid: u64 = args.required_num("grid")?;
+    let processor = processor_from(args)?;
+    let storage = storage_from(args)?;
+    let policy = policy_from(args)?;
+    let threads: usize = args.num("threads", 1)?;
+    let recovery = recovery_from(args)?;
+    let faults = faults_from(args)?;
+    let cluster = ClusterSpec::minotauro();
+    let mut out = Vec::new();
+    let mut try_change = |change: String,
+                          grid2: u64,
+                          proc2: ProcessorKind,
+                          stor2: StorageArchitecture,
+                          pol2: SchedulingPolicy| {
+        let Ok(wf) = workload.build(grid2) else {
+            return;
+        };
+        let mut config = RunConfig::new(cluster.clone(), proc2)
+            .with_storage(stor2)
+            .with_policy(pol2)
+            .with_cpu_threads(threads)
+            .with_recovery(recovery);
+        if let Some(plan) = faults.clone() {
+            config = config.with_faults(plan);
         }
-        None => print!("{output}"),
+        if let Ok(report) = run(&wf, &config) {
+            out.push(WhatIf {
+                change,
+                baseline_makespan: baseline,
+                predicted_makespan: report.makespan(),
+            });
+        }
+    };
+    if grid >= 2 {
+        let g = grid / 2;
+        try_change(format!("grid {grid} -> {g}"), g, processor, storage, policy);
     }
-    Ok(())
+    let g = grid * 2;
+    try_change(format!("grid {grid} -> {g}"), g, processor, storage, policy);
+    let flip_proc = match processor {
+        ProcessorKind::Cpu => ProcessorKind::Gpu,
+        ProcessorKind::Gpu => ProcessorKind::Cpu,
+    };
+    try_change(
+        format!("processor {} -> {}", processor.label(), flip_proc.label()),
+        grid,
+        flip_proc,
+        storage,
+        policy,
+    );
+    let flip_stor = match storage {
+        StorageArchitecture::SharedDisk => StorageArchitecture::LocalDisk,
+        StorageArchitecture::LocalDisk => StorageArchitecture::SharedDisk,
+    };
+    try_change(
+        format!("storage {} -> {}", storage.label(), flip_stor.label()),
+        grid,
+        processor,
+        flip_stor,
+        policy,
+    );
+    let flip_pol = match policy {
+        SchedulingPolicy::DataLocality => SchedulingPolicy::GenerationOrder,
+        _ => SchedulingPolicy::DataLocality,
+    };
+    try_change(
+        format!("policy {} -> {}", policy.label(), flip_pol.label()),
+        grid,
+        processor,
+        storage,
+        flip_pol,
+    );
+    Ok(out)
+}
+
+/// `gpuflow doctor`: Jain-style bottleneck findings for one run, either
+/// re-simulated from run flags (with what-if predictions) or read from
+/// a profile file (`--profile FILE`, findings only).
+fn cmd_doctor(args: &Args) -> Result<(), String> {
+    let report = match args.get("profile") {
+        Some(path) => DoctorReport::diagnose(&read_profile(path)?),
+        None => {
+            let (_, profile) = profile_from_args(args)?;
+            let whatifs = doctor_whatifs(args, profile.makespan_ns as f64 / 1e9)?;
+            DoctorReport::diagnose(&profile).with_whatifs(whatifs)
+        }
+    };
+    let output = if args.flag("json") {
+        let mut s = report.to_json();
+        s.push('\n');
+        s
+    } else {
+        report.render()
+    };
+    emit(args, "doctor report", &output)
 }
 
 fn cmd_advise(args: &Args) -> Result<(), String> {
@@ -217,13 +401,18 @@ fn help() {
          USAGE:\n\
          \u{20} gpuflow run    --workload <w> --rows N --cols N --grid G [options]\n\
          \u{20} gpuflow obs    <view> --workload <w> --rows N --cols N --grid G [options] [--out FILE]\n\
+         \u{20} gpuflow diff   A.profile B.profile [--json] [--out FILE]\n\
+         \u{20} gpuflow doctor --workload <w> --rows N --cols N --grid G [options] [--json]\n\
+         \u{20} gpuflow doctor --profile FILE [--json]   (findings only, no what-ifs)\n\
          \u{20} gpuflow advise --workload <w> --rows N --cols N\n\
          \u{20} gpuflow dag    --workload <w> --rows N --cols N --grid G\n\
          \u{20} gpuflow chaos  [--threads N]   fault-injection sensitivity sweep\n\
          \n\
          OBS VIEWS: export-chrome (Perfetto/chrome://tracing JSON) | decisions\n\
          \u{20}           (scheduler decision log) | overhead (makespan decomposition) |\n\
-         \u{20}           summary (event counts) | jsonl (raw event stream)\n\
+         \u{20}           profile (parseable run digest for diff/doctor) |\n\
+         \u{20}           summary (event counts; --json for machine-readable) |\n\
+         \u{20}           jsonl (raw event stream)\n\
          \n\
          WORKLOADS: matmul | fma | kmeans | knn | cholesky\n\
          \n\
@@ -255,12 +444,21 @@ fn main() -> ExitCode {
         "run" => Args::parse(rest).and_then(|a| cmd_run(&a)),
         "obs" => match rest.split_first() {
             Some((sub, rest)) if !sub.starts_with("--") => {
-                Args::parse(rest).and_then(|a| cmd_obs(sub, &a))
+                Args::parse_with(rest, &["json"]).and_then(|a| cmd_obs(sub, &a))
             }
             _ => Err(String::from(
-                "obs needs a view: export-chrome, decisions, overhead, summary, jsonl",
+                "obs needs a view: export-chrome, decisions, overhead, profile, summary, jsonl",
             )),
         },
+        "diff" => match rest {
+            [a, b, flags @ ..] if !a.starts_with("--") && !b.starts_with("--") => {
+                Args::parse_with(flags, &["json"]).and_then(|ar| cmd_diff(a, b, &ar))
+            }
+            _ => Err(String::from(
+                "diff needs two profile files: gpuflow diff A.profile B.profile [--json] [--out FILE]",
+            )),
+        },
+        "doctor" => Args::parse_with(rest, &["json"]).and_then(|a| cmd_doctor(&a)),
         "advise" => Args::parse(rest).and_then(|a| cmd_advise(&a)),
         "dag" => Args::parse(rest).and_then(|a| cmd_dag(&a)),
         "chaos" => Args::parse(rest).and_then(|a| cmd_chaos(&a)),
@@ -269,7 +467,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (run, obs, advise, dag, chaos, help)"
+            "unknown command '{other}' (run, obs, diff, doctor, advise, dag, chaos, help)"
         )),
     };
     match result {

@@ -20,12 +20,25 @@ impl Args {
     /// # Errors
     /// Rejects positional arguments and dangling flags.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
+        Args::parse_with(argv, &[])
+    }
+
+    /// Parses a `--key value` argument list in which the flags named in
+    /// `bool_flags` take no value (e.g. `--json`).
+    ///
+    /// # Errors
+    /// Rejects positional arguments and dangling value flags.
+    pub fn parse_with(argv: &[String], bool_flags: &[&str]) -> Result<Self, String> {
         let mut flags = HashMap::new();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{a}' (flags are --key value)"));
             };
+            if bool_flags.contains(&key) {
+                flags.insert(key.to_string(), String::from("true"));
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -37,6 +50,12 @@ impl Args {
     /// Raw value of a flag.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean flag (declared via [`Args::parse_with`]) was
+    /// present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// Numeric flag with a default.
@@ -190,6 +209,21 @@ mod tests {
         assert_eq!(a.get("rows"), Some("100"));
         assert_eq!(a.required_num::<u64>("cols").unwrap(), 8);
         assert_eq!(a.num::<u64>("grid", 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn bool_flags_need_no_value() {
+        let v: Vec<String> = ["--json", "--out", "x.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with(&v, &["json"]).unwrap();
+        assert!(a.flag("json"));
+        assert!(!a.flag("update"));
+        assert_eq!(a.get("out"), Some("x.txt"));
+        // Without the declaration, --json swallows `--out` as its value
+        // and the orphaned `x.txt` is rejected as positional.
+        assert!(Args::parse(&v).is_err());
     }
 
     #[test]
