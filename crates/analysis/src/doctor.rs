@@ -160,16 +160,19 @@ impl DoctorReport {
         // concurrent tasks, so the denominator is task time, not the
         // makespan). The paper's O2: serde costs scale with task count,
         // so coarser granularity amortizes them.
+        // lint: allow(T1, per-stage sums are each bounded by the makespan; the u64 total cannot overflow)
         let serde_ns: u64 = profile
             .per_type
             .values()
             .map(|t| t.deser_ns + t.ser_ns)
             .sum();
+        // lint: allow(T1, per-stage sums are each bounded by the makespan; the u64 total cannot overflow)
         let task_time_ns: u64 = profile
             .per_type
             .values()
             .map(|t| t.deser_ns + t.ser_ns + t.serial_ns + t.parallel_ns + t.comm_ns)
             .sum();
+        // lint: allow(T1, serde_ns is bounded by the makespan, so *100 fits u64 with headroom)
         if task_time_ns > 0 && serde_ns * 100 / task_time_ns >= SERDE_WARN {
             findings.push(Finding {
                 severity: Severity::Warning,
@@ -181,6 +184,7 @@ impl DoctorReport {
                     "{:.3} s of {:.3} s total task time = {} % across {} tasks",
                     secs(serde_ns),
                     secs(task_time_ns),
+                    // lint: allow(T1, serde_ns is bounded by the makespan, so *100 fits u64 with headroom)
                     serde_ns * 100 / task_time_ns,
                     profile.tasks
                 ),

@@ -18,6 +18,9 @@
 //!                            # on regression or missing baseline
 //! repro gate --update        # rewrite the baseline profiles
 //! repro gate --baselines DIR --tolerance PCT --report FILE
+//! repro lint                 # workspace determinism & integer-time
+//!                            # lints (docs/static_analysis.md);
+//!                            # exits 1 on unsuppressed findings
 //! ```
 //!
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
@@ -62,13 +65,52 @@ fn run_gate(ctx: &Context, args: &[String]) {
         .map(|v| v.parse::<f64>().expect("--tolerance takes a percentage"))
         .unwrap_or(gate::DEFAULT_TOLERANCE_PCT);
     let report = gate::check(ctx, dir, tolerance);
-    let text = report.render();
+    let mut text = report.render();
+    if !report.passed() {
+        // A perf regression on a tree that also violates the determinism
+        // lints is usually the lint finding's fault; say so up front.
+        if let Some(note) = lint_note() {
+            text.push('\n');
+            text.push_str(&note);
+            text.push('\n');
+        }
+    }
     println!("{text}");
     if let Some(path) = value_of("--report") {
         std::fs::write(&path, &text).expect("write gate report");
         eprintln!("[gate report -> {path}]");
     }
     if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+/// Returns a one-line warning when the workspace is not lint-clean,
+/// or `None` when it is (or when no workspace root can be found).
+fn lint_note() -> Option<String> {
+    let cwd = std::env::current_dir().ok()?;
+    let root = gpuflow_lint::workspace::find_root(&cwd)?;
+    let report = gpuflow_lint::run(&root).ok()?;
+    if report.clean() {
+        None
+    } else {
+        Some(format!(
+            "note: the tree is not lint-clean ({} unsuppressed finding(s)) — run `gpuflow lint` \
+             and rule out a determinism violation before chasing the regression",
+            report.findings.len()
+        ))
+    }
+}
+
+/// Runs the workspace determinism & integer-time lint (`repro lint`);
+/// exits nonzero when unsuppressed findings remain.
+fn run_lint() {
+    let cwd = std::env::current_dir().expect("read current directory");
+    let root = gpuflow_lint::workspace::find_root(&cwd)
+        .expect("repro lint must run inside the cargo workspace");
+    let report = gpuflow_lint::run(&root).expect("scan workspace sources");
+    println!("{}", report.render());
+    if !report.clean() {
         std::process::exit(1);
     }
 }
@@ -99,6 +141,10 @@ fn main() {
         run_gate(&ctx, &args);
         return;
     }
+    if args.iter().any(|a| a == "lint") {
+        run_lint();
+        return;
+    }
     let mut skip_values: Vec<usize> = Vec::new();
     for flag in ["--out", "--threads", "--telemetry"] {
         if let Some(i) = args.iter().position(|a| a == flag) {
@@ -122,6 +168,7 @@ fn main() {
 
     let ctx = Context::default().with_threads(threads.unwrap_or(0));
     for target in targets {
+        // lint: allow(D2, host progress timing printed to stderr only; never reaches an artifact)
         let t0 = Instant::now();
         let output = match target {
             "table1" => factors::render(),
@@ -215,6 +262,7 @@ fn main() {
     }
 
     if let Some(dir) = &telemetry_dir {
+        // lint: allow(D2, host progress timing printed to stderr only; never reaches an artifact)
         let t0 = Instant::now();
         let bundle = obs::run(&ctx);
         bundle

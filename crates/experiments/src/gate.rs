@@ -177,7 +177,7 @@ pub fn violations(baseline: &RunProfile, current: &RunProfile, tolerance_pct: f6
             "makespan regressed: {:.6} s -> {:.6} s (+{:.2} %)",
             baseline.makespan_ns as f64 / 1e9,
             current.makespan_ns as f64 / 1e9,
-            100.0 * (current.makespan_ns - baseline.makespan_ns) as f64
+            100.0 * current.makespan_ns.saturating_sub(baseline.makespan_ns) as f64
                 / baseline.makespan_ns.max(1) as f64
         ));
     }

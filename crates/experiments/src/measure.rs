@@ -39,9 +39,11 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
+    // lint: allow(D3, this is the deterministic par_map harness itself; results rejoin in input order below)
     let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
+                // lint: allow(D3, worker threads of the par_map harness; outputs are index-tagged and re-sorted)
                 s.spawn(|| {
                     let mut out = Vec::new();
                     loop {

@@ -1,0 +1,150 @@
+//! The inline suppression grammar: `// lint: allow(CODE, reason)`.
+//!
+//! Every suppression is auditable: it names the rule it silences and
+//! must carry a non-empty reason. Like `FaultPlan`'s clause grammar,
+//! the annotation round-trips — `parse(render(a)) == a` — which the
+//! proptest suite pins, so annotations can be machine-rewritten safely.
+//!
+//! Placement rules:
+//!
+//! * an annotation on its **own line** covers the next statement
+//!   (through the line where that statement ends);
+//! * a **trailing** annotation (after code, same line) covers exactly
+//!   its own line;
+//! * an annotation no finding matches is itself reported (rule `A1`),
+//!   so stale suppressions cannot rot in the tree;
+//! * a comment that starts `// lint:` but does not parse is reported as
+//!   malformed (rule `A0`).
+
+use crate::rules::RuleCode;
+
+/// One parsed suppression annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub code: RuleCode,
+    /// Why the finding is intentional (non-empty, single line, no `)`
+    /// as its final character ambiguity — the reason runs to the last
+    /// closing parenthesis).
+    pub reason: String,
+}
+
+impl Allow {
+    /// Renders the canonical annotation text. [`Allow::parse`] of the
+    /// result yields `self` back (round-trip; proptest-pinned).
+    pub fn render(&self) -> String {
+        format!("// lint: allow({}, {})", self.code.as_str(), self.reason)
+    }
+
+    /// Parses an annotation from a full line-comment text.
+    ///
+    /// Returns `Ok(None)` when the comment is not a lint annotation at
+    /// all (doc comments and ordinary prose are ignored).
+    ///
+    /// # Errors
+    /// A comment that *is* addressed to the linter (`// lint:` prefix)
+    /// but malformed — unknown code, missing reason, missing
+    /// parentheses — is an error, surfaced as an `A0` finding.
+    pub fn parse(comment: &str) -> Result<Option<Allow>, String> {
+        let Some(body) = annotation_body(comment) else {
+            return Ok(None);
+        };
+        let body = body.trim();
+        let Some(rest) = body.strip_prefix("allow") else {
+            return Err(format!("expected 'allow(CODE, reason)', got '{body}'"));
+        };
+        let rest = rest.trim_start();
+        let Some(inner) = rest
+            .strip_prefix('(')
+            .and_then(|r| r.trim_end().strip_suffix(')'))
+        else {
+            return Err("allow needs parentheses: allow(CODE, reason)".to_string());
+        };
+        let Some((code_text, reason)) = inner.split_once(',') else {
+            return Err("allow needs a reason: allow(CODE, reason)".to_string());
+        };
+        let code_text = code_text.trim();
+        let Some(code) = RuleCode::parse(code_text) else {
+            return Err(format!(
+                "unknown rule code '{code_text}' (known: {})",
+                RuleCode::all_names().join(", ")
+            ));
+        };
+        if !code.suppressible() {
+            return Err(format!("rule {code_text} cannot be suppressed"));
+        }
+        let reason = reason.trim();
+        if reason.is_empty() {
+            return Err("empty reason: every suppression must say why".to_string());
+        }
+        Ok(Some(Allow {
+            code,
+            reason: reason.to_string(),
+        }))
+    }
+}
+
+/// The annotation body after `// lint:`, or `None` for comments not
+/// addressed to the linter. Doc comments (`///`, `//!`) never count —
+/// they are prose, so rule documentation can quote the grammar freely.
+fn annotation_body(comment: &str) -> Option<&str> {
+    let rest = comment.strip_prefix("//")?;
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return None;
+    }
+    rest.trim_start().strip_prefix("lint:")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_canonical_form() {
+        let a = Allow::parse("// lint: allow(D1, collected then sorted below)")
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.code, RuleCode::D1);
+        assert_eq!(a.reason, "collected then sorted below");
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let a = Allow {
+            code: RuleCode::T1,
+            reason: "saturating by construction (values < 2^53)".into(),
+        };
+        assert_eq!(Allow::parse(&a.render()).unwrap().unwrap(), a);
+    }
+
+    #[test]
+    fn reasons_may_contain_inner_parens() {
+        let a = Allow::parse("// lint: allow(D2, host probe (stderr only))")
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.reason, "host probe (stderr only)");
+    }
+
+    #[test]
+    fn ordinary_and_doc_comments_are_ignored() {
+        assert_eq!(Allow::parse("// a normal comment").unwrap(), None);
+        assert_eq!(
+            Allow::parse("/// lint: allow(D1, doc prose)").unwrap(),
+            None
+        );
+        assert_eq!(
+            Allow::parse("//! lint: allow(D1, doc prose)").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn malformed_annotations_error() {
+        assert!(Allow::parse("// lint: alow(D1, typo)").is_err());
+        assert!(Allow::parse("// lint: allow(D9, unknown code)").is_err());
+        assert!(Allow::parse("// lint: allow(D1)").is_err());
+        assert!(Allow::parse("// lint: allow(D1, )").is_err());
+        assert!(Allow::parse("// lint: allow D1, no parens").is_err());
+        assert!(Allow::parse("// lint: allow(A1, meta rules stay loud)").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! `gpuflow-lint` — a workspace determinism & integer-time static
+//! analysis pass.
+//!
+//! Every result this repo produces rests on two invariants that are
+//! otherwise only checked *dynamically* (by regenerating all 17
+//! artifacts and diffing bytes):
+//!
+//! 1. runs are bit-for-bit deterministic — no hash-order iteration, no
+//!    wall clocks, no raw threads, no float-order drift on result
+//!    paths;
+//! 2. integer-ns time arithmetic never silently truncates or
+//!    overflows.
+//!
+//! This crate enforces those invariants *statically*, at `cargo` time,
+//! with a self-contained token-stream analyzer (no external deps — the
+//! lexer lives in-crate, in the spirit of the vendored-deps approach).
+//! See `docs/static_analysis.md` for the rule catalog and the
+//! `// lint: allow(CODE, reason)` suppression grammar.
+//!
+//! Entry points: [`run`] (whole tree, used by `gpuflow lint` and
+//! `repro lint`), [`scan::scan_file`] (one file, used by the golden
+//! fixture tests), and [`json`] (parser + shape checker backing the
+//! CLI JSON schema tests).
+
+pub mod allow;
+pub mod json;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use std::path::Path;
+
+pub use report::{Finding, Report};
+pub use rules::RuleCode;
+
+/// Scans every lintable file under `root` and returns the report.
+/// Unreadable files are skipped (they cannot carry findings the
+/// compiler would accept either).
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let files = workspace::discover(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for (rel, abs) in &files {
+        let Ok(src) = std::fs::read_to_string(abs) else {
+            continue;
+        };
+        report.findings.extend(scan::scan_file(rel, &src));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,120 @@
+//! `gpuflow-lint` binary: scan the workspace, print diagnostics, exit
+//! nonzero when the tree is not lint-clean.
+//!
+//! ```text
+//! gpuflow-lint [--root DIR] [--json] [--out FILE] [--explain]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gpuflow_lint::rules::RuleCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut explain = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--out" => match argv.next() {
+                Some(f) => out = Some(PathBuf::from(f)),
+                None => return usage("--out needs a file"),
+            },
+            "--explain" => explain = true,
+            "--help" | "-h" => {
+                print!("{}", help());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    if explain {
+        for code in RuleCode::ALL {
+            println!("{code} — {}\n  {}\n", code.summary(), code.explanation());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match gpuflow_lint::workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "gpuflow-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match gpuflow_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gpuflow-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if json {
+        report.to_json()
+    } else {
+        report.render()
+    };
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("gpuflow-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        // Keep the human verdict on stdout even when the report goes
+        // to a file, so CI logs show the outcome inline.
+        if json {
+            print!("{}", report.render());
+        }
+    } else {
+        print!("{rendered}");
+        if json && !rendered.ends_with('\n') {
+            println!();
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("gpuflow-lint: {msg}\n{}", help());
+    ExitCode::from(2)
+}
+
+fn help() -> String {
+    "gpuflow-lint — workspace determinism & integer-time static analysis\n\
+     \n\
+     USAGE: gpuflow-lint [--root DIR] [--json] [--out FILE] [--explain]\n\
+     \n\
+     OPTIONS:\n\
+       --root DIR   workspace root (default: nearest [workspace] above cwd)\n\
+       --json       emit the machine-readable report\n\
+       --out FILE   write the report to FILE instead of stdout\n\
+       --explain    print the rule catalog with rationale and exit\n\
+     \n\
+     EXIT: 0 clean, 1 findings, 2 usage/IO error\n"
+        .to_string()
+}

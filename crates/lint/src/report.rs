@@ -1,0 +1,191 @@
+//! Findings and their two renderings: human diagnostics and `--json`.
+//!
+//! Both renderings are deterministic — findings are emitted in
+//! (file, line, col, rule) order — so the JSON report itself satisfies
+//! the workspace's byte-identical-artifact discipline and can be diffed
+//! across CI runs.
+
+use crate::rules::RuleCode;
+
+/// One diagnostic: a rule violation at a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleCode,
+    /// Repo-relative path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Site-specific explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding.
+    pub fn new(
+        rule: RuleCode,
+        file: &str,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+/// The result of scanning a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is lint-clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering: one block per finding plus a summary
+    /// line (also printed when clean, so CI logs state the verdict).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}: {} [{}]\n  --> {}:{}:{}\n  {}\n",
+                f.rule,
+                f.rule.summary(),
+                f.rule,
+                f.file,
+                f.line,
+                f.col,
+                f.message
+            ));
+        }
+        let mut by_rule: Vec<(RuleCode, usize)> = Vec::new();
+        for f in &self.findings {
+            match by_rule.iter_mut().find(|(c, _)| *c == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => by_rule.push((f.rule, 1)),
+            }
+        }
+        by_rule.sort();
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "lint: clean — 0 findings across {} files\n",
+                self.files_scanned
+            ));
+        } else {
+            let breakdown: Vec<String> = by_rule.iter().map(|(c, n)| format!("{c}: {n}")).collect();
+            out.push_str(&format!(
+                "lint: {} finding(s) across {} files ({})\n",
+                self.findings.len(),
+                self.files_scanned,
+                breakdown.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering (stable key order, findings pre-sorted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                f.rule,
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.message)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"total\":{},\"files_scanned\":{}}}",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding::new(
+                RuleCode::D2,
+                "src/a.rs",
+                3,
+                7,
+                "Instant::now() reads the host clock",
+            )],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn human_rendering_has_span_and_summary() {
+        let r = sample().render();
+        assert!(r.contains("src/a.rs:3:7"), "{r}");
+        assert!(r.contains("D2"), "{r}");
+        assert!(r.contains("1 finding(s) across 2 files"), "{r}");
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 5,
+        };
+        assert!(r.clean());
+        assert!(r.render().contains("clean — 0 findings across 5 files"));
+    }
+
+    #[test]
+    fn json_rendering_parses_and_carries_fields() {
+        let j = sample().to_json();
+        let v = crate::json::parse(&j).unwrap();
+        let findings = v.get("findings").and_then(|f| f.as_array()).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("rule").and_then(|r| r.as_str()), Some("D2"));
+        assert_eq!(v.get("total").and_then(|t| t.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

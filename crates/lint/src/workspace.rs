@@ -1,0 +1,102 @@
+//! Workspace discovery: find the repo root and enumerate the `.rs`
+//! files the rules apply to.
+//!
+//! Skipped subtrees: build output (`target`), vendored third-party
+//! code (`vendor` — not ours to lint), version control (`.git`), and
+//! test-only trees (`tests`, `benches`, `fixtures`, `examples`) —
+//! integration tests may use wall clocks and unwraps freely, and the
+//! lint crate's own rule fixtures *must* contain violations. Unit
+//! tests inside `src/` are handled separately by the scanner's
+//! `#[cfg(test)]` skip.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 7] = [
+    "target", "vendor", ".git", "tests", "benches", "fixtures", "examples",
+];
+
+/// Walks up from `start` to the workspace root: the nearest ancestor
+/// whose `Cargo.toml` contains a `[workspace]` section.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = if start.is_dir() {
+        start
+    } else {
+        start.parent()?
+    };
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent()?;
+    }
+}
+
+/// All lintable `.rs` files under `root`, as (repo-relative display
+/// path, absolute path), sorted by display path for deterministic
+/// report order.
+pub fn discover(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").exists());
+    }
+
+    #[test]
+    fn discovery_skips_vendor_and_tests() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).unwrap();
+        let files = discover(&root).unwrap();
+        assert!(!files.is_empty());
+        for (rel, _) in &files {
+            assert!(!rel.contains("vendor/"), "vendored file linted: {rel}");
+            assert!(!rel.contains("/tests/"), "test file linted: {rel}");
+            assert!(!rel.contains("/fixtures/"), "fixture linted: {rel}");
+            assert!(!rel.starts_with("target/"), "build output linted: {rel}");
+        }
+        assert!(
+            files
+                .iter()
+                .any(|(rel, _)| rel == "crates/lint/src/scan.rs"),
+            "expected own sources in scan set"
+        );
+    }
+}

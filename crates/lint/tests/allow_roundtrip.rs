@@ -1,0 +1,76 @@
+//! Property test: the `// lint: allow(CODE, reason)` grammar is closed
+//! under render∘parse for every suppressible code and printable reason.
+
+use gpuflow_lint::allow::Allow;
+use gpuflow_lint::rules::RuleCode;
+use proptest::prelude::*;
+
+/// Suppressible codes in a fixed order, indexable by a range strategy.
+fn suppressible() -> Vec<RuleCode> {
+    RuleCode::ALL
+        .iter()
+        .copied()
+        .filter(|c| c.suppressible())
+        .collect()
+}
+
+/// Maps sampled bytes onto printable ASCII (space..'}'), then trims to
+/// the canonical form `parse` produces; empty reasons are invalid, so
+/// substitute a minimal one.
+fn printable(chars: &[u32]) -> String {
+    let s: String = chars
+        .iter()
+        .map(|c| char::from(b' ' + (*c % 94) as u8))
+        .collect();
+    let t = s.trim();
+    if t.is_empty() {
+        String::from("x")
+    } else {
+        t.to_string()
+    }
+}
+
+proptest! {
+    #[test]
+    fn parse_inverts_render(
+        code_idx in 0usize..6,
+        chars in prop::collection::vec(0u32..94, 1..60),
+    ) {
+        let codes = suppressible();
+        let code = codes[code_idx % codes.len()];
+        let reason = printable(&chars);
+        let original = Allow { code, reason: reason.clone() };
+        let rendered = original.render();
+        let parsed = Allow::parse(&rendered)
+            .expect("rendered annotation parses")
+            .expect("rendered annotation is an annotation");
+        prop_assert_eq!(parsed.code, code);
+        prop_assert_eq!(parsed.reason, reason);
+    }
+
+    #[test]
+    fn parse_never_panics_on_comment_text(
+        chars in prop::collection::vec(0u32..94, 0..80),
+    ) {
+        // Arbitrary comments either parse, are ignored, or error (A0) —
+        // never panic.
+        let body: String = chars
+            .iter()
+            .map(|c| char::from(b' ' + (*c % 94) as u8))
+            .collect();
+        let _ = Allow::parse(&format!("//{body}"));
+        let _ = Allow::parse(&format!("// lint: {body}"));
+        let _ = Allow::parse(&format!("// lint: allow({body}"));
+    }
+}
+
+#[test]
+fn unsuppressible_codes_are_rejected() {
+    for code in ["A0", "A1"] {
+        let line = format!("// lint: allow({code}, trying to silence the meta rule)");
+        assert!(
+            Allow::parse(&line).is_err(),
+            "allow({code}) must be rejected as malformed"
+        );
+    }
+}

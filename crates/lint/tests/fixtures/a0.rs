@@ -1,0 +1,7 @@
+// A0 fixture: malformed suppression annotations.
+
+// lint: allow(D2)
+fn missing_reason() {}
+
+// lint: allow(BOGUS, not a rule code)
+fn unknown_code() {}

@@ -1,0 +1,6 @@
+// A1 fixture: a well-formed suppression that matches no finding.
+
+// lint: allow(D2, there is no wall clock here any more)
+fn clean() -> u64 {
+    42
+}

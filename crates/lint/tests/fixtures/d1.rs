@@ -1,0 +1,32 @@
+// D1 fixture: hash-order iteration reaching ordered output.
+use std::collections::HashMap;
+
+fn emit_keys(m: &HashMap<u32, u32>, out: &mut Vec<u32>) {
+    for (k, _v) in m.iter() {
+        out.push(*k);
+    }
+}
+
+fn pick_last(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.iter().max_by_key(|(_, v)| **v).map(|(k, _)| *k)
+}
+
+fn collected_unsorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let v: Vec<u32> = m.keys().copied().collect::<Vec<u32>>();
+    v
+}
+
+// Neutral uses: none of these should be flagged.
+fn count(m: &HashMap<u32, u32>) -> usize {
+    m.iter().count()
+}
+
+fn total(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+
+fn sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect::<Vec<u32>>();
+    v.sort();
+    v
+}

@@ -1,0 +1,15 @@
+// D2 fixture: wall-clock reads outside the allowlist.
+
+fn probe() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn stamp() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}
+
+fn host_only() {
+    // lint: allow(D2, fixture demonstrates a reasoned suppression)
+    let _t = std::time::Instant::now();
+}

@@ -1,0 +1,10 @@
+// D3 fixture: raw threading primitives outside the par_map harness.
+
+fn fan_out() {
+    let h = std::thread::spawn(|| 1u32);
+    let _ = h.join();
+}
+
+fn channels() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u32>();
+}

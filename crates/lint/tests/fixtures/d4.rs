@@ -1,0 +1,19 @@
+// D4 fixture: order-sensitive float accumulation over hash iteration.
+use std::collections::HashMap;
+
+fn mean_cost(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>() / m.len() as f64
+}
+
+fn fold_in_place(m: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for v in m.values() {
+        acc += v;
+    }
+    acc
+}
+
+// Integer sums commute, so this is neutral.
+fn total(m: &HashMap<u32, u64>) -> u64 {
+    m.values().sum()
+}

@@ -1,0 +1,16 @@
+// R1 fixture: panics in a fault-handling file (the filename scopes the
+// whole file as a recovery path).
+
+fn requeue(task: Option<u32>) -> u32 {
+    task.unwrap()
+}
+
+fn rejoin(node: Option<u32>) -> u32 {
+    node.expect("node must exist")
+}
+
+fn escalate(attempts: u32) {
+    if attempts > 3 {
+        panic!("giving up");
+    }
+}

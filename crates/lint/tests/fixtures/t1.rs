@@ -1,0 +1,30 @@
+// T1 fixture: lossy casts and unchecked arithmetic on ns values.
+
+fn narrow(span_ns: u128) -> u64 {
+    span_ns as u64
+}
+
+fn from_duration(d: std::time::Duration) -> u64 {
+    d.as_nanos() as u64
+}
+
+fn scale(secs: f64) -> u64 {
+    (secs * 1e9).round() as u64
+}
+
+fn span(start_ns: u64, end_ns: u64) -> u64 {
+    end_ns - start_ns
+}
+
+// Safe forms: widening, display ratios, and saturating arithmetic.
+fn widen(span_ns: u64) -> u128 {
+    span_ns as u128
+}
+
+fn ratio(span_ns: u64, total_ns: u64) -> f64 {
+    span_ns as f64 / total_ns as f64
+}
+
+fn safe_span(start_ns: u64, end_ns: u64) -> u64 {
+    end_ns.saturating_sub(start_ns)
+}

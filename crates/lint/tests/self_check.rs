@@ -1,0 +1,21 @@
+//! The linter's own workspace must stay lint-clean: every violation is
+//! either fixed or carries a reasoned `// lint: allow(...)`.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let report = gpuflow_lint::run(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "workspace is not lint-clean:\n{}",
+        report.render()
+    );
+}

@@ -85,11 +85,14 @@ impl BlockCache {
         }
         self.used += bytes;
         while self.used > self.capacity {
+            // Tie-break on the version key so eviction order stays
+            // total even if two entries ever share a recency stamp.
+            // lint: allow(D1, selection key embeds the version id so the minimum is unique)
             let lru = self
                 .entries
                 .iter()
                 .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(k, e)| (e.last_used, k.id.0, k.version))
                 .map(|(k, _)| *k);
             match lru {
                 Some(victim) => {

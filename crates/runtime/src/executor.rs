@@ -17,7 +17,7 @@
 //! object cache lets well-placed tasks skip deserialization, which is the
 //! mechanism coupling scheduling policy and storage architecture.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use gpuflow_chaos::{mix64, FaultPlan, RecoveryPolicy};
@@ -377,7 +377,9 @@ impl RunReport {
         // Concurrency sweep per node: held cores <= cores, GPU
         // records <= devices. Multi-threaded CPU tasks weigh in with
         // every core they hold.
-        let mut events: HashMap<usize, Vec<(u64, i32, i32)>> = HashMap::new();
+        // BTreeMap so a violation is always attributed to the lowest
+        // offending node, independent of hash order.
+        let mut events: BTreeMap<usize, Vec<(u64, i32, i32)>> = BTreeMap::new();
         for r in &self.records {
             let (dc, dg) = match r.processor {
                 ProcessorKind::Cpu => (r.cores.max(1) as i32, 0),
@@ -967,6 +969,7 @@ impl<'a> Exec<'a> {
         let Some(tid) = chosen else { return };
         // Host-side decision timing, only when someone will consume it.
         let host_t0 = if self.cfg.collect_telemetry {
+            // lint: allow(D2, host overhead probe; host_nanos is excluded from artifact serialization)
             Some(std::time::Instant::now())
         } else {
             None
@@ -1037,7 +1040,9 @@ impl<'a> Exec<'a> {
                 chosen: node,
                 queue_depth,
                 sim_overhead: overhead,
-                host_nanos: host_t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                host_nanos: host_t0.map_or(0, |t| {
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                }),
                 candidates: avail
                     .iter()
                     .map(|a| CandidateScore {
@@ -1752,6 +1757,7 @@ impl<'a> Exec<'a> {
     fn abort_attempt(&mut self, tid: TaskId, reason: &'static str, release_gpu: bool) {
         let now = self.now();
         let i = tid.0 as usize;
+        // lint: allow(R1, caller-contract invariant: every abort site holds a live attempt; not fault-dependent state)
         let run = self.runs[i].take().expect("aborting a live attempt");
         let node = run.node;
         self.free_cores[node] += run.cores_held;
@@ -1761,6 +1767,7 @@ impl<'a> Exec<'a> {
             self.gpu_held_seconds += (now - run.rec.start).as_secs_f64();
             if release_gpu {
                 self.free_gpus[node] += 1;
+                // lint: allow(R1, on_gpu attempts always record their device id at dispatch)
                 self.gpu_stacks[node].push(run.gpu_id.expect("GPU attempt holds a device"));
             }
         }

@@ -164,7 +164,7 @@ pub fn to_chrome_trace(log: &TelemetryLog) -> String {
                     node,
                     tid,
                     us(t0.as_nanos()),
-                    us(t1.as_nanos() - t0.as_nanos()),
+                    us(t1.duration_since(*t0).as_nanos()),
                     task.0
                 );
                 evs.push(s);
@@ -299,7 +299,7 @@ pub fn to_chrome_trace(log: &TelemetryLog) -> String {
                     task.0,
                     master_pid,
                     us(at.as_nanos()),
-                    us(until.as_nanos() - at.as_nanos()),
+                    us(until.duration_since(*at).as_nanos()),
                     attempt
                 );
                 evs.push(s);

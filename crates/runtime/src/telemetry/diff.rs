@@ -200,7 +200,7 @@ impl RunProfile {
                         durations
                             .entry(ty)
                             .or_default()
-                            .record(at.as_nanos() - start.as_nanos());
+                            .record(at.duration_since(*start).as_nanos());
                         node_events
                             .entry(*node)
                             .or_default()
@@ -216,7 +216,7 @@ impl RunProfile {
                 } => {
                     let ty = type_of.get(task).cloned().unwrap_or_default();
                     let t = profile.per_type.entry(ty).or_default();
-                    let dur = t1.as_nanos() - t0.as_nanos();
+                    let dur = t1.duration_since(*t0).as_nanos();
                     use crate::trace::TraceState;
                     match state {
                         TraceState::Deserialize => t.deser_ns += dur,
@@ -236,7 +236,7 @@ impl RunProfile {
                     let ty = type_of.get(task).cloned().unwrap_or_default();
                     let t = profile.per_type.entry(ty).or_default();
                     t.transfer_bytes += bytes;
-                    t.transfer_ns += t1.as_nanos() - t0.as_nanos();
+                    t.transfer_ns += t1.duration_since(*t0).as_nanos();
                 }
                 TelemetryEvent::CacheAccess { hit, .. } => {
                     if *hit {
@@ -507,6 +507,13 @@ impl RunProfile {
     }
 }
 
+/// Signed change `b_ns - a_ns` for u64 nanosecond readings, widened
+/// through i128 so no input pair can overflow, then clamped into i64.
+pub fn signed_delta(a_ns: u64, b_ns: u64) -> i64 {
+    let wide = b_ns as i128 - a_ns as i128;
+    wide.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
 /// One row of the blame table: how one overhead bucket moved between
 /// the two runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -522,7 +529,7 @@ pub struct BucketDelta {
 impl BucketDelta {
     /// Signed change `B - A`, ns.
     pub fn delta_ns(&self) -> i64 {
-        self.b_ns as i64 - self.a_ns as i64
+        signed_delta(self.a_ns, self.b_ns)
     }
 }
 
@@ -550,14 +557,14 @@ pub struct TypeDelta {
 impl TypeDelta {
     /// Signed duration-sum change `B - A`, ns.
     pub fn delta_ns(&self) -> i64 {
-        self.b_sum_ns as i64 - self.a_sum_ns as i64
+        signed_delta(self.a_sum_ns, self.b_sum_ns)
     }
 
     /// The stage with the largest absolute change, if any moved.
     pub fn dominant_stage(&self) -> Option<(&'static str, i64)> {
         self.stages
             .iter()
-            .map(|&(s, a, b)| (s, b as i64 - a as i64))
+            .map(|&(s, a, b)| (s, signed_delta(a, b)))
             .max_by_key(|&(_, d)| d.abs())
             .filter(|&(_, d)| d != 0)
     }
@@ -612,7 +619,7 @@ pub struct PathDelta {
 impl PathDelta {
     /// Signed span change `B - A`, ns.
     pub fn delta_ns(&self) -> i64 {
-        self.b_span_ns as i64 - self.a_span_ns as i64
+        signed_delta(self.a_span_ns, self.b_span_ns)
     }
 }
 
@@ -756,7 +763,7 @@ impl RunDiff {
 
     /// Observed makespan delta `B - A`, ns.
     pub fn makespan_delta_ns(&self) -> i64 {
-        self.b_makespan_ns as i64 - self.a_makespan_ns as i64
+        signed_delta(self.a_makespan_ns, self.b_makespan_ns)
     }
 
     /// Sum of the blame-table deltas, ns.

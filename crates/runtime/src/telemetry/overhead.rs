@@ -23,6 +23,8 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use gpuflow_sim::SimDuration;
+
 use crate::trace::TraceState;
 
 use super::event::TelemetryEvent;
@@ -146,7 +148,7 @@ impl OverheadReport {
                     master_sim_total += d.sim_overhead.as_secs_f64();
                     master_host_nanos += d.host_nanos;
                     deltas.push((d.at.as_nanos(), 2, 1));
-                    deltas.push((d.at.as_nanos() + d.sim_overhead.as_nanos(), 2, -1));
+                    deltas.push(((d.at + d.sim_overhead).as_nanos(), 2, -1));
                 }
                 TelemetryEvent::TaskRetry { at, until, .. } => {
                     retries += 1;
@@ -157,7 +159,7 @@ impl OverheadReport {
             }
         }
         deltas.sort_unstable();
-        let makespan_ns = (makespan * 1e9).round() as u64;
+        let makespan_ns = SimDuration::from_secs_f64(makespan).as_nanos();
         let mut depth = [0i64; 4];
         let mut acc_ns = [0u64; 4]; // compute, data, master, recovery
         let mut idle_ns = 0u64;
@@ -182,7 +184,7 @@ impl OverheadReport {
             depth[cat] += d as i64;
         }
         if makespan_ns > prev {
-            idle_ns += makespan_ns - prev;
+            idle_ns += makespan_ns.saturating_sub(prev);
         }
         OverheadReport {
             makespan,

@@ -186,6 +186,7 @@ fn critical_path_walk_back(
     workflow: &Workflow,
     end_of: &HashMap<TaskId, SimTime>,
 ) -> Vec<CriticalHop> {
+    // lint: allow(D1, max key tie-breaks on the task id so the selection is order-total)
     let Some((&last, &last_end)) = end_of.iter().max_by_key(|(t, at)| (**at, **t)) else {
         return Vec::new();
     };

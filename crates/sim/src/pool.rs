@@ -131,6 +131,7 @@ impl<T> FcfsPool<T> {
     /// E.g. 2 units busy for 3 s yields 6.0.
     pub fn busy_unit_seconds(&self, now: SimTime) -> f64 {
         let dt = now.duration_since(self.last_change).as_nanos() as u128;
+        // lint: allow(T1, u128 accumulator with 64 bits of headroom over any simulated horizon)
         (self.busy_integral_ns + dt * self.in_use as u128) as f64 / 1e9
     }
 

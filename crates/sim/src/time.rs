@@ -66,6 +66,7 @@ impl SimDuration {
         if !secs.is_finite() || secs <= 0.0 {
             return SimDuration(0);
         }
+        // lint: allow(T1, this is the blessed conversion: inputs are guarded above and the f64->u64 cast saturates)
         SimDuration((secs * 1e9).round() as u64)
     }
 

@@ -203,7 +203,7 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
             format!(
                 "{{\"workload\":\"{}\",\"makespan_ns\":{},\"telemetry\":{}}}\n",
                 workload.label().replace('"', "\\\""),
-                (report.makespan() * 1e9).round() as u64,
+                gpuflow::sim::SimDuration::from_secs_f64(report.makespan()).as_nanos(),
                 log.summary_json()
             )
         }
@@ -243,6 +243,36 @@ fn cmd_diff(a_path: &str, b_path: &str, args: &Args) -> Result<(), String> {
         diff.render()
     };
     emit(args, "diff", &output)
+}
+
+/// `gpuflow lint`: the workspace determinism & integer-time static
+/// analysis pass (rule catalog in docs/static_analysis.md). Exits
+/// nonzero when unsuppressed findings remain.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            gpuflow_lint::workspace::find_root(&cwd)
+                .ok_or_else(|| String::from("no enclosing cargo workspace; pass --root DIR"))?
+        }
+    };
+    let report =
+        gpuflow_lint::run(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let output = if args.flag("json") {
+        report.to_json()
+    } else {
+        report.render()
+    };
+    emit(args, "lint", &output)?;
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} unsuppressed lint finding(s); see docs/static_analysis.md for the rule catalog",
+            report.findings.len()
+        ))
+    }
 }
 
 /// Simulation-backed counterfactuals for the doctor: rerun the workload
@@ -402,6 +432,7 @@ fn help() {
          \u{20} gpuflow run    --workload <w> --rows N --cols N --grid G [options]\n\
          \u{20} gpuflow obs    <view> --workload <w> --rows N --cols N --grid G [options] [--out FILE]\n\
          \u{20} gpuflow diff   A.profile B.profile [--json] [--out FILE]\n\
+         \u{20} gpuflow lint   [--root DIR] [--json] [--out FILE]   determinism & integer-time lints\n\
          \u{20} gpuflow doctor --workload <w> --rows N --cols N --grid G [options] [--json]\n\
          \u{20} gpuflow doctor --profile FILE [--json]   (findings only, no what-ifs)\n\
          \u{20} gpuflow advise --workload <w> --rows N --cols N\n\
@@ -458,6 +489,7 @@ fn main() -> ExitCode {
                 "diff needs two profile files: gpuflow diff A.profile B.profile [--json] [--out FILE]",
             )),
         },
+        "lint" => Args::parse_with(rest, &["json"]).and_then(|a| cmd_lint(&a)),
         "doctor" => Args::parse_with(rest, &["json"]).and_then(|a| cmd_doctor(&a)),
         "advise" => Args::parse(rest).and_then(|a| cmd_advise(&a)),
         "dag" => Args::parse(rest).and_then(|a| cmd_dag(&a)),
@@ -467,7 +499,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (run, obs, diff, doctor, advise, dag, chaos, help)"
+            "unknown command '{other}' (run, obs, diff, lint, doctor, advise, dag, chaos, help)"
         )),
     };
     match result {

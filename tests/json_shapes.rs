@@ -1,0 +1,97 @@
+//! The CLI's machine-readable outputs are a contract: `gpuflow obs
+//! summary --json` and `gpuflow diff --json` are validated here against
+//! checked-in example-shaped schemas (`tests/schemas/*.json`) using the
+//! lint crate's dependency-free JSON parser. A key added, removed, or
+//! retyped in either emitter fails this suite before it breaks a
+//! downstream consumer.
+
+use std::path::Path;
+use std::process::Command;
+
+use gpuflow_lint::json;
+
+fn schema(name: &str) -> json::Value {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/schemas")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    json::parse(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"))
+}
+
+fn gpuflow(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_gpuflow"))
+        .args(args)
+        .output()
+        .expect("run gpuflow binary");
+    assert!(
+        out.status.success(),
+        "gpuflow {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+const RUN: [&str; 8] = [
+    "--workload",
+    "matmul",
+    "--rows",
+    "2000",
+    "--cols",
+    "2000",
+    "--grid",
+    "2",
+];
+
+#[test]
+fn obs_summary_json_matches_schema() {
+    let mut args = vec!["obs", "summary"];
+    args.extend(RUN);
+    args.push("--json");
+    let out = gpuflow(&args);
+    let value = json::parse(&out).expect("obs summary --json output parses");
+    json::check_shape(&schema("obs_summary.json"), &value)
+        .unwrap_or_else(|e| panic!("obs summary --json shape drifted: {e}\noutput: {out}"));
+}
+
+#[test]
+fn diff_json_matches_schema() {
+    let dir = std::env::temp_dir().join(format!("gpuflow_json_shapes_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let a = dir.join("a.profile");
+    let b = dir.join("b.profile");
+    for (path, grid) in [(&a, "2"), (&b, "4")] {
+        let path = path.to_str().unwrap();
+        gpuflow(&[
+            "obs",
+            "profile",
+            "--workload",
+            "matmul",
+            "--rows",
+            "2000",
+            "--cols",
+            "2000",
+            "--grid",
+            grid,
+            "--out",
+            path,
+        ]);
+    }
+    let out = gpuflow(&["diff", a.to_str().unwrap(), b.to_str().unwrap(), "--json"]);
+    std::fs::remove_dir_all(&dir).ok();
+    let value = json::parse(&out).expect("diff --json output parses");
+    json::check_shape(&schema("diff.json"), &value)
+        .unwrap_or_else(|e| panic!("diff --json shape drifted: {e}\noutput: {out}"));
+    // The grid change must surface in factor_changes, proving the diff
+    // actually compared two distinct runs.
+    let factors = value
+        .get("factor_changes")
+        .and_then(|v| v.as_array())
+        .expect("factor_changes array");
+    assert!(
+        factors
+            .iter()
+            .any(|f| { f.get("factor").and_then(|v| v.as_str()) == Some("grid") }),
+        "grid change missing from factor_changes: {out}"
+    );
+}
