@@ -21,6 +21,13 @@
 //! repro lint                 # workspace determinism & integer-time
 //!                            # lints (docs/static_analysis.md);
 //!                            # exits 1 on unsuppressed findings
+//! repro perf                 # master-overhead stress suite (host ns
+//!                            # per simulated task, 100k-task DAGs)
+//! repro perf --full          # million-task DAGs
+//! repro perf --tasks N       # custom DAG size
+//! repro perf --check         # also compare against the committed
+//!                            # ceilings (artifacts/baselines/
+//!                            # perf_ns_per_task.txt); exits 1 on breach
 //! ```
 //!
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
@@ -35,7 +42,7 @@ use std::time::Instant;
 
 use gpuflow_experiments::{
     ablation, factors, fault_sensitivity, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9, gate,
-    generalizability, memory, obs, prediction, sensitivity, Context,
+    generalizability, memory, obs, prediction, sensitivity, stress, Context,
 };
 
 /// Runs the perf-regression gate (`repro gate [--update] [--baselines
@@ -82,6 +89,36 @@ fn run_gate(ctx: &Context, args: &[String]) {
     }
     if !report.passed() {
         std::process::exit(1);
+    }
+}
+
+/// Runs the master-overhead stress suite (`repro perf [--full]
+/// [--tasks N] [--check] [--thresholds FILE]`): million-task DAGs
+/// measured in host ns per simulated task. With `--check`, compares
+/// against the committed ceilings and exits nonzero on a breach.
+fn run_perf(args: &[String]) {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let full = args.iter().any(|a| a == "--full");
+    let tasks = value_of("--tasks")
+        .map(|v| v.parse::<usize>().expect("--tasks takes a number"))
+        .unwrap_or(if full { 1_000_000 } else { 100_000 });
+    let results = stress::run_suite(tasks);
+    println!("{}", stress::render(&results));
+    if args.iter().any(|a| a == "--check") {
+        let path = value_of("--thresholds")
+            .unwrap_or_else(|| "artifacts/baselines/perf_ns_per_task.txt".to_string());
+        match stress::check(&results, std::path::Path::new(&path)) {
+            Ok(verdicts) => println!("perf check: PASS\n{verdicts}"),
+            Err(verdicts) => {
+                eprintln!("perf check: FAIL\n{verdicts}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -143,6 +180,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "lint") {
         run_lint();
+        return;
+    }
+    if args.iter().any(|a| a == "perf") {
+        run_perf(&args);
         return;
     }
     let mut skip_values: Vec<usize> = Vec::new();

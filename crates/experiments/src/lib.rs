@@ -47,6 +47,7 @@ pub mod memory;
 pub mod obs;
 pub mod prediction;
 pub mod sensitivity;
+pub mod stress;
 mod table;
 
 pub use measure::{Context, Outcome};

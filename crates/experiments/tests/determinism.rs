@@ -18,7 +18,7 @@
 
 use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
 use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
-use gpuflow_experiments::{fig11, measure::par_map, obs, Context};
+use gpuflow_experiments::{fig11, measure::par_map, obs, stress, Context};
 use gpuflow_runtime::{FaultPlan, RunConfig, SchedulingPolicy, Workflow};
 
 fn canonical_matmul() -> Workflow {
@@ -66,6 +66,33 @@ fn golden_makespans_are_pinned_for_all_policies() {
         assert!(
             (got - expected).abs() < 1e-9,
             "{policy:?}: makespan {got:.9} drifted from pinned {expected:.9}"
+        );
+    }
+}
+
+/// Pinned makespans for the stress-DAG shapes (`repro perf`), which
+/// drive the arena executor through paths the canonical workloads
+/// don't: a 5000-wide ready set, halo-dependency release, and a deep
+/// reduction tree. Any change to the calendar queue, the CSR release
+/// walk, the dispatch pool, or the LRU that alters one placement or
+/// tie-break moves one of these values.
+#[test]
+fn golden_makespans_are_pinned_for_stress_shapes() {
+    let cfg = stress::stress_config();
+    let cases = [
+        (stress::Shape::Wide, 4.003555278),
+        (stress::Shape::Stencil, 4.009550953),
+        (stress::Shape::Tree, 4.042105718),
+    ];
+    for (shape, expected) in cases {
+        let wf = stress::build(shape, 5000);
+        let got = gpuflow_runtime::run(&wf, &cfg)
+            .expect("stress shapes fit")
+            .makespan();
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "{}: makespan {got:.9} drifted from pinned {expected:.9}",
+            shape.label()
         );
     }
 }
@@ -122,8 +149,10 @@ fn telemetry_is_a_pure_observer() {
 #[test]
 fn telemetry_jsonl_is_identical_across_thread_counts() {
     let single = obs::run(&Context::default().with_threads(1)).jsonl;
-    let multi = obs::run(&Context::default().with_threads(4)).jsonl;
-    assert_eq!(single, multi);
+    for threads in [4usize, 8] {
+        let multi = obs::run(&Context::default().with_threads(threads)).jsonl;
+        assert_eq!(single, multi, "--threads {threads}");
+    }
     let concurrent = par_map(4, &[(); 4], |_, _| obs::run(&Context::default()).jsonl);
     assert!(concurrent.iter().all(|j| *j == single));
 }

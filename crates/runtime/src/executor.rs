@@ -17,8 +17,10 @@
 //! object cache lets well-placed tasks skip deserialization, which is the
 //! mechanism coupling scheduling policy and storage architecture.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::fmt;
+
+use fxhash::{FxHashMap, FxHashSet};
 
 use gpuflow_chaos::{mix64, FaultPlan, RecoveryPolicy};
 use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
@@ -335,7 +337,7 @@ impl RunReport {
             ));
         }
         let mut seen = vec![false; workflow.tasks().len()];
-        let by_task: HashMap<TaskId, &TaskRecord> =
+        let by_task: FxHashMap<TaskId, &TaskRecord> =
             self.records.iter().map(|r| (r.task, r)).collect();
         for r in &self.records {
             let idx = r.task.0 as usize;
@@ -470,6 +472,14 @@ pub fn run(workflow: &Workflow, config: &RunConfig) -> Result<RunReport, RunErro
 // Internal machinery
 // ---------------------------------------------------------------------
 
+/// Sentinel in the dense `home` table: the block has no disk home (yet).
+const NO_HOME: usize = usize::MAX;
+
+/// Recycled `TaskRun` buffers — `(inputs, outputs, core_ids)` — so the
+/// steady-state dispatch path reuses capacity instead of allocating
+/// three fresh vectors per task.
+type RunBuffers = (Vec<(DataVersion, u64)>, Vec<(DataVersion, u64)>, Vec<u16>);
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum LinkKey {
     Pcie(usize),
@@ -555,7 +565,7 @@ struct Exec<'a> {
     pcie: Vec<FairShareLink>,
     disks: Vec<FairShareLink>,
     shared: GroupedLink,
-    flow_task: HashMap<(LinkKey, FlowId), TaskId>,
+    flow_task: FxHashMap<(LinkKey, FlowId), TaskId>,
     // Scheduling.
     /// HEFT-style upward rank per task (estimated seconds on the
     /// critical path to the sink), used by the CriticalPath policy.
@@ -574,10 +584,14 @@ struct Exec<'a> {
     // Task state.
     runs: Vec<Option<TaskRun>>,
     records: Vec<TaskRecord>,
+    /// Freed [`TaskRun`] buffers, recycled by the next dispatch.
+    run_pool: Vec<RunBuffers>,
     done: usize,
     // Data placement & caching.
     caches: Vec<BlockCache>,
-    home: HashMap<DataId, usize>,
+    /// Home node per `DataId` (dense, indexed by id), `NO_HOME` where a
+    /// block has no disk home yet. Only meaningful under local disks.
+    home: Vec<usize>,
     jitter: Jitter,
     /// The telemetry bus. Stage events double as the trace source, so
     /// the bus runs whenever either collection is on; `finish` then
@@ -609,14 +623,14 @@ struct Exec<'a> {
     gpus_dead: Vec<usize>,
     /// Home node of every *written* (non-durable) version; shared-disk
     /// writes are durable and never appear here.
-    version_home: HashMap<DataVersion, usize>,
+    version_home: FxHashMap<DataVersion, usize>,
     /// Producing task of every written version.
-    producer: HashMap<DataVersion, TaskId>,
+    producer: FxHashMap<DataVersion, TaskId>,
     /// Versions written but never read by any task, sorted — the
     /// fingerprint domain.
     terminal: Vec<DataVersion>,
     /// Lineage hash of every currently available produced version.
-    data_hash: HashMap<DataVersion, u64>,
+    data_hash: FxHashMap<DataVersion, u64>,
     stats: RecoveryStats,
     /// Fatal error raised deep inside the stage machinery; the run loop
     /// surfaces it after the current event.
@@ -628,13 +642,13 @@ impl<'a> Exec<'a> {
         let c = &cfg.cluster;
         let nodes = c.nodes;
         let cache_bytes = (c.node.ram_bytes as f64 * cfg.cache_fraction) as u64;
-        let mut home = HashMap::new();
+        let mut home = vec![NO_HOME; wf.registry().len()];
         // Initial dataset blocks round-robin over node disks (local-disk
         // architecture); with shared disk the home node is irrelevant.
         let mut rr = 0usize;
         for obj in wf.registry().iter() {
             if obj.initial {
-                home.insert(obj.id, rr % nodes);
+                home[obj.id.0 as usize] = rr % nodes;
                 rr += 1;
             }
         }
@@ -655,8 +669,8 @@ impl<'a> Exec<'a> {
         }
         // Lineage bookkeeping: who writes each version, and which
         // versions are terminal (written, never consumed).
-        let mut producer: HashMap<DataVersion, TaskId> = HashMap::new();
-        let mut consumed: HashSet<DataVersion> = HashSet::new();
+        let mut producer: FxHashMap<DataVersion, TaskId> = FxHashMap::default();
+        let mut consumed: FxHashSet<DataVersion> = FxHashSet::default();
         for t in wf.tasks() {
             for (id, version) in t.reads() {
                 consumed.insert(DataVersion { id, version });
@@ -699,10 +713,15 @@ impl<'a> Exec<'a> {
                 .collect();
         }
         let n_tasks = wf.tasks().len();
+        // The event population is bounded by resources, not tasks: one
+        // delay per running attempt (≤ cores), one tick per link, the
+        // master, and the armed fault timeline.
+        let pending_bound =
+            c.total_cpu_cores() + c.total_gpus() + 2 * nodes + fault_timeline.len() + 8;
         Exec {
             wf,
             cfg,
-            engine: Engine::new(),
+            engine: Engine::with_capacity(pending_bound),
             free_cores: (0..nodes).map(|n| c.cores_of(n)).collect(),
             core_stacks: (0..nodes)
                 .map(|n| (0..c.cores_of(n) as u16).rev().collect())
@@ -721,7 +740,7 @@ impl<'a> Exec<'a> {
                 .map(|_| FairShareLink::new(c.node.local_disk.bandwidth_bps))
                 .collect(),
             shared: GroupedLink::new(c.shared_disk.bandwidth_bps, nodes, c.network.nic_bps),
-            flow_task: HashMap::new(),
+            flow_task: FxHashMap::default(),
             upward_rank,
             rr_cursor: 0,
             master_busy: false,
@@ -755,10 +774,11 @@ impl<'a> Exec<'a> {
             recorded: vec![false; n_tasks],
             node_up: vec![true; nodes],
             gpus_dead: vec![0; nodes],
-            version_home: HashMap::new(),
+            version_home: FxHashMap::default(),
             producer,
             terminal,
-            data_hash: HashMap::new(),
+            data_hash: FxHashMap::default(),
+            run_pool: Vec::new(),
             stats: RecoveryStats::default(),
             fatal: None,
         }
@@ -877,6 +897,14 @@ impl<'a> Exec<'a> {
         b
     }
 
+    /// Disk home of `data`, if it has one (dense-table lookup).
+    fn home_of(&self, data: DataId) -> Option<usize> {
+        match self.home[data.0 as usize] {
+            NO_HOME => None,
+            h => Some(h),
+        }
+    }
+
     /// Lineage hash of a version nobody produces (initial datasets, and
     /// their durable re-fetched copies).
     fn source_hash(v: DataVersion) -> u64 {
@@ -959,13 +987,19 @@ impl<'a> Exec<'a> {
                 .map(|(&c, &g)| c.min(g))
                 .sum()
         };
-        let chosen = self.ready.iter().find(|&tid| {
+        // Find-and-remove in one queue walk. `queue_depth` is sampled
+        // first so telemetry still counts the chosen task (the seed
+        // removed it only after scoring).
+        let queue_depth = self.ready.len();
+        let mut queue = std::mem::replace(&mut self.ready, ReadyQueue::new(self.cfg.policy));
+        let chosen = queue.take_first(|tid| {
             if self.is_gpu_task(tid) {
                 total_free_gpu_slots > 0
             } else {
                 self.cores_needed(tid) <= max_free_cores
             }
         });
+        self.ready = queue;
         let Some(tid) = chosen else { return };
         // Host-side decision timing, only when someone will consume it.
         let host_t0 = if self.cfg.collect_telemetry {
@@ -1022,9 +1056,7 @@ impl<'a> Exec<'a> {
         }
         let placed = place(self.cfg.policy, &avail, self.rr_cursor);
         let node = placed.expect("a ready task passing the slot pre-checks is placeable");
-        let queue_depth = self.ready.len();
         self.rr_cursor = self.rr_cursor.wrapping_add(1);
-        self.ready.remove(self.upward_rank[tid.0 as usize], tid);
         self.master_busy = true;
         self.pending_assign = Some((tid, node));
         let overhead = decision_overhead(
@@ -1166,14 +1198,20 @@ impl<'a> Exec<'a> {
         }
         self.attempts[tid.0 as usize] += 1;
         let reg = self.wf.registry();
-        let inputs: Vec<(DataVersion, u64)> = spec
-            .reads()
-            .map(|(data, version)| (DataVersion { id: data, version }, reg.object(data).bytes))
-            .collect();
-        let outputs: Vec<(DataVersion, u64)> = spec
-            .writes()
-            .map(|(data, version)| (DataVersion { id: data, version }, reg.object(data).bytes))
-            .collect();
+        // Reuse buffers from a finished attempt; steady-state dispatch
+        // then allocates nothing.
+        let (mut inputs, mut outputs, mut core_ids) = self.run_pool.pop().unwrap_or_default();
+        inputs.clear();
+        outputs.clear();
+        core_ids.clear();
+        inputs
+            .extend(spec.reads().map(|(data, version)| {
+                (DataVersion { id: data, version }, reg.object(data).bytes)
+            }));
+        outputs
+            .extend(spec.writes().map(|(data, version)| {
+                (DataVersion { id: data, version }, reg.object(data).bytes)
+            }));
         let in_bytes: u64 = inputs.iter().map(|(_, b)| b).sum();
         let out_bytes: u64 = outputs.iter().map(|(_, b)| b).sum();
 
@@ -1206,13 +1244,11 @@ impl<'a> Exec<'a> {
             "dispatch without free cores"
         );
         self.free_cores[node] -= cores;
-        let core_ids: Vec<u16> = (0..cores)
-            .map(|_| {
-                self.core_stacks[node]
-                    .pop()
-                    .expect("core identity available")
-            })
-            .collect();
+        core_ids.extend((0..cores).map(|_| {
+            self.core_stacks[node]
+                .pop()
+                .expect("core identity available")
+        }));
         let gpu_id = if on_gpu {
             assert!(self.free_gpus[node] > 0, "dispatch without a free GPU");
             self.free_gpus[node] -= 1;
@@ -1237,10 +1273,8 @@ impl<'a> Exec<'a> {
                 .unwrap_or_else(|| Self::source_hash(*v));
             in_hash = mix64(in_hash ^ hv);
         }
-        let mut inputs_rev = inputs;
-        inputs_rev.reverse();
-        let mut outputs_rev = outputs;
-        outputs_rev.reverse();
+        inputs.reverse();
+        outputs.reverse();
         self.runs[tid.0 as usize] = Some(TaskRun {
             node,
             stage: Stage::SerialFrac, // placeholder; set by enter_inputs
@@ -1248,8 +1282,8 @@ impl<'a> Exec<'a> {
             cores_held: cores,
             core_ids,
             gpu_id,
-            inputs: inputs_rev,
-            outputs: outputs_rev,
+            inputs,
+            outputs,
             in_bytes,
             out_bytes,
             host_footprint,
@@ -1319,7 +1353,7 @@ impl<'a> Exec<'a> {
         match self.cfg.storage {
             StorageArchitecture::SharedDisk => c.network.latency + c.shared_disk.latency,
             StorageArchitecture::LocalDisk => {
-                let home = self.home.get(&data).copied().unwrap_or(node);
+                let home = self.home_of(data).unwrap_or(node);
                 if home == node {
                     c.node.local_disk.latency
                 } else {
@@ -1338,7 +1372,7 @@ impl<'a> Exec<'a> {
         let key = match self.cfg.storage {
             StorageArchitecture::SharedDisk => LinkKey::Shared,
             StorageArchitecture::LocalDisk => {
-                let home = self.home.get(&data).copied().unwrap_or(node);
+                let home = self.home_of(data).unwrap_or(node);
                 LinkKey::Disk(home)
             }
         };
@@ -1649,7 +1683,7 @@ impl<'a> Exec<'a> {
                 // with local disks, now lives on this node's disk.
                 self.cache_insert(node, key, bytes, now);
                 if self.cfg.storage == StorageArchitecture::LocalDisk {
-                    self.home.insert(key.id, node);
+                    self.home[key.id.0 as usize] = node;
                     if self.faults.is_some() {
                         // Written versions on a local disk die with the
                         // node; shared-disk writes are durable.
@@ -1709,6 +1743,7 @@ impl<'a> Exec<'a> {
         }
         debug_assert!(!self.completed[i], "double completion of {tid}");
         self.completed[i] = true;
+        self.run_pool.push((run.inputs, run.outputs, run.core_ids));
         if !self.recorded[i] {
             // Only the first successful attempt is recorded; lineage
             // re-executions keep the books at one record per task.
@@ -1784,6 +1819,7 @@ impl<'a> Exec<'a> {
             });
             self.push_gauge(node, now);
         }
+        self.run_pool.push((run.inputs, run.outputs, run.core_ids));
     }
 
     /// Kills the current attempt with a sampled transient failure and
@@ -1928,20 +1964,22 @@ impl<'a> Exec<'a> {
                     cache.invalidate(v);
                 }
             }
-            // Durable initial blocks move to surviving disks.
-            let mut ids: Vec<DataId> = self
+            // Durable initial blocks move to surviving disks. The dense
+            // table is already in ascending-id order, matching the old
+            // map's collect-and-sort.
+            let ids: Vec<usize> = self
                 .home
                 .iter()
+                .enumerate()
                 .filter(|&(_, &h)| h == node)
-                .map(|(&id, _)| id)
+                .map(|(id, _)| id)
                 .collect();
-            ids.sort_by_key(|d| d.0);
             let alive: Vec<usize> = (0..self.cfg.cluster.nodes)
                 .filter(|&n| self.node_up[n])
                 .collect();
             if !alive.is_empty() {
                 for (k, id) in ids.into_iter().enumerate() {
-                    self.home.insert(id, alive[k % alive.len()]);
+                    self.home[id] = alive[k % alive.len()];
                 }
             }
         }

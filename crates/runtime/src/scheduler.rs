@@ -131,6 +131,16 @@ impl ReadyQueue {
         self.set.iter().map(|&(_, task)| task)
     }
 
+    /// Removes and returns the first task (in dispatch order) matching
+    /// `pred` — the find and the removal fused into one walk, instead of
+    /// the find-then-keyed-remove pair that re-derived the ordering key
+    /// and searched the tree a second time.
+    pub fn take_first(&mut self, mut pred: impl FnMut(TaskId) -> bool) -> Option<TaskId> {
+        let key = self.set.iter().find(|&&(_, task)| pred(task)).copied()?;
+        self.set.remove(&key);
+        Some(key.1)
+    }
+
     /// Number of ready tasks.
     pub fn len(&self) -> usize {
         self.set.len()
@@ -361,6 +371,19 @@ mod tests {
             let order: Vec<TaskId> = q.iter().collect();
             assert_eq!(order, vec![TaskId(1), TaskId(5), TaskId(7)], "{policy:?}");
         }
+    }
+
+    #[test]
+    fn take_first_removes_the_first_match_in_dispatch_order() {
+        let mut q = ReadyQueue::new(SchedulingPolicy::GenerationOrder);
+        q.insert(0.0, TaskId(2));
+        q.insert(0.0, TaskId(5));
+        q.insert(0.0, TaskId(8));
+        assert_eq!(q.take_first(|t| t.0 > 3), Some(TaskId(5)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.take_first(|_| true), Some(TaskId(2)));
+        assert_eq!(q.take_first(|t| t.0 == 1), None);
+        assert_eq!(q.len(), 1, "no match leaves the queue untouched");
     }
 
     #[test]

@@ -14,16 +14,30 @@ use crate::data::{DataId, DataRegistry, Direction};
 use crate::task::{CostProfile, Param, TaskId, TaskSpec, TaskType};
 
 /// A fully built workflow: tasks, dependencies, registry, and DAG shape.
+///
+/// Dependency edges are stored in CSR (compressed sparse row) form — one
+/// flat edge array per direction plus an offsets array — so a million-task
+/// DAG costs two allocations per direction instead of a `Vec` per task,
+/// and `successors`/`predecessors` are contiguous slices the executor can
+/// walk without pointer chasing.
 #[derive(Debug, Clone)]
 pub struct Workflow {
     tasks: Vec<TaskSpec>,
     registry: DataRegistry,
-    /// Successor lists, indexed by task.
-    succs: Vec<Vec<TaskId>>,
-    /// Predecessor lists, indexed by task.
-    preds: Vec<Vec<TaskId>>,
+    /// CSR offsets into `succ_edges`, length `tasks + 1`.
+    succ_off: Vec<u32>,
+    /// Successor edge array, grouped by source task.
+    succ_edges: Vec<TaskId>,
+    /// CSR offsets into `pred_edges`, length `tasks + 1`.
+    pred_off: Vec<u32>,
+    /// Predecessor edge array, grouped by target task.
+    pred_edges: Vec<TaskId>,
     /// Longest-path level of each task (0-based).
     levels: Vec<u32>,
+    /// Interned task-type table, in first-submission order.
+    types: Vec<TaskType>,
+    /// Index into `types` per task.
+    type_ids: Vec<u32>,
 }
 
 /// Shape statistics of a DAG (Table 1 parameters).
@@ -59,12 +73,25 @@ impl Workflow {
 
     /// Direct successors of `id`.
     pub fn successors(&self, id: TaskId) -> &[TaskId] {
-        &self.succs[id.0 as usize]
+        let i = id.0 as usize;
+        &self.succ_edges[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Direct predecessors of `id`.
     pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
-        &self.preds[id.0 as usize]
+        let i = id.0 as usize;
+        &self.pred_edges[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+    }
+
+    /// The interned task-type table, in first-submission order.
+    pub fn task_types(&self) -> &[TaskType] {
+        &self.types
+    }
+
+    /// Index of `id`'s task type in [`Workflow::task_types`]; lets hot
+    /// paths compare and group types by `u32` instead of by string.
+    pub fn type_id(&self, id: TaskId) -> u32 {
+        self.type_ids[id.0 as usize]
     }
 
     /// Longest-path level of `id` (0 for source tasks).
@@ -104,8 +131,8 @@ impl Workflow {
                 t.id.0, t.task_type, t.id.0
             );
         }
-        for (from_idx, succs) in self.succs.iter().enumerate() {
-            for to in succs {
+        for from_idx in 0..self.tasks.len() {
+            for to in self.successors(TaskId(from_idx as u32)) {
                 let _ = writeln!(out, "  t{from_idx} -> t{};", to.0);
             }
         }
@@ -122,7 +149,8 @@ impl Workflow {
         for (i, t) in self.tasks.iter().enumerate() {
             let est =
                 cpu.time(&t.cost.serial).as_secs_f64() + cpu.time(&t.cost.parallel).as_secs_f64();
-            let pred_max = self.preds[i]
+            let pred_max = self
+                .predecessors(TaskId(i as u32))
                 .iter()
                 .map(|p| longest[p.0 as usize])
                 .fold(0.0, f64::max);
@@ -135,15 +163,16 @@ impl Workflow {
     /// forward in generation order (acyclicity by construction), levels
     /// are consistent with predecessors.
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (i, succs) in self.succs.iter().enumerate() {
-            for s in succs {
+        for i in 0..self.tasks.len() {
+            for s in self.successors(TaskId(i as u32)) {
                 if s.0 as usize <= i {
                     return Err(format!("edge t{} -> t{} is not forward", i, s.0));
                 }
             }
         }
-        for (i, preds) in self.preds.iter().enumerate() {
-            let expected = preds
+        for i in 0..self.tasks.len() {
+            let expected = self
+                .predecessors(TaskId(i as u32))
                 .iter()
                 .map(|p| self.levels[p.0 as usize] + 1)
                 .max()
@@ -186,6 +215,8 @@ pub struct WorkflowBuilder {
     /// Interned task types; workflows have a handful, so a linear scan
     /// beats a hash map.
     type_pool: Vec<TaskType>,
+    /// Index into `type_pool` per task.
+    type_ids: Vec<u32>,
 }
 
 impl WorkflowBuilder {
@@ -216,7 +247,8 @@ impl WorkflowBuilder {
         accesses: &[(DataId, Direction)],
         cpu_only: bool,
     ) -> Result<TaskId, String> {
-        let task_type = self.intern_type(task_type.as_ref());
+        let (task_type, type_id) = self.intern_type(task_type.as_ref());
+        self.type_ids.push(type_id);
         let id = TaskId(self.tasks.len() as u32);
         let mut deps: BTreeSet<TaskId> = BTreeSet::new();
         let mut params = Vec::with_capacity(accesses.len());
@@ -251,15 +283,15 @@ impl WorkflowBuilder {
         Ok(id)
     }
 
-    /// Returns the interned [`TaskType`] for `name`, creating it on
-    /// first sight.
-    fn intern_type(&mut self, name: &str) -> TaskType {
-        if let Some(t) = self.type_pool.iter().find(|t| t.as_str() == name) {
-            return t.clone();
+    /// Returns the interned [`TaskType`] for `name` and its table index,
+    /// creating it on first sight.
+    fn intern_type(&mut self, name: &str) -> (TaskType, u32) {
+        if let Some(i) = self.type_pool.iter().position(|t| t.as_str() == name) {
+            return (self.type_pool[i].clone(), i as u32);
         }
         let t = TaskType::from(name);
         self.type_pool.push(t.clone());
-        t
+        (t, self.type_pool.len() as u32 - 1)
     }
 
     /// Inserts an explicit synchronisation barrier, as PyCOMPSs
@@ -292,7 +324,8 @@ impl WorkflowBuilder {
         )
     }
 
-    /// Finalises the workflow, computing DAG levels.
+    /// Finalises the workflow, computing DAG levels and packing the
+    /// dependency lists into CSR form.
     pub fn build(self) -> Workflow {
         let mut levels = vec![0u32; self.tasks.len()];
         // Tasks are in topological order by construction (edges forward).
@@ -303,14 +336,34 @@ impl WorkflowBuilder {
                 .max()
                 .unwrap_or(0);
         }
+        let (succ_off, succ_edges) = pack_csr(&self.succs);
+        let (pred_off, pred_edges) = pack_csr(&self.preds);
         Workflow {
             tasks: self.tasks,
             registry: self.registry,
-            succs: self.succs,
-            preds: self.preds,
+            succ_off,
+            succ_edges,
+            pred_off,
+            pred_edges,
             levels,
+            types: self.type_pool,
+            type_ids: self.type_ids,
         }
     }
+}
+
+/// Flattens per-task adjacency lists into a CSR offsets/edges pair,
+/// preserving per-task edge order.
+fn pack_csr(lists: &[Vec<TaskId>]) -> (Vec<u32>, Vec<TaskId>) {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    let mut edges = Vec::with_capacity(total);
+    off.push(0u32);
+    for l in lists {
+        edges.extend_from_slice(l);
+        off.push(edges.len() as u32);
+    }
+    (off, edges)
 }
 
 #[cfg(test)]

@@ -6,9 +6,16 @@
 //! dispatch callbacks. The caller (e.g. the workflow executor) drives the
 //! loop with [`Engine::pop`] and interprets its own event payload type,
 //! which keeps borrow-checker gymnastics out of simulation models.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! Internally the queue is a *calendar queue* (Brown 1988): a circular
+//! array of time-bucketed lists whose bucket width adapts to the observed
+//! event density. Enqueue and dequeue are O(1) amortized instead of the
+//! O(log n) of a binary heap, and — unlike a heap — a pop touches only the
+//! one bucket the cursor points at, so the hot loop stays in cache. The
+//! observable contract is identical to the previous `BinaryHeap`
+//! implementation: strict (time, seq) pop order with monotonically
+//! increasing sequence numbers (see the equivalence suite in
+//! `tests/properties.rs`).
 
 use crate::time::{SimDuration, SimTime};
 
@@ -23,26 +30,14 @@ pub struct Scheduled<E> {
     pub payload: E,
 }
 
-/// Min-heap wrapper: earliest (time, seq) pops first.
-struct HeapEntry<E>(Scheduled<E>);
-
-impl<E> PartialEq for HeapEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.time == other.0.time && self.0.seq == other.0.seq
-    }
-}
-impl<E> Eq for HeapEntry<E> {}
-impl<E> PartialOrd for HeapEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for HeapEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the smallest key first.
-        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
-    }
-}
+/// Smallest number of buckets the calendar ever uses.
+const MIN_BUCKETS: usize = 8;
+/// Bucket-width exponent before any events have been observed (2^20 ns ≈ 1 ms).
+const DEFAULT_SHIFT: u32 = 20;
+/// Widest bucket the width estimator may pick (2^40 ns ≈ 18 min).
+const MAX_SHIFT: u32 = 40;
+/// How many head events the resize pass samples to estimate density.
+const WIDTH_SAMPLE: usize = 1024;
 
 /// A deterministic discrete-event queue.
 ///
@@ -56,7 +51,20 @@ impl<E> Ord for HeapEntry<E> {
 /// assert_eq!(engine.now(), SimTime::from_nanos(1_000_000));
 /// ```
 pub struct Engine<E> {
-    heap: BinaryHeap<HeapEntry<E>>,
+    /// Circular bucket array; each bucket is sorted *descending* by
+    /// (time, seq) so the due event is an O(1) `pop()` from the tail.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// `buckets.len() - 1`; bucket count is always a power of two.
+    mask: usize,
+    /// Bucket width is `1 << shift` nanoseconds.
+    shift: u32,
+    /// Cursor: index of the bucket whose window is being swept.
+    cur: usize,
+    /// Exclusive upper bound (ns) of the cursor bucket's current window.
+    cur_top: u64,
+    /// Floor for shrinking, so a capacity hint is never deallocated.
+    min_buckets: usize,
+    count: usize,
     now: SimTime,
     next_seq: u64,
     processed: u64,
@@ -71,11 +79,38 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an empty engine at t = 0.
     pub fn new() -> Self {
-        Engine {
-            heap: BinaryHeap::new(),
+        Engine::with_capacity(0)
+    }
+
+    /// Creates an empty engine sized for roughly `capacity` concurrently
+    /// pending events, so steady-state scheduling never grows the calendar
+    /// mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let nb = (capacity / 2).next_power_of_two().max(MIN_BUCKETS);
+        let mut e = Engine {
+            buckets: Vec::new(),
+            mask: nb - 1,
+            shift: DEFAULT_SHIFT,
+            cur: 0,
+            cur_top: 1u64 << DEFAULT_SHIFT,
+            min_buckets: nb,
+            count: 0,
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
+        };
+        e.buckets = std::iter::repeat_with(|| Vec::with_capacity(4))
+            .take(nb)
+            .collect();
+        e
+    }
+
+    /// Ensures the calendar can absorb `additional` more pending events
+    /// without growing during subsequent `schedule_*` calls.
+    pub fn reserve(&mut self, additional: usize) {
+        while self.count + additional > self.buckets.len() * 2 {
+            let nb = self.buckets.len() * 2;
+            self.rebuild(nb);
         }
     }
 
@@ -91,12 +126,12 @@ impl<E> Engine<E> {
 
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.count
     }
 
     /// Returns `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.count == 0
     }
 
     /// Schedules `payload` at the absolute instant `time`.
@@ -112,7 +147,7 @@ impl<E> Engine<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry(Scheduled { time, seq, payload }));
+        self.insert(Scheduled { time, seq, payload });
         seq
     }
 
@@ -123,17 +158,145 @@ impl<E> Engine<E> {
 
     /// Pops the next due event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.0.time >= self.now);
-        self.now = entry.0.time;
+        self.pop_if_due(SimTime::MAX)
+    }
+
+    /// Pops the next event only if it is due at or before `deadline`;
+    /// otherwise leaves the queue untouched and returns `None`. This
+    /// replaces the `peek_time`-then-`pop` pattern (two ordered searches)
+    /// with a single search.
+    pub fn pop_if_due(&mut self, deadline: SimTime) -> Option<Scheduled<E>> {
+        let (cur, cur_top) = self.locate(self.cur, self.cur_top)?;
+        // Persist the sweep so the next call resumes where this one ended.
+        self.cur = cur;
+        self.cur_top = cur_top;
+        if self.buckets[cur].last().map(|e| e.time)? > deadline {
+            return None;
+        }
+        let ev = self.buckets[cur].pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
         self.processed += 1;
-        Some(entry.0)
+        self.count -= 1;
+        if self.count * 4 < self.buckets.len() && self.buckets.len() > self.min_buckets {
+            let nb = self.buckets.len() / 2;
+            self.rebuild(nb);
+        }
+        Some(ev)
     }
 
     /// Timestamp of the next due event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.0.time)
+        let (b, _) = self.locate(self.cur, self.cur_top)?;
+        self.buckets[b].last().map(|e| e.time)
     }
+
+    /// Finds the bucket holding the globally next (time, seq) event.
+    ///
+    /// Sweeps forward from the cursor window; each bucket's due event is
+    /// its tail (buckets are sorted descending). If a full lap finds no
+    /// event inside its window — every pending event is beyond the current
+    /// calendar "year" — falls back to a direct min scan and jumps the
+    /// cursor to that event's window.
+    fn locate(&self, mut cur: usize, mut cur_top: u64) -> Option<(usize, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let width = 1u64 << self.shift;
+        for _ in 0..self.buckets.len() {
+            if let Some(tail) = self.buckets[cur].last() {
+                if tail.time.as_nanos() < cur_top {
+                    return Some((cur, cur_top));
+                }
+            }
+            cur = (cur + 1) & self.mask;
+            cur_top = cur_top.saturating_add(width);
+        }
+        // Direct search: min (time, seq) over all bucket tails. Same-time
+        // events always share a bucket, so comparing tails is exact.
+        let mut best = usize::MAX;
+        let mut key = (u64::MAX, u64::MAX);
+        for (i, b) in self.buckets.iter().enumerate() {
+            if let Some(tail) = b.last() {
+                let k = (tail.time.as_nanos(), tail.seq);
+                if k < key {
+                    key = k;
+                    best = i;
+                }
+            }
+        }
+        let vb = key.0 >> self.shift;
+        Some((best, (vb + 1) << self.shift))
+    }
+
+    fn insert(&mut self, ev: Scheduled<E>) {
+        let t = ev.time.as_nanos();
+        let vb = t >> self.shift;
+        // If the event's window precedes the cursor's, pull the cursor
+        // back so the next sweep cannot skip it.
+        let cur_vb = (self.cur_top >> self.shift).saturating_sub(1);
+        if vb < cur_vb {
+            self.cur = (vb as usize) & self.mask;
+            self.cur_top = (vb + 1) << self.shift;
+        }
+        let idx = (vb as usize) & self.mask;
+        let b = &mut self.buckets[idx];
+        let key = (t, ev.seq);
+        let pos = b.partition_point(|e| (e.time.as_nanos(), e.seq) > key);
+        b.insert(pos, ev);
+        self.count += 1;
+        if self.count > self.buckets.len() * 2 {
+            let nb = self.buckets.len() * 2;
+            self.rebuild(nb);
+        }
+    }
+
+    /// Re-buckets every pending event into `nb` buckets, re-estimating the
+    /// bucket width from the head of the queue. O(n log n), amortized away
+    /// by the doubling/halving schedule.
+    fn rebuild(&mut self, nb: usize) {
+        let nb = nb.next_power_of_two().max(self.min_buckets);
+        let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.count);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.sort_unstable_by_key(|e| (e.time, e.seq));
+        self.shift = estimate_shift(&all);
+        if self.buckets.len() != nb {
+            self.buckets = std::iter::repeat_with(|| Vec::with_capacity(4))
+                .take(nb)
+                .collect();
+            self.mask = nb - 1;
+        }
+        // Reset the cursor to `now`'s window; every event is >= now.
+        let vb_now = self.now.as_nanos() >> self.shift;
+        self.cur = (vb_now as usize) & self.mask;
+        self.cur_top = (vb_now + 1) << self.shift;
+        // Descending insertion order makes every bucket push an O(1) append
+        // while preserving the descending (time, seq) bucket invariant.
+        for ev in all.into_iter().rev() {
+            let idx = ((ev.time.as_nanos() >> self.shift) as usize) & self.mask;
+            self.buckets[idx].push(ev);
+        }
+    }
+}
+
+/// Picks a bucket-width exponent so that the head of the queue spreads at
+/// a few events per bucket. Deterministic: depends only on queue contents.
+fn estimate_shift<E>(sorted: &[Scheduled<E>]) -> u32 {
+    let k = sorted.len().min(WIDTH_SAMPLE);
+    if k < 2 {
+        return DEFAULT_SHIFT;
+    }
+    let span = sorted[k - 1]
+        .time
+        .as_nanos()
+        .saturating_sub(sorted[0].time.as_nanos());
+    let avg_gap = span / (k as u64 - 1);
+    // Target width ≈ 4 average gaps → ~4 events per bucket near the head.
+    let target = avg_gap.saturating_mul(4).max(1);
+    let ceil_log2 = 64 - (target - 1).leading_zeros();
+    ceil_log2.min(MAX_SHIFT)
 }
 
 #[cfg(test)]
@@ -188,5 +351,82 @@ mod tests {
         assert_eq!(e.peek_time(), Some(SimTime::from_nanos(42)));
         assert_eq!(e.now(), SimTime::ZERO);
         assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn pop_if_due_respects_deadline() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(SimTime::from_nanos(100), 1);
+        e.schedule_at(SimTime::from_nanos(200), 2);
+        assert!(e.pop_if_due(SimTime::from_nanos(99)).is_none());
+        assert_eq!(e.pending(), 2);
+        assert_eq!(
+            e.now(),
+            SimTime::ZERO,
+            "a refused pop must not advance time"
+        );
+        assert_eq!(e.pop_if_due(SimTime::from_nanos(100)).unwrap().payload, 1);
+        assert_eq!(e.now(), SimTime::from_nanos(100));
+        assert!(e.pop_if_due(SimTime::from_nanos(150)).is_none());
+        assert_eq!(e.pop_if_due(SimTime::from_nanos(200)).unwrap().payload, 2);
+        assert!(e.pop_if_due(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_resize_thresholds() {
+        let mut e: Engine<u64> = Engine::new();
+        for i in 0..10_000u64 {
+            // Mixed density: clusters of same-instant events plus spread.
+            e.schedule_at(SimTime::from_nanos((i / 3) * 977), i);
+        }
+        assert_eq!(e.pending(), 10_000);
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut popped = 0u64;
+        while let Some(ev) = e.pop() {
+            assert!((ev.time, ev.seq) > last || popped == 0);
+            last = (ev.time, ev.seq);
+            popped += 1;
+        }
+        assert_eq!(popped, 10_000);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn far_future_gap_uses_direct_search() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(SimTime::from_nanos(10), 1);
+        // Far beyond one calendar year of the initial geometry.
+        e.schedule_at(SimTime::from_nanos(u64::MAX / 2), 2);
+        assert_eq!(e.pop().unwrap().payload, 1);
+        assert_eq!(e.pop().unwrap().payload, 2);
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn insert_behind_swept_cursor_is_not_skipped() {
+        let mut e: Engine<u8> = Engine::new();
+        // Sweep the cursor far forward by popping a distant event...
+        e.schedule_at(SimTime::from_nanos(50_000_000), 1);
+        assert_eq!(e.pop().unwrap().payload, 1);
+        // ...then schedule nearer than the cursor's window and a decoy later.
+        e.schedule_at(SimTime::from_nanos(50_000_001), 3);
+        e.schedule_at(SimTime::from_nanos(50_000_000), 2);
+        assert_eq!(e.pop().unwrap().payload, 2);
+        assert_eq!(e.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_pre_size_the_calendar() {
+        let mut e: Engine<u32> = Engine::with_capacity(4096);
+        e.reserve(10_000);
+        for i in 0..10_000 {
+            e.schedule_at(SimTime::from_nanos(u64::from(i) * 13), i);
+        }
+        let mut expect = 0u32;
+        while let Some(ev) = e.pop() {
+            assert_eq!(ev.payload, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, 10_000);
     }
 }

@@ -11,8 +11,6 @@
 //! `start` → schedule a generation-stamped tick at `next_completion` →
 //! `harvest` on a still-valid tick.
 
-use std::collections::BTreeMap;
-
 use crate::link::FlowId;
 use crate::time::{SimDuration, SimTime};
 
@@ -30,7 +28,10 @@ pub struct GroupedLink {
     global_bps: f64,
     group_cap_bps: f64,
     groups: usize,
-    flows: BTreeMap<FlowId, GFlow>,
+    /// Active flows as `(id, flow)`, ascending by id (ids are monotonic,
+    /// so pushes keep the order). A contiguous array keeps the max-min
+    /// sweeps cache-resident; the float sequence is unchanged.
+    flows: Vec<(FlowId, GFlow)>,
     last_update: SimTime,
     generation: u64,
     next_flow_id: FlowId,
@@ -54,7 +55,7 @@ impl GroupedLink {
             global_bps,
             group_cap_bps,
             groups,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
             last_update: SimTime::ZERO,
             generation: 0,
             next_flow_id: 0,
@@ -66,7 +67,7 @@ impl GroupedLink {
     /// Max-min water-filling: per-flow rate for each group.
     fn group_rates(&self) -> Vec<f64> {
         let mut counts = vec![0usize; self.groups];
-        for f in self.flows.values() {
+        for (_, f) in &self.flows {
             counts[f.group] += 1;
         }
         let mut rates = vec![0.0; self.groups];
@@ -96,7 +97,7 @@ impl GroupedLink {
         let dt = now.duration_since(self.last_update).as_secs_f64();
         if dt > 0.0 && !self.flows.is_empty() {
             let rates = self.group_rates();
-            for flow in self.flows.values_mut() {
+            for (_, flow) in &mut self.flows {
                 flow.remaining = (flow.remaining - rates[flow.group] * dt).max(0.0);
             }
         }
@@ -116,13 +117,13 @@ impl GroupedLink {
         self.advance(now);
         let id = self.next_flow_id;
         self.next_flow_id += 1;
-        self.flows.insert(
+        self.flows.push((
             id,
             GFlow {
                 group,
                 remaining: bytes,
             },
-        );
+        ));
         self.max_concurrency = self.max_concurrency.max(self.flows.len());
         self.generation += 1;
         id
@@ -136,8 +137,8 @@ impl GroupedLink {
         let rates = self.group_rates();
         let min_secs = self
             .flows
-            .values()
-            .map(|f| {
+            .iter()
+            .map(|(_, f)| {
                 if f.remaining <= EPS_BYTES {
                     0.0
                 } else {
@@ -159,12 +160,10 @@ impl GroupedLink {
             .flows
             .iter()
             .filter(|(_, f)| f.remaining <= EPS_BYTES)
-            .map(|(&id, _)| id)
+            .map(|&(id, _)| id)
             .collect();
-        for id in &done {
-            self.flows.remove(id);
-        }
         if !done.is_empty() {
+            self.flows.retain(|(_, f)| f.remaining > EPS_BYTES);
             self.completed_flows += done.len() as u64;
             self.generation += 1;
         }
@@ -194,7 +193,7 @@ impl GroupedLink {
     /// Current aggregate throughput across all flows, bytes/s.
     pub fn aggregate_rate(&self) -> f64 {
         let rates = self.group_rates();
-        self.flows.values().map(|f| rates[f.group]).sum()
+        self.flows.iter().map(|(_, f)| rates[f.group]).sum()
     }
 }
 

@@ -16,8 +16,6 @@
 //!
 //! Any membership change bumps the generation, invalidating stale ticks.
 
-use std::collections::BTreeMap;
-
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of an in-flight transfer on a link.
@@ -26,11 +24,6 @@ pub type FlowId = u64;
 /// Bytes of slack below which a flow counts as finished (absorbs the
 /// nanosecond rounding of tick times).
 const EPS_BYTES: f64 = 1.0;
-
-#[derive(Debug, Clone)]
-struct Flow {
-    remaining: f64,
-}
 
 /// A bandwidth-shared channel with optional per-flow rate cap.
 ///
@@ -49,7 +42,12 @@ struct Flow {
 pub struct FairShareLink {
     capacity_bps: f64,
     per_flow_cap_bps: f64,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Active flows as `(id, remaining_bytes)`, ascending by id. Flow ids
+    /// are handed out monotonically, so a push keeps the order sorted and
+    /// the fluid-model sweep in [`FairShareLink::advance`] runs over a
+    /// contiguous array instead of chasing `BTreeMap` nodes — same float
+    /// operations in the same order, several times fewer cache misses.
+    flows: Vec<(FlowId, f64)>,
     last_update: SimTime,
     generation: u64,
     next_flow_id: FlowId,
@@ -78,7 +76,7 @@ impl FairShareLink {
         FairShareLink {
             capacity_bps,
             per_flow_cap_bps,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
             last_update: SimTime::ZERO,
             generation: 0,
             next_flow_id: 0,
@@ -102,8 +100,8 @@ impl FairShareLink {
         let dt = now.duration_since(self.last_update).as_secs_f64();
         if dt > 0.0 {
             let drained = self.rate_per_flow() * dt;
-            for flow in self.flows.values_mut() {
-                flow.remaining = (flow.remaining - drained).max(0.0);
+            for (_, remaining) in &mut self.flows {
+                *remaining = (*remaining - drained).max(0.0);
             }
         }
         self.last_update = now;
@@ -119,7 +117,7 @@ impl FairShareLink {
         self.advance(now);
         let id = self.next_flow_id;
         self.next_flow_id += 1;
-        self.flows.insert(id, Flow { remaining: bytes });
+        self.flows.push((id, bytes));
         self.max_concurrency = self.max_concurrency.max(self.flows.len());
         self.total_bytes_started += bytes;
         self.generation += 1;
@@ -132,8 +130,8 @@ impl FairShareLink {
         let rate = self.rate_per_flow();
         let min_remaining = self
             .flows
-            .values()
-            .map(|f| f.remaining)
+            .iter()
+            .map(|&(_, remaining)| remaining)
             .fold(f64::INFINITY, f64::min);
         if min_remaining.is_infinite() {
             return None;
@@ -156,13 +154,11 @@ impl FairShareLink {
         let done: Vec<FlowId> = self
             .flows
             .iter()
-            .filter(|(_, f)| f.remaining <= EPS_BYTES)
-            .map(|(&id, _)| id)
+            .filter(|&&(_, remaining)| remaining <= EPS_BYTES)
+            .map(|&(id, _)| id)
             .collect();
-        for id in &done {
-            self.flows.remove(id);
-        }
         if !done.is_empty() {
+            self.flows.retain(|&(_, remaining)| remaining > EPS_BYTES);
             self.completed_flows += done.len() as u64;
             self.generation += 1;
         }
@@ -197,7 +193,7 @@ impl FairShareLink {
     /// Bytes still in flight (conservation check: started = in flight +
     /// delivered, up to tick rounding).
     pub fn bytes_in_flight(&self) -> f64 {
-        self.flows.values().map(|f| f.remaining).sum()
+        self.flows.iter().map(|&(_, remaining)| remaining).sum()
     }
 
     /// Aggregate capacity in bytes/second.

@@ -19,6 +19,9 @@ impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far end of simulated time; no event is ever later.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates an instant from raw nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)

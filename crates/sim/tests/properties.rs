@@ -4,6 +4,42 @@
 use gpuflow_sim::{Acquire, Engine, FairShareLink, FcfsPool, GroupedLink, SimDuration, SimTime};
 use proptest::prelude::*;
 
+/// The previous engine implementation — a `BinaryHeap` min-ordered on
+/// (time, seq) — kept here as the behavioural oracle for the calendar
+/// queue.
+struct ReferenceHeap {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u64)>>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl ReferenceHeap {
+    fn new() -> Self {
+        ReferenceHeap {
+            heap: Default::default(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    fn schedule_at(&mut self, time: SimTime, payload: u64) {
+        assert!(time >= self.now);
+        self.heap
+            .push(std::cmp::Reverse((time, self.next_seq, payload)));
+        self.next_seq += 1;
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|r| r.0 .0)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, u64)> {
+        let std::cmp::Reverse((t, seq, payload)) = self.heap.pop()?;
+        self.now = t;
+        Some((t, seq, payload))
+    }
+}
+
 proptest! {
     /// A pool never exceeds its capacity and serves waiters strictly
     /// FIFO, under any interleaving of acquires and releases.
@@ -114,6 +150,75 @@ proptest! {
         prop_assert_eq!(done, flows.len());
         // Work conservation lower bound (generous epsilon for ns ticks).
         prop_assert!(now.as_secs_f64() + 1e-6 >= total / global);
+    }
+
+    /// The calendar queue pops the exact (time, seq) sequence a binary
+    /// heap would, under random interleavings of schedules and pops —
+    /// including bursts of same-instant events (FIFO ties) and far-future
+    /// outliers that force the direct-search fallback.
+    #[test]
+    fn engine_matches_reference_heap(
+        ops in prop::collection::vec((0u64..4, 0u64..2000), 1..400),
+    ) {
+        let mut cal: Engine<u64> = Engine::new();
+        let mut reference = ReferenceHeap::new();
+        for (i, &(kind, delta)) in ops.iter().enumerate() {
+            match kind {
+                // Schedule `delta` ns ahead (delta = 0 exercises ties).
+                0 | 1 => {
+                    let t = SimTime::from_nanos(cal.now().as_nanos() + delta);
+                    cal.schedule_at(t, i as u64);
+                    reference.schedule_at(t, i as u64);
+                }
+                // Far-future outlier: beyond the initial calendar year.
+                2 => {
+                    let t = SimTime::from_nanos(cal.now().as_nanos() + delta * 1_000_003);
+                    cal.schedule_at(t, i as u64);
+                    reference.schedule_at(t, i as u64);
+                }
+                // Pop and compare.
+                _ => {
+                    let got = cal.pop().map(|s| (s.time, s.seq, s.payload));
+                    prop_assert_eq!(got, reference.pop());
+                    prop_assert_eq!(cal.now(), reference.now);
+                }
+            }
+            prop_assert_eq!(cal.pending(), reference.heap.len());
+        }
+        // Drain both to the end; total order must coincide.
+        loop {
+            let got = cal.pop().map(|s| (s.time, s.seq, s.payload));
+            let want = reference.pop();
+            prop_assert_eq!(&got, &want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// `pop_if_due` agrees with peek-then-pop on the reference model.
+    #[test]
+    fn pop_if_due_matches_reference(
+        ops in prop::collection::vec((0u64..3, 0u64..500), 1..300),
+    ) {
+        let mut cal: Engine<u64> = Engine::new();
+        let mut reference = ReferenceHeap::new();
+        for (i, &(kind, delta)) in ops.iter().enumerate() {
+            if kind == 0 {
+                let t = SimTime::from_nanos(cal.now().as_nanos() + delta);
+                cal.schedule_at(t, i as u64);
+                reference.schedule_at(t, i as u64);
+            } else {
+                let deadline = SimTime::from_nanos(cal.now().as_nanos() + delta);
+                let want = match reference.peek_time() {
+                    Some(t) if t <= deadline => reference.pop(),
+                    _ => None,
+                };
+                let got = cal.pop_if_due(deadline).map(|s| (s.time, s.seq, s.payload));
+                prop_assert_eq!(got, want);
+                prop_assert_eq!(cal.now(), reference.now);
+            }
+        }
     }
 
     /// Engine sequence numbers keep same-instant events FIFO even when

@@ -1,0 +1,143 @@
+//! Offline stand-in for `rustc-hash`: the Fx multiply-rotate hash.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed by a random
+//! per-process seed and burns ~1 ns per input byte defending against
+//! HashDoS. Neither property is wanted inside the simulator hot loop:
+//! keys are small trusted integers (task ids, data versions, flow ids)
+//! and determinism is a correctness requirement, not a liability. Fx is
+//! the compiler's own replacement — one wrapping multiply and a rotate
+//! per word — and is fully deterministic across processes and platforms.
+//!
+//! **Determinism caveat**: a deterministic hasher makes hash-map *lookup*
+//! deterministic, but iteration order still depends on insertion history
+//! and capacity growth. Iterating an [`FxHashMap`] where order reaches an
+//! observable output remains a `gpuflow lint` D1 violation; use these maps
+//! only where iteration is unordered-reduced or never happens.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx seed constant (2^64 / φ, forced odd), as used by rustc.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher state: a single 64-bit accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `BuildHasher` producing [`FxHasher`]s; zero-sized, deterministic.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the deterministic Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the deterministic Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(parts: &[u64]) -> u64 {
+        let mut h = FxHasher::default();
+        for &p in parts {
+            h.write_u64(p);
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&[1, 2, 3]), hash_of(&[1, 2, 3]));
+        assert_ne!(hash_of(&[1, 2, 3]), hash_of(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn byte_stream_equals_word_stream() {
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn short_tails_are_padded_not_dropped() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2]);
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(FxHasher::default().finish(), a.finish());
+    }
+
+    #[test]
+    fn maps_and_sets_work_with_the_alias() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(500, 1000)), Some(&500));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+}
