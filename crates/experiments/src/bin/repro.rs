@@ -28,6 +28,13 @@
 //! repro perf --check         # also compare against the committed
 //!                            # ceilings (artifacts/baselines/
 //!                            # perf_ns_per_task.txt); exits 1 on breach
+//! repro replay               # production-trace replay scenario
+//!                            # (diurnal arrivals × heavy-tailed jobs ×
+//!                            # tenant mix) with metrics-over-time
+//! repro replay --seed N --jobs N --tenants N --chaos
+//! repro replay --check       # validate the Prometheus exposition
+//!                            # (exits 1 on malformed output)
+//! repro replay --out FILE    # write the artifact to FILE
 //! ```
 //!
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
@@ -42,7 +49,7 @@ use std::time::Instant;
 
 use gpuflow_experiments::{
     ablation, factors, fault_sensitivity, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9, gate,
-    generalizability, memory, obs, prediction, sensitivity, stress, Context,
+    generalizability, memory, obs, prediction, replay, sensitivity, stress, Context,
 };
 
 /// Runs the perf-regression gate (`repro gate [--update] [--baselines
@@ -122,6 +129,60 @@ fn run_perf(args: &[String]) {
     }
 }
 
+/// Runs a production-trace replay scenario (`repro replay [--seed N]
+/// [--jobs N] [--tenants N] [--horizon SECS] [--interval SECS]
+/// [--chaos] [--check] [--out FILE]`). The artifact is the scenario's
+/// submission log, metrics-over-time series, and final Prometheus
+/// exposition; with `--check`, the exposition is validated against the
+/// text-format grammar and the process exits nonzero on a violation —
+/// this is the zero-dependency checker the CI metrics-smoke job runs.
+fn run_replay(args: &[String]) {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let mut spec = replay::ReplaySpec::default();
+    if let Some(v) = value_of("--seed") {
+        spec.seed = v.parse().expect("--seed takes an integer");
+    }
+    if let Some(v) = value_of("--jobs") {
+        spec.jobs = v.parse().expect("--jobs takes a number");
+    }
+    if let Some(v) = value_of("--tenants") {
+        spec.tenants = v.parse().expect("--tenants takes a number");
+    }
+    if let Some(v) = value_of("--horizon") {
+        spec.horizon_secs = v.parse().expect("--horizon takes seconds");
+    }
+    if let Some(v) = value_of("--interval") {
+        spec.interval_secs = v.parse().expect("--interval takes seconds");
+    }
+    if args.iter().any(|a| a == "--chaos") {
+        spec.chaos = true;
+    }
+    let report = replay::run(&spec);
+    let text = report.render();
+    println!("{text}");
+    if let Some(path) = value_of("--out") {
+        std::fs::write(&path, &text).expect("write replay artifact");
+        eprintln!("[replay -> {path}]");
+    }
+    if args.iter().any(|a| a == "--check") {
+        match gpuflow_lint::promtext::check(&report.metrics.expose()) {
+            Ok(stats) => println!(
+                "exposition check: PASS ({} families, {} samples)",
+                stats.families, stats.samples
+            ),
+            Err(err) => {
+                eprintln!("exposition check: FAIL\n{err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Returns a one-line warning when the workspace is not lint-clean,
 /// or `None` when it is (or when no workspace root can be found).
 fn lint_note() -> Option<String> {
@@ -154,6 +215,12 @@ fn run_lint() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Replay dispatches before the generic `--out DIR` handling: its
+    // `--out` names a file, not a directory.
+    if args.iter().any(|a| a == "replay") {
+        run_replay(&args);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_dir = args
         .iter()

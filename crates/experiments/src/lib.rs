@@ -21,6 +21,7 @@
 //! | [`obs`] | extension: telemetry artifact bundle (JSONL, Chrome trace, decision log, overhead) |
 //! | [`fault_sensitivity`] | extension: makespan and output convergence under injected faults |
 //! | [`gate`] | extension: perf-regression gate over committed baseline profiles |
+//! | [`replay`] | extension: production-trace replay (diurnal arrivals × heavy-tailed jobs × tenant mix) with metrics-over-time artifact |
 //!
 //! Each module exposes `run(&Context)` returning structured results with
 //! a `render()` text table, so the `repro` binary, the Criterion benches,
@@ -46,6 +47,7 @@ pub mod measure;
 pub mod memory;
 pub mod obs;
 pub mod prediction;
+pub mod replay;
 pub mod sensitivity;
 pub mod stress;
 mod table;

@@ -14,12 +14,19 @@
 //! * **chaos transparency** — an empty fault plan is a pure observer,
 //!   and a *faulted* run is itself a deterministic function of
 //!   (seed, plan): byte-identical at every thread count, and a
-//!   recoverable crash converges to the fault-free output fingerprint.
+//!   recoverable crash converges to the fault-free output fingerprint;
+//! * **metrics transparency** — the live metrics hub is a pure
+//!   observer, the Prometheus exposition is byte-identical at every
+//!   thread count, and the live (streamed) registry matches the
+//!   post-hoc (`from_log`) registry byte for byte.
 
 use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
 use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
-use gpuflow_experiments::{fig11, measure::par_map, obs, stress, Context};
-use gpuflow_runtime::{FaultPlan, RunConfig, SchedulingPolicy, Workflow};
+use gpuflow_experiments::{fig11, measure::par_map, obs, replay, stress, Context};
+use gpuflow_runtime::{
+    FaultPlan, MetricsHub, MetricsRegistry, RunConfig, SchedulingPolicy, Workflow,
+};
+use gpuflow_sim::SimDuration;
 
 fn canonical_matmul() -> Workflow {
     MatmulConfig::new(gpuflow_data::paper::matmul_128mb(), 4)
@@ -212,6 +219,77 @@ fn faulted_runs_are_identical_across_thread_counts() {
         let runs = par_map(threads, &[(); 8], |_, _| run_once());
         assert!(runs.iter().all(|r| *r == single), "{threads} threads");
     }
+}
+
+/// The live metrics hub is a pure observer: attaching it changes no
+/// artifact bit, and the registry it streams into is byte-identical —
+/// in both exposition and series rendering — to one folded post-hoc
+/// from the run's telemetry log.
+#[test]
+fn live_metrics_hub_is_a_pure_observer_and_matches_from_log() {
+    let ctx = Context::default();
+    let wf = canonical_matmul();
+    let base = RunConfig::new(ctx.cluster.clone(), ProcessorKind::Gpu)
+        .with_seed(ctx.base_seed)
+        .with_telemetry();
+    let off = gpuflow_runtime::run(&wf, &base.clone()).expect("fits");
+    let hub = MetricsHub::default();
+    let on = gpuflow_runtime::run(&wf, &base.with_live_metrics(hub.clone())).expect("fits");
+    // Pure observer: the pinned GenerationOrder makespan from
+    // `golden_makespans_are_pinned_for_all_policies` (GPU run here, so
+    // compare the two runs bit-for-bit rather than against the CPU pin).
+    assert_eq!(off.makespan().to_bits(), on.makespan().to_bits());
+    assert_eq!(off.telemetry.to_jsonl(), on.telemetry.to_jsonl());
+    assert_eq!(off.output_fingerprint, on.output_fingerprint);
+    // Streamed == replayed.
+    let folded = MetricsRegistry::from_log(&on.telemetry, SimDuration::from_nanos(10_000_000));
+    assert_eq!(hub.expose(), folded.expose());
+    assert_eq!(hub.render_series(), folded.render_series());
+}
+
+/// The Prometheus exposition is byte-identical at every thread count,
+/// including under concurrent runs — the metrics pipeline inherits the
+/// executor's determinism end to end.
+#[test]
+fn metrics_exposition_is_identical_across_thread_counts() {
+    let ctx = Context::default();
+    let wf = canonical_kmeans();
+    let expose_once = || {
+        let cfg = RunConfig::new(ctx.cluster.clone(), ProcessorKind::Cpu)
+            .with_storage(StorageArchitecture::SharedDisk)
+            .with_seed(ctx.base_seed)
+            .with_telemetry();
+        let r = gpuflow_runtime::run(&wf, &cfg).expect("fits");
+        MetricsRegistry::from_log(&r.telemetry, SimDuration::from_nanos(10_000_000)).expose()
+    };
+    let single = expose_once();
+    assert!(single.contains("gpuflow_task_duration_seconds_bucket"));
+    for threads in [1usize, 4, 8] {
+        let runs = par_map(threads, &[(); 8], |_, _| expose_once());
+        assert!(runs.iter().all(|e| *e == single), "{threads} threads");
+    }
+}
+
+/// A replay scenario — arrivals, tenant mix, chaos plan and all — is
+/// byte-identical at every thread count, and seed-sensitive.
+#[test]
+fn replay_artifact_is_identical_across_thread_counts() {
+    let spec = replay::ReplaySpec {
+        jobs: 6,
+        chaos: true,
+        ..replay::ReplaySpec::default()
+    };
+    let single = replay::run(&spec).render();
+    for threads in [4usize, 8] {
+        let runs = par_map(threads, &[(); 4], |_, _| replay::run(&spec).render());
+        assert!(runs.iter().all(|r| *r == single), "{threads} threads");
+    }
+    let other = replay::run(&replay::ReplaySpec {
+        seed: 0xBEEF,
+        ..spec
+    })
+    .render();
+    assert_ne!(single, other, "seed must matter");
 }
 
 /// A recoverable node crash (with rejoin) on local-disk storage loses

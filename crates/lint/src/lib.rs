@@ -19,12 +19,15 @@
 //!
 //! Entry points: [`run`] (whole tree, used by `gpuflow lint` and
 //! `repro lint`), [`scan::scan_file`] (one file, used by the golden
-//! fixture tests), and [`json`] (parser + shape checker backing the
-//! CLI JSON schema tests).
+//! fixture tests), [`json`] (parser + shape checker backing the CLI
+//! JSON schema tests), and [`promtext`] (Prometheus text-exposition
+//! validator backing `repro replay --check` and the CI metrics-smoke
+//! job).
 
 pub mod allow;
 pub mod json;
 pub mod lexer;
+pub mod promtext;
 pub mod report;
 pub mod rules;
 pub mod scan;

@@ -32,7 +32,7 @@ use crate::metrics::{RunMetrics, TaskRecord};
 use crate::scheduler::{decision_overhead, place, NodeAvail, ReadyQueue, SchedulingPolicy};
 use crate::task::TaskId;
 use crate::telemetry::{
-    CandidateScore, EventBus, LinkKind, SchedulerDecision, TelemetryEvent, TelemetryLog,
+    CandidateScore, EventBus, LinkKind, MetricsHub, SchedulerDecision, TelemetryEvent, TelemetryLog,
 };
 use crate::trace::{Trace, TraceState};
 use crate::workflow::{DagShape, Workflow};
@@ -76,6 +76,16 @@ pub struct RunConfig {
     /// virtual-time backoff, alternate-node resubmission, GPU-to-CPU
     /// fallback.
     pub recovery: RecoveryPolicy,
+    /// Live metrics hub: when set, every telemetry event is folded into
+    /// this shared [`MetricsHub`] as it is emitted, so another thread
+    /// (e.g. `gpuflow serve`) can scrape a current snapshot while the
+    /// run executes. Independent of `collect_telemetry`.
+    pub live_metrics: Option<MetricsHub>,
+    /// Submission times, virtual seconds, for root tasks (tasks with no
+    /// dependencies): `(task, at_secs)`. Listed tasks enter the ready
+    /// queue at their submission instant instead of time zero —
+    /// the replay frontend's arrival process. Empty = all roots at 0.
+    pub arrivals: Vec<(TaskId, f64)>,
 }
 
 impl RunConfig {
@@ -95,6 +105,8 @@ impl RunConfig {
             cpu_threads_per_task: 1,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            live_metrics: None,
+            arrivals: Vec::new(),
         }
     }
 
@@ -157,6 +169,19 @@ impl RunConfig {
     /// Sets the recovery policy applied under fault injection.
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Attaches a live metrics hub (see [`RunConfig::live_metrics`]).
+    pub fn with_live_metrics(mut self, hub: MetricsHub) -> Self {
+        self.live_metrics = Some(hub);
+        self
+    }
+
+    /// Sets submission times for root tasks (see
+    /// [`RunConfig::arrivals`]).
+    pub fn with_arrivals(mut self, arrivals: Vec<(TaskId, f64)>) -> Self {
+        self.arrivals = arrivals;
         self
     }
 }
@@ -454,6 +479,27 @@ pub fn run(workflow: &Workflow, config: &RunConfig) -> Result<RunReport, RunErro
         plan.validate(config.cluster.nodes)
             .map_err(|errs| RunError::InvalidConfig(errs.join("; ")))?;
     }
+    for &(tid, at_secs) in &config.arrivals {
+        let idx = tid.0 as usize;
+        if idx >= workflow.tasks().len() {
+            return Err(RunError::InvalidConfig(format!(
+                "arrival for unknown task {}",
+                tid.0
+            )));
+        }
+        if !workflow.predecessors(tid).is_empty() {
+            return Err(RunError::InvalidConfig(format!(
+                "arrival for task {} which has dependencies; only root tasks can have submission times",
+                tid.0
+            )));
+        }
+        if !at_secs.is_finite() || at_secs < 0.0 {
+            return Err(RunError::InvalidConfig(format!(
+                "arrival time for task {} must be finite and non-negative, got {at_secs}",
+                tid.0
+            )));
+        }
+    }
     let mut exec = Exec::new(workflow, config);
     exec.schedule_faults();
     exec.seed_ready();
@@ -498,6 +544,9 @@ enum Ev {
     Fault(usize),
     /// End of a transient-failure backoff window.
     Retry(TaskId),
+    /// Submission instant of a root task with a configured arrival time
+    /// (see [`RunConfig::arrivals`]): the task enters the ready queue.
+    Release(TaskId),
 }
 
 /// A discrete fault materialised from the plan at a fixed virtual time.
@@ -614,6 +663,9 @@ struct Exec<'a> {
     last_failed_node: Vec<Option<usize>>,
     /// Task sits out a backoff window and must not be scheduled.
     in_backoff: Vec<bool>,
+    /// Root tasks with a future submission time: invisible to the
+    /// scheduler (and to recovery re-admission) until released.
+    unarrived: FxHashSet<u32>,
     /// Task currently has a valid completed output.
     completed: Vec<bool>,
     /// Task's first successful attempt has been recorded.
@@ -760,7 +812,13 @@ impl<'a> Exec<'a> {
             caches: (0..nodes).map(|_| BlockCache::new(cache_bytes)).collect(),
             home,
             jitter: Jitter::new(cfg.seed, cfg.jitter_sigma),
-            bus: EventBus::new(cfg.collect_trace || cfg.collect_telemetry),
+            bus: {
+                let bus = EventBus::new(cfg.collect_trace || cfg.collect_telemetry);
+                match &cfg.live_metrics {
+                    Some(hub) => bus.with_live(hub.clone()),
+                    None => bus,
+                }
+            },
             gpu_kernel_seconds: 0.0,
             core_held_seconds: 0.0,
             gpu_held_seconds: 0.0,
@@ -770,6 +828,7 @@ impl<'a> Exec<'a> {
             transient_fails: vec![0; n_tasks],
             last_failed_node: vec![None; n_tasks],
             in_backoff: vec![false; n_tasks],
+            unarrived: FxHashSet::default(),
             completed: vec![false; n_tasks],
             recorded: vec![false; n_tasks],
             node_up: vec![true; nodes],
@@ -828,8 +887,19 @@ impl<'a> Exec<'a> {
     }
 
     fn seed_ready(&mut self) {
+        // Roots with a configured future submission time are held back
+        // and released by an engine event at their arrival instant.
+        for &(tid, at_secs) in &self.cfg.arrivals {
+            if at_secs > 0.0 {
+                self.unarrived.insert(tid.0);
+                self.engine.schedule_at(
+                    SimTime::ZERO + SimDuration::from_secs_f64(at_secs),
+                    Ev::Release(tid),
+                );
+            }
+        }
         for (i, &d) in self.deps_left.iter().enumerate() {
-            if d == 0 {
+            if d == 0 && !self.unarrived.contains(&(i as u32)) {
                 self.ready.insert(self.upward_rank[i], TaskId(i as u32));
                 if self.bus.active() {
                     self.bus.push(TelemetryEvent::TaskReady {
@@ -839,6 +909,21 @@ impl<'a> Exec<'a> {
                 }
             }
         }
+    }
+
+    /// A held-back root task reached its submission time.
+    fn on_release(&mut self, tid: TaskId) {
+        if !self.unarrived.remove(&tid.0) {
+            return;
+        }
+        self.ready.insert(self.upward_rank[tid.0 as usize], tid);
+        if self.bus.active() {
+            self.bus.push(TelemetryEvent::TaskReady {
+                at: self.now(),
+                task: tid,
+            });
+        }
+        self.try_start_master();
     }
 
     /// Does this task offload its parallel fraction to a GPU in this run?
@@ -1140,6 +1225,10 @@ impl<'a> Exec<'a> {
             }
             Ev::Retry(tid) => {
                 self.on_retry(tid);
+                Ok(())
+            }
+            Ev::Release(tid) => {
+                self.on_release(tid);
                 Ok(())
             }
             Ev::LinkTick(key, gen) => {
@@ -1878,6 +1967,7 @@ impl<'a> Exec<'a> {
             || self.runs[i].is_some()
             || self.in_backoff[i]
             || self.deps_left[i] > 0
+            || self.unarrived.contains(&tid.0)
             || self.pending_assign.map(|(t, _)| t) == Some(tid)
         {
             return;
@@ -1991,6 +2081,9 @@ impl<'a> Exec<'a> {
                 count: dropped,
                 lost_versions: lost.len() as u64,
             });
+            // The crash released every resource on the node; gauge the
+            // new (empty) occupancy so down intervals read as idle.
+            self.push_gauge(node, now);
         }
         self.mark_regeneration(&lost);
         self.rebuild_dependencies();
@@ -2007,6 +2100,8 @@ impl<'a> Exec<'a> {
         self.node_up[node] = true;
         if self.bus.active() {
             self.bus.push(TelemetryEvent::NodeUp { at: now, node });
+            // A rejoined node restarts cold: gauge the empty occupancy.
+            self.push_gauge(node, now);
         }
         self.try_start_master();
     }
@@ -2123,7 +2218,7 @@ impl<'a> Exec<'a> {
                 .count();
             self.deps_left[i] = deps;
             let pending = self.pending_assign.map(|(t, _)| t) == Some(tid);
-            if deps == 0 && !self.in_backoff[i] && !pending {
+            if deps == 0 && !self.in_backoff[i] && !pending && !self.unarrived.contains(&tid.0) {
                 ready.insert(self.upward_rank[i], tid);
                 if self.bus.active() {
                     self.bus
@@ -2178,6 +2273,9 @@ impl<'a> Exec<'a> {
                     node,
                     count: evicted,
                 });
+                // Eviction instants are occupancy-relevant sample points
+                // too (the metrics series reads RAM between dispatches).
+                self.push_gauge(node, at);
             }
         }
     }
@@ -2220,6 +2318,7 @@ impl<'a> Exec<'a> {
             self.peak_ram,
         );
         // One event stream feeds both requested views of the run.
+        self.bus.finish_live();
         let log = self.bus.into_log();
         let trace = if self.cfg.collect_trace {
             Trace::from_telemetry(&log)

@@ -32,10 +32,11 @@ pub use scheduler::{
 };
 pub use task::{CostProfile, Param, TaskId, TaskSpec, TaskType};
 pub use telemetry::{
-    to_chrome_trace, BucketDelta, CandidateScore, ChromeTraceSink, CriticalSegment, EventBus,
-    Histogram, HistogramDigest, JsonlSink, LinkKind, MemorySink, OverheadReport, PathChange,
-    PathDelta, ResourceProfile, RunDiff, RunProfile, SchedulerDecision, TaskTypeProfile,
-    TelemetryEvent, TelemetryLog, TelemetrySink, TypeDelta,
+    to_chrome_trace, BucketDelta, BucketHistogram, CandidateScore, ChromeTraceSink,
+    CriticalSegment, EventBus, Histogram, HistogramDigest, JsonlSink, LinkKind, MemorySink,
+    MetricsHub, MetricsRegistry, OverheadReport, PathChange, PathDelta, ResourceProfile, RunDiff,
+    RunProfile, SampleRow, SchedulerDecision, TaskTypeProfile, TelemetryEvent, TelemetryLog,
+    TelemetrySink, TypeDelta,
 };
 pub use trace::{paraver_pcf, to_paraver_prv, Trace, TraceRecord, TraceState};
 pub use workflow::{DagShape, Workflow, WorkflowBuilder};

@@ -157,8 +157,9 @@ pub enum TelemetryEvent {
         /// Entries evicted by this insert.
         count: u64,
     },
-    /// Sampled per-node resource occupancy (emitted on every dispatch
-    /// and completion, i.e. at every instant the occupancy changes).
+    /// Sampled per-node resource occupancy (emitted on every dispatch,
+    /// completion, abort, cache eviction, node crash, and node rejoin —
+    /// every instant the occupancy changes or is invalidated).
     NodeGauge {
         /// Sample instant.
         at: SimTime,

@@ -1,0 +1,1024 @@
+//! Prometheus-format metrics over the telemetry stream.
+//!
+//! The EventBus gives one linear, deterministic event stream per run;
+//! this module folds that stream into a **metrics registry** — the
+//! pull-based observability surface production schedulers expose — and
+//! renders it in the Prometheus *text exposition format* with zero
+//! external dependencies:
+//!
+//! * **counters** — tasks ready/dispatched/completed (per type),
+//!   failures, retries, resubmissions, faults, cache hits/misses/
+//!   evictions, per-link transfer counts and bytes, scheduler
+//!   decisions and modelled overhead;
+//! * **gauges** — ready-set depth, running tasks, per-node busy
+//!   cores/GPUs/RAM/liveness, the virtual clock;
+//! * **fixed-bucket histograms** — per-type task latency (dispatch to
+//!   completion), with Prometheus cumulative `le` buckets.
+//!
+//! Between snapshots the registry also *samples itself* into a
+//! virtual-time series at a configurable interval, so a finished run
+//! yields metrics-over-time without any wall-clock involvement.
+//!
+//! Determinism contract: every number is derived from integer-ns event
+//! times and integer counts, families render in fixed (BTreeMap or
+//! declaration) order, and seconds are formatted as exact `ns/1e9`
+//! fixed-point strings — so the exposition text is byte-identical for
+//! identical runs at any `--threads` count, whether folded live
+//! ([`MetricsHub`] attached to the bus) or replayed from a log
+//! ([`MetricsRegistry::from_log`]).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use fxhash::FxHashMap;
+use gpuflow_sim::SimDuration;
+
+use super::event::{LinkKind, TelemetryEvent};
+use super::sink::TelemetrySink;
+use super::TelemetryLog;
+
+/// Default self-sampling interval of the virtual-time series: 10 ms of
+/// simulated time.
+pub const DEFAULT_SAMPLE_INTERVAL: SimDuration = SimDuration::from_nanos(10_000_000);
+
+/// Upper bounds (nanoseconds) of the finite task-latency buckets; the
+/// `+Inf` bucket is implicit. Spans 1 ms to 10 s — the range simulated
+/// task durations occupy across the paper's workloads and the stress
+/// shapes.
+const LATENCY_BOUNDS_NS: [u64; 13] = [
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// `le` label of each finite bucket, pre-rendered so the exposition
+/// never formats a float.
+const LATENCY_LE_LABELS: [&str; 13] = [
+    "0.001", "0.0025", "0.005", "0.01", "0.025", "0.05", "0.1", "0.25", "0.5", "1", "2.5", "5",
+    "10",
+];
+
+/// A fixed-bucket histogram in the Prometheus style: per-bucket counts
+/// (non-cumulative internally; rendered cumulatively), an exact
+/// integer-ns sum, and the observation count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BucketHistogram {
+    /// One slot per finite bound plus the overflow (`+Inf`) slot.
+    counts: [u64; LATENCY_BOUNDS_NS.len() + 1],
+    /// Sum of observed values, integer nanoseconds.
+    sum_ns: u64,
+    /// Total observations.
+    count: u64,
+}
+
+impl BucketHistogram {
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe_ns(&mut self, ns: u64) {
+        let slot = LATENCY_BOUNDS_NS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(LATENCY_BOUNDS_NS.len());
+        self.counts[slot] += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations, integer nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Per-bucket (non-cumulative) counts, overflow slot last.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Per-link transfer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LinkCounters {
+    transfers: u64,
+    bytes: u64,
+}
+
+/// Sampled per-node occupancy, tracked from `NodeGauge` and
+/// `NodeDown`/`NodeUp` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeState {
+    busy_cores: u64,
+    busy_gpus: u64,
+    ram_used: u64,
+    up: bool,
+}
+
+impl Default for NodeState {
+    fn default() -> Self {
+        NodeState {
+            busy_cores: 0,
+            busy_gpus: 0,
+            ram_used: 0,
+            up: true,
+        }
+    }
+}
+
+/// One row of the virtual-time series: the registry's cluster-wide
+/// state at a sampling instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleRow {
+    /// Sampling instant, integer nanoseconds of virtual time.
+    pub t_ns: u64,
+    /// Ready-set depth.
+    pub ready: u64,
+    /// Running tasks.
+    pub running: u64,
+    /// Busy host cores, summed over nodes.
+    pub busy_cores: u64,
+    /// Busy GPU devices, summed over nodes.
+    pub busy_gpus: u64,
+    /// Resident working-set bytes, summed over nodes.
+    pub ram_used: u64,
+    /// Cumulative completed tasks.
+    pub completed: u64,
+    /// Cumulative cache hits.
+    pub cache_hits: u64,
+    /// Cumulative cache misses.
+    pub cache_misses: u64,
+    /// Cumulative transfer bytes over every modelled link.
+    pub transfer_bytes: u64,
+}
+
+/// The metrics registry: counters, gauges, and fixed-bucket histograms
+/// folded incrementally from [`TelemetryEvent`]s, plus the self-sampled
+/// virtual-time series. See the module docs for the determinism
+/// contract.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    interval_ns: u64,
+    /// Monotonic virtual clock: the maximum primary event time seen.
+    /// Fault-plan announcements carry *future* timestamps at stream
+    /// start and deliberately do not advance it.
+    clock_ns: u64,
+    next_sample_ns: u64,
+    sealed: bool,
+    // Gauges.
+    ready_tasks: u64,
+    running_tasks: u64,
+    nodes: Vec<NodeState>,
+    // High-water marks (for the summary).
+    max_queue_depth: u64,
+    peak_running: u64,
+    // Counters.
+    ready_total: u64,
+    decisions_total: u64,
+    dispatched_total: u64,
+    failed_total: u64,
+    retries_total: u64,
+    resubmissions_total: u64,
+    faults_total: u64,
+    node_downs_total: u64,
+    node_ups_total: u64,
+    invalidated_blocks_total: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    /// Indexed by [`link_index`]: read, write, h2d, d2h.
+    links: [LinkCounters; 4],
+    sched_overhead_ns: u64,
+    completed_by_type: BTreeMap<String, u64>,
+    latency_by_type: BTreeMap<String, BucketHistogram>,
+    /// Dispatch instant and task type of each running attempt; entries
+    /// are only inserted and removed by key, never iterated, so the
+    /// hash order cannot reach any output.
+    inflight: FxHashMap<u32, (u64, String)>,
+    samples: Vec<SampleRow>,
+}
+
+/// Declaration-order index of a link label in [`MetricsRegistry::links`].
+fn link_index(link: LinkKind) -> usize {
+    match link {
+        LinkKind::StorageRead => 0,
+        LinkKind::StorageWrite => 1,
+        LinkKind::HostToDevice => 2,
+        LinkKind::DeviceToHost => 3,
+    }
+}
+
+/// Label of each [`MetricsRegistry::links`] slot, in slot order.
+const LINK_LABELS: [&str; 4] = ["read", "write", "h2d", "d2h"];
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new(DEFAULT_SAMPLE_INTERVAL)
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry self-sampling every `interval` of virtual
+    /// time. A zero interval disables the series (snapshot-only).
+    pub fn new(interval: SimDuration) -> Self {
+        let interval_ns = interval.as_nanos();
+        MetricsRegistry {
+            interval_ns,
+            clock_ns: 0,
+            next_sample_ns: interval_ns.max(1),
+            sealed: false,
+            ready_tasks: 0,
+            running_tasks: 0,
+            nodes: Vec::new(),
+            max_queue_depth: 0,
+            peak_running: 0,
+            ready_total: 0,
+            decisions_total: 0,
+            dispatched_total: 0,
+            failed_total: 0,
+            retries_total: 0,
+            resubmissions_total: 0,
+            faults_total: 0,
+            node_downs_total: 0,
+            node_ups_total: 0,
+            invalidated_blocks_total: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            links: [LinkCounters::default(); 4],
+            sched_overhead_ns: 0,
+            completed_by_type: BTreeMap::new(),
+            latency_by_type: BTreeMap::new(),
+            inflight: FxHashMap::default(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Folds a complete telemetry log into a sealed registry.
+    pub fn from_log(log: &TelemetryLog, interval: SimDuration) -> Self {
+        let mut reg = MetricsRegistry::new(interval);
+        log.replay(&mut reg);
+        reg
+    }
+
+    /// The sampling interval, integer nanoseconds (0 = disabled).
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// The virtual-time series sampled so far.
+    pub fn samples(&self) -> &[SampleRow] {
+        &self.samples
+    }
+
+    /// The per-type latency histograms.
+    pub fn latency_histograms(&self) -> &BTreeMap<String, BucketHistogram> {
+        &self.latency_by_type
+    }
+
+    /// Total completed tasks across types.
+    pub fn completed_total(&self) -> u64 {
+        self.completed_by_type.values().sum()
+    }
+
+    fn ensure_node(&mut self, node: usize) -> &mut NodeState {
+        if node >= self.nodes.len() {
+            self.nodes.resize(node + 1, NodeState::default());
+        }
+        &mut self.nodes[node]
+    }
+
+    fn push_sample(&mut self, t_ns: u64) {
+        self.samples.push(SampleRow {
+            t_ns,
+            ready: self.ready_tasks,
+            running: self.running_tasks,
+            busy_cores: self.nodes.iter().map(|n| n.busy_cores).sum(),
+            busy_gpus: self.nodes.iter().map(|n| n.busy_gpus).sum(),
+            ram_used: self.nodes.iter().map(|n| n.ram_used).sum(),
+            completed: self.completed_total(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            transfer_bytes: self.links.iter().map(|l| l.bytes).sum(),
+        });
+    }
+
+    /// Advances the sampling clock to `t_ns`, sealing every sample
+    /// boundary the stream has moved past. A boundary's row reflects
+    /// every event with time `<= boundary`, because it is only sealed
+    /// once a strictly later event arrives.
+    fn advance_clock(&mut self, t_ns: u64) {
+        if t_ns <= self.clock_ns {
+            return;
+        }
+        if self.interval_ns > 0 {
+            while self.next_sample_ns < t_ns {
+                let at = self.next_sample_ns;
+                self.push_sample(at);
+                self.next_sample_ns += self.interval_ns;
+            }
+        }
+        self.clock_ns = t_ns;
+    }
+
+    /// Seals the series: flushes every boundary up to the clock and
+    /// appends the end-state row. Idempotent.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.sealed = true;
+        if self.interval_ns > 0 {
+            while self.next_sample_ns <= self.clock_ns {
+                let at = self.next_sample_ns;
+                self.push_sample(at);
+                self.next_sample_ns += self.interval_ns;
+            }
+        }
+        if self.samples.last().map(|s| s.t_ns) != Some(self.clock_ns) {
+            self.push_sample(self.clock_ns);
+        }
+    }
+
+    /// Folds one event into every affected counter, gauge, and
+    /// histogram.
+    pub fn observe(&mut self, ev: &TelemetryEvent) {
+        match ev {
+            TelemetryEvent::TaskReady { at, .. } => {
+                self.advance_clock(at.as_nanos());
+                self.ready_total += 1;
+                self.ready_tasks += 1;
+                self.max_queue_depth = self.max_queue_depth.max(self.ready_tasks);
+            }
+            TelemetryEvent::Decision(d) => {
+                self.advance_clock(d.at.as_nanos());
+                self.decisions_total += 1;
+                // The scheduler removes the chosen task from the ready
+                // set at decision time; `queue_depth` was sampled just
+                // before the removal, so it resynchronises the gauge
+                // even when recovery re-inserted tasks silently.
+                self.max_queue_depth = self.max_queue_depth.max(d.queue_depth as u64);
+                self.ready_tasks = (d.queue_depth as u64).saturating_sub(1);
+                self.sched_overhead_ns = self
+                    .sched_overhead_ns
+                    .saturating_add(d.sim_overhead.as_nanos());
+            }
+            TelemetryEvent::TaskDispatched {
+                at,
+                task,
+                task_type,
+                ..
+            } => {
+                self.advance_clock(at.as_nanos());
+                self.dispatched_total += 1;
+                self.running_tasks += 1;
+                self.peak_running = self.peak_running.max(self.running_tasks);
+                self.inflight
+                    .insert(task.0, (at.as_nanos(), task_type.to_string()));
+            }
+            TelemetryEvent::Stage { t1, .. } => {
+                self.advance_clock(t1.as_nanos());
+            }
+            TelemetryEvent::Transfer {
+                link, bytes, t1, ..
+            } => {
+                self.advance_clock(t1.as_nanos());
+                let slot = &mut self.links[link_index(*link)];
+                slot.transfers += 1;
+                slot.bytes = slot.bytes.saturating_add(*bytes);
+            }
+            TelemetryEvent::CacheAccess { at, hit, .. } => {
+                self.advance_clock(at.as_nanos());
+                if *hit {
+                    self.cache_hits += 1;
+                } else {
+                    self.cache_misses += 1;
+                }
+            }
+            TelemetryEvent::CacheEvicted { at, count, .. } => {
+                self.advance_clock(at.as_nanos());
+                self.cache_evictions += count;
+            }
+            TelemetryEvent::NodeGauge {
+                at,
+                node,
+                ram_used,
+                busy_cores,
+                busy_gpus,
+            } => {
+                self.advance_clock(at.as_nanos());
+                let slot = self.ensure_node(*node);
+                slot.busy_cores = *busy_cores as u64;
+                slot.busy_gpus = *busy_gpus as u64;
+                slot.ram_used = *ram_used;
+            }
+            TelemetryEvent::TaskCompleted { at, task, .. } => {
+                self.advance_clock(at.as_nanos());
+                self.running_tasks = self.running_tasks.saturating_sub(1);
+                let (start_ns, task_type) = self
+                    .inflight
+                    .remove(&task.0)
+                    .unwrap_or((at.as_nanos(), String::from("unknown")));
+                let latency = at.as_nanos().saturating_sub(start_ns);
+                *self.completed_by_type.entry(task_type.clone()).or_insert(0) += 1;
+                self.latency_by_type
+                    .entry(task_type)
+                    .or_default()
+                    .observe_ns(latency);
+            }
+            TelemetryEvent::FaultInjected { .. } => {
+                // Plan entries are announced up front with their future
+                // firing times; counting them must not advance the
+                // sampling clock past the real frontier.
+                self.faults_total += 1;
+            }
+            TelemetryEvent::TaskFailed { at, task, .. } => {
+                self.advance_clock(at.as_nanos());
+                self.failed_total += 1;
+                self.running_tasks = self.running_tasks.saturating_sub(1);
+                self.inflight.remove(&task.0);
+            }
+            TelemetryEvent::TaskRetry { at, .. } => {
+                self.advance_clock(at.as_nanos());
+                self.retries_total += 1;
+            }
+            TelemetryEvent::TaskResubmitted { at, .. } => {
+                self.advance_clock(at.as_nanos());
+                self.resubmissions_total += 1;
+            }
+            TelemetryEvent::NodeDown { at, node } => {
+                self.advance_clock(at.as_nanos());
+                self.node_downs_total += 1;
+                self.ensure_node(*node).up = false;
+            }
+            TelemetryEvent::NodeUp { at, node } => {
+                self.advance_clock(at.as_nanos());
+                self.node_ups_total += 1;
+                self.ensure_node(*node).up = true;
+            }
+            TelemetryEvent::BlocksInvalidated {
+                at,
+                count,
+                lost_versions,
+                ..
+            } => {
+                self.advance_clock(at.as_nanos());
+                self.invalidated_blocks_total += count + lost_versions;
+            }
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Byte-identical for identical runs.
+    pub fn expose(&self) -> String {
+        let mut o = String::with_capacity(4096);
+        gauge(
+            &mut o,
+            "gpuflow_sim_time_seconds",
+            "Virtual time of this snapshot.",
+            &fmt_seconds(self.clock_ns),
+        );
+        gauge(
+            &mut o,
+            "gpuflow_ready_tasks",
+            "Tasks in the ready set.",
+            &self.ready_tasks.to_string(),
+        );
+        gauge(
+            &mut o,
+            "gpuflow_running_tasks",
+            "Tasks holding resources.",
+            &self.running_tasks.to_string(),
+        );
+        self.expose_node_gauges(&mut o);
+        counter(
+            &mut o,
+            "gpuflow_tasks_ready_total",
+            "Ready-queue insertions.",
+            self.ready_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_scheduler_decisions_total",
+            "Master scheduling decisions.",
+            self.decisions_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_tasks_dispatched_total",
+            "Task attempts dispatched.",
+            self.dispatched_total,
+        );
+        family(
+            &mut o,
+            "gpuflow_tasks_completed_total",
+            "Tasks completed, by task type.",
+            "counter",
+        );
+        for (ty, n) in &self.completed_by_type {
+            let _ = writeln!(
+                o,
+                "gpuflow_tasks_completed_total{{type=\"{}\"}} {n}",
+                label_escape(ty)
+            );
+        }
+        counter(
+            &mut o,
+            "gpuflow_tasks_failed_total",
+            "Task attempts lost to faults.",
+            self.failed_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_task_retries_total",
+            "Retry backoffs scheduled.",
+            self.retries_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_task_resubmissions_total",
+            "Attempts resubmitted after losing their node or device.",
+            self.resubmissions_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_faults_injected_total",
+            "Fault-plan entries announced.",
+            self.faults_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_node_transitions_down_total",
+            "Node quarantine transitions.",
+            self.node_downs_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_node_transitions_up_total",
+            "Node rejoin transitions.",
+            self.node_ups_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_blocks_invalidated_total",
+            "Cache entries and block versions destroyed by crashes.",
+            self.invalidated_blocks_total,
+        );
+        counter(
+            &mut o,
+            "gpuflow_cache_hits_total",
+            "Worker cache hits.",
+            self.cache_hits,
+        );
+        counter(
+            &mut o,
+            "gpuflow_cache_misses_total",
+            "Worker cache misses.",
+            self.cache_misses,
+        );
+        counter(
+            &mut o,
+            "gpuflow_cache_evictions_total",
+            "LRU evictions.",
+            self.cache_evictions,
+        );
+        family(
+            &mut o,
+            "gpuflow_transfers_total",
+            "Link flows completed, by link.",
+            "counter",
+        );
+        for (i, slot) in self.links.iter().enumerate() {
+            let _ = writeln!(
+                o,
+                "gpuflow_transfers_total{{link=\"{}\"}} {}",
+                LINK_LABELS[i], slot.transfers
+            );
+        }
+        family(
+            &mut o,
+            "gpuflow_transfer_bytes_total",
+            "Payload bytes moved, by link.",
+            "counter",
+        );
+        for (i, slot) in self.links.iter().enumerate() {
+            let _ = writeln!(
+                o,
+                "gpuflow_transfer_bytes_total{{link=\"{}\"}} {}",
+                LINK_LABELS[i], slot.bytes
+            );
+        }
+        family(
+            &mut o,
+            "gpuflow_scheduler_overhead_seconds_total",
+            "Modelled master-side decision overhead.",
+            "counter",
+        );
+        let _ = writeln!(
+            o,
+            "gpuflow_scheduler_overhead_seconds_total {}",
+            fmt_seconds(self.sched_overhead_ns)
+        );
+        counter(
+            &mut o,
+            "gpuflow_metrics_samples_total",
+            "Virtual-time series rows sampled.",
+            self.samples.len() as u64,
+        );
+        family(
+            &mut o,
+            "gpuflow_task_duration_seconds",
+            "Dispatch-to-completion latency, by task type.",
+            "histogram",
+        );
+        for (ty, h) in &self.latency_by_type {
+            let ty = label_escape(ty);
+            let mut cum = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cum += c;
+                let le = LATENCY_LE_LABELS.get(i).copied().unwrap_or("+Inf");
+                let _ = writeln!(
+                    o,
+                    "gpuflow_task_duration_seconds_bucket{{type=\"{ty}\",le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(
+                o,
+                "gpuflow_task_duration_seconds_sum{{type=\"{ty}\"}} {}",
+                fmt_seconds(h.sum_ns)
+            );
+            let _ = writeln!(
+                o,
+                "gpuflow_task_duration_seconds_count{{type=\"{ty}\"}} {}",
+                h.count
+            );
+        }
+        o
+    }
+
+    fn expose_node_gauges(&self, o: &mut String) {
+        family(
+            o,
+            "gpuflow_node_busy_cores",
+            "Host cores held by tasks, per node.",
+            "gauge",
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                o,
+                "gpuflow_node_busy_cores{{node=\"{i}\"}} {}",
+                n.busy_cores
+            );
+        }
+        family(
+            o,
+            "gpuflow_node_busy_gpus",
+            "GPU devices held by tasks, per node.",
+            "gauge",
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(o, "gpuflow_node_busy_gpus{{node=\"{i}\"}} {}", n.busy_gpus);
+        }
+        family(
+            o,
+            "gpuflow_node_ram_bytes",
+            "Working-set bytes resident, per node.",
+            "gauge",
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(o, "gpuflow_node_ram_bytes{{node=\"{i}\"}} {}", n.ram_used);
+        }
+        family(o, "gpuflow_node_up", "Node liveness (1 = up).", "gauge");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                o,
+                "gpuflow_node_up{{node=\"{i}\"}} {}",
+                if n.up { 1 } else { 0 }
+            );
+        }
+    }
+
+    /// Renders the virtual-time series as a text table (integer-derived
+    /// columns only).
+    pub fn render_series(&self) -> String {
+        let mut o = String::from(
+            "time_s        ready  running  busy_cores  busy_gpus  ram_mib  completed  cache_hits  cache_misses  xfer_mib\n",
+        );
+        for s in &self.samples {
+            let _ = writeln!(
+                o,
+                "{:<13} {:<6} {:<8} {:<11} {:<10} {:<8} {:<10} {:<11} {:<13} {}",
+                fmt_seconds(s.t_ns),
+                s.ready,
+                s.running,
+                s.busy_cores,
+                s.busy_gpus,
+                s.ram_used >> 20,
+                s.completed,
+                s.cache_hits,
+                s.cache_misses,
+                s.transfer_bytes >> 20
+            );
+        }
+        o
+    }
+
+    /// The `metrics` section of `gpuflow obs summary --json`: a fixed
+    /// integer-only object (schema in `tests/schemas/obs_summary.json`).
+    pub fn summary_json(&self) -> String {
+        let mut o = String::from("{");
+        let _ = write!(o, "\"interval_ns\":{}", self.interval_ns);
+        let _ = write!(o, ",\"samples\":{}", self.samples.len());
+        let _ = write!(o, ",\"max_queue_depth\":{}", self.max_queue_depth);
+        let _ = write!(o, ",\"peak_running\":{}", self.peak_running);
+        let _ = write!(o, ",\"completed\":{}", self.completed_total());
+        let _ = write!(o, ",\"failed\":{}", self.failed_total);
+        let _ = write!(o, ",\"retries\":{}", self.retries_total);
+        let _ = write!(o, ",\"cache_hits\":{}", self.cache_hits);
+        let _ = write!(o, ",\"cache_misses\":{}", self.cache_misses);
+        let _ = write!(o, ",\"cache_evictions\":{}", self.cache_evictions);
+        let _ = write!(
+            o,
+            ",\"transfer_bytes\":{}",
+            self.links.iter().map(|l| l.bytes).sum::<u64>()
+        );
+        o.push('}');
+        o
+    }
+}
+
+impl TelemetrySink for MetricsRegistry {
+    fn on_event(&mut self, ev: &TelemetryEvent) {
+        self.observe(ev);
+    }
+
+    fn finish(&mut self) {
+        self.seal();
+    }
+}
+
+/// A thread-safe shared handle over a [`MetricsRegistry`] — the live
+/// endpoint `gpuflow serve` scrapes while the executor (on another
+/// thread) feeds the bus. Cloning shares the underlying registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    inner: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl MetricsHub {
+    /// A hub sampling every `interval` of virtual time.
+    pub fn new(interval: SimDuration) -> Self {
+        MetricsHub {
+            inner: Arc::new(Mutex::new(MetricsRegistry::new(interval))),
+        }
+    }
+
+    /// Locks the registry, recovering from a poisoned lock (a panicking
+    /// simulation thread must not take the metrics endpoint down).
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Folds one event (called by the bus on the simulation thread).
+    pub fn observe(&self, ev: &TelemetryEvent) {
+        self.lock().observe(ev);
+    }
+
+    /// Seals the series at the end of the run.
+    pub fn finish(&self) {
+        self.lock().seal();
+    }
+
+    /// The current Prometheus exposition snapshot.
+    pub fn expose(&self) -> String {
+        self.lock().expose()
+    }
+
+    /// The current virtual-time series rendering.
+    pub fn render_series(&self) -> String {
+        self.lock().render_series()
+    }
+
+    /// A deep copy of the registry at this instant.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.lock().clone()
+    }
+}
+
+/// Writes the `# HELP` / `# TYPE` preamble of one metric family.
+fn family(o: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(o, "# HELP {name} {help}");
+    let _ = writeln!(o, "# TYPE {name} {kind}");
+}
+
+/// Writes a single-sample gauge family.
+fn gauge(o: &mut String, name: &str, help: &str, value: &str) {
+    family(o, name, help, "gauge");
+    let _ = writeln!(o, "{name} {value}");
+}
+
+/// Writes a single-sample counter family.
+fn counter(o: &mut String, name: &str, help: &str, value: u64) {
+    family(o, name, help, "counter");
+    let _ = writeln!(o, "{name} {value}");
+}
+
+/// Formats integer nanoseconds as exact decimal seconds (fixed-point,
+/// trailing zeros trimmed to at least one fractional digit) — float-free
+/// so the exposition is byte-stable.
+pub fn fmt_seconds(ns: u64) -> String {
+    let secs = ns / 1_000_000_000;
+    let frac = ns % 1_000_000_000;
+    let mut s = format!("{secs}.{frac:09}");
+    while s.ends_with('0') && !s.ends_with(".0") {
+        s.pop();
+    }
+    s
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskId, TaskType};
+    use gpuflow_sim::SimTime;
+
+    fn ready(t_ns: u64, task: u32) -> TelemetryEvent {
+        TelemetryEvent::TaskReady {
+            at: SimTime::from_nanos(t_ns),
+            task: TaskId(task),
+        }
+    }
+
+    fn dispatch(t_ns: u64, task: u32, ty: &str) -> TelemetryEvent {
+        TelemetryEvent::TaskDispatched {
+            at: SimTime::from_nanos(t_ns),
+            task: TaskId(task),
+            task_type: TaskType::from(ty),
+            node: 0,
+            core: 0,
+            cores: 1,
+            gpu: None,
+        }
+    }
+
+    fn complete(t_ns: u64, task: u32) -> TelemetryEvent {
+        TelemetryEvent::TaskCompleted {
+            at: SimTime::from_nanos(t_ns),
+            task: TaskId(task),
+            node: 0,
+        }
+    }
+
+    #[test]
+    fn fixed_point_seconds_are_exact() {
+        assert_eq!(fmt_seconds(0), "0.0");
+        assert_eq!(fmt_seconds(440_342_880), "0.44034288");
+        assert_eq!(fmt_seconds(1_000_000_000), "1.0");
+        assert_eq!(fmt_seconds(1_000_000_001), "1.000000001");
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_count() {
+        let mut h = BucketHistogram::default();
+        for ns in [0, 1_000_000, 1_000_001, 9_999_999_999, u64::MAX] {
+            h.observe_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+        // <= is the bucket rule: exactly 1 ms lands in the 0.001 bucket.
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[LATENCY_BOUNDS_NS.len()], 1);
+    }
+
+    #[test]
+    fn latency_is_measured_dispatch_to_completion_per_type() {
+        let mut reg = MetricsRegistry::new(SimDuration::ZERO);
+        reg.observe(&dispatch(1_000, 0, "map"));
+        reg.observe(&dispatch(2_000, 1, "reduce"));
+        reg.observe(&complete(2_001_000, 0));
+        reg.observe(&complete(5_002_000, 1));
+        assert_eq!(reg.completed_total(), 2);
+        let map = &reg.latency_histograms()["map"];
+        assert_eq!(map.count(), 1);
+        assert_eq!(map.sum_ns(), 2_000_000);
+        let red = &reg.latency_histograms()["reduce"];
+        assert_eq!(red.sum_ns(), 5_000_000);
+        assert_eq!(reg.running_tasks, 0);
+    }
+
+    #[test]
+    fn sampling_seals_interval_boundaries() {
+        let mut reg = MetricsRegistry::new(SimDuration::from_nanos(100));
+        reg.observe(&ready(0, 0));
+        reg.observe(&dispatch(50, 0, "t"));
+        // Crossing t=350 seals boundaries 100, 200, 300.
+        reg.observe(&complete(350, 0));
+        assert_eq!(
+            reg.samples().iter().map(|s| s.t_ns).collect::<Vec<_>>(),
+            vec![100, 200, 300]
+        );
+        let s100 = reg.samples()[0];
+        assert_eq!(s100.running, 1, "dispatch at 50 visible at t=100");
+        assert_eq!(s100.completed, 0);
+        reg.seal();
+        // Seal appends the end-state row at the clock.
+        assert_eq!(reg.samples().last().map(|s| s.t_ns), Some(350));
+        assert_eq!(reg.samples().last().map(|s| s.completed), Some(1));
+        // Sealing twice changes nothing.
+        let n = reg.samples().len();
+        reg.seal();
+        assert_eq!(reg.samples().len(), n);
+    }
+
+    #[test]
+    fn fault_announcements_do_not_advance_the_clock() {
+        let mut reg = MetricsRegistry::new(SimDuration::from_nanos(100));
+        reg.observe(&TelemetryEvent::FaultInjected {
+            at: SimTime::from_nanos(10_000),
+            node: Some(0),
+            what: "straggler",
+        });
+        assert_eq!(reg.clock_ns, 0);
+        assert!(reg.samples().is_empty());
+        assert_eq!(reg.faults_total, 1);
+    }
+
+    #[test]
+    fn exposition_renders_histograms_cumulatively() {
+        let mut reg = MetricsRegistry::new(SimDuration::ZERO);
+        reg.observe(&dispatch(0, 0, "map"));
+        reg.observe(&complete(2_000_000, 0)); // 2 ms -> le 0.0025 bucket
+        reg.seal();
+        let text = reg.expose();
+        assert!(text.contains("gpuflow_task_duration_seconds_bucket{type=\"map\",le=\"0.001\"} 0"));
+        assert!(text.contains("gpuflow_task_duration_seconds_bucket{type=\"map\",le=\"0.0025\"} 1"));
+        assert!(text.contains("gpuflow_task_duration_seconds_bucket{type=\"map\",le=\"+Inf\"} 1"));
+        assert!(text.contains("gpuflow_task_duration_seconds_sum{type=\"map\"} 0.002"));
+        assert!(text.contains("gpuflow_task_duration_seconds_count{type=\"map\"} 1"));
+        assert!(text.contains("gpuflow_sim_time_seconds 0.002"));
+    }
+
+    #[test]
+    fn decision_resynchronises_the_ready_gauge() {
+        let mut reg = MetricsRegistry::new(SimDuration::ZERO);
+        reg.observe(&ready(0, 0));
+        reg.observe(&ready(0, 1));
+        assert_eq!(reg.ready_tasks, 2);
+        reg.observe(&TelemetryEvent::Decision(
+            crate::telemetry::SchedulerDecision {
+                at: SimTime::from_nanos(10),
+                task: TaskId(0),
+                chosen: 0,
+                queue_depth: 2,
+                sim_overhead: SimDuration::from_nanos(500),
+                host_nanos: 0,
+                candidates: Vec::new(),
+            },
+        ));
+        assert_eq!(reg.ready_tasks, 1);
+        assert_eq!(reg.max_queue_depth, 2);
+        assert_eq!(reg.sched_overhead_ns, 500);
+    }
+
+    #[test]
+    fn hub_is_shared_and_seals_once() {
+        let hub = MetricsHub::new(SimDuration::from_nanos(100));
+        let clone = hub.clone();
+        clone.observe(&ready(0, 0));
+        hub.finish();
+        assert!(hub.expose().contains("gpuflow_tasks_ready_total 1"));
+        assert_eq!(hub.snapshot().samples().len(), 1);
+    }
+
+    #[test]
+    fn label_escape_handles_specials() {
+        assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(label_escape("plain"), "plain");
+    }
+}

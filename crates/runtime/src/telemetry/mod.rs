@@ -31,6 +31,7 @@ mod chrome;
 mod diff;
 mod event;
 mod histogram;
+mod metrics;
 mod overhead;
 mod sink;
 
@@ -43,37 +44,59 @@ pub use diff::{
 };
 pub use event::{CandidateScore, LinkKind, SchedulerDecision, TelemetryEvent};
 pub use histogram::{Histogram, HistogramDigest};
+pub use metrics::{
+    fmt_seconds, BucketHistogram, MetricsHub, MetricsRegistry, SampleRow, DEFAULT_SAMPLE_INTERVAL,
+};
 pub use overhead::OverheadReport;
 pub use sink::{JsonlSink, MemorySink, TelemetrySink};
 
 /// The executor-side collector: a no-op unless activated, so disabled
 /// runs pay a single branch per emission site.
+///
+/// Two independent consumers can be attached: the in-memory record
+/// (trace/telemetry collection) and a live [`MetricsHub`] that folds
+/// each event as it is emitted, so an HTTP scrape sees the run's
+/// current state without buffering the stream.
 #[derive(Debug, Clone, Default)]
 pub struct EventBus {
-    active: bool,
+    record: bool,
+    live: Option<MetricsHub>,
     events: Vec<TelemetryEvent>,
 }
 
 impl EventBus {
-    /// A bus that records events iff `active`.
-    pub fn new(active: bool) -> Self {
+    /// A bus that records events iff `record`.
+    pub fn new(record: bool) -> Self {
         EventBus {
-            active,
+            record,
+            live: None,
             events: Vec::new(),
         }
     }
 
-    /// Whether emissions are recorded. Emission sites guard event
-    /// construction on this, so a disabled bus allocates nothing.
-    #[inline]
-    pub fn active(&self) -> bool {
-        self.active
+    /// Attaches a live metrics hub; every emitted event is folded into
+    /// it immediately.
+    pub fn with_live(mut self, hub: MetricsHub) -> Self {
+        self.live = Some(hub);
+        self
     }
 
-    /// Records one event (dropped when inactive).
+    /// Whether emissions are consumed by anything. Emission sites guard
+    /// event construction on this, so a bus with no consumer allocates
+    /// nothing.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.record || self.live.is_some()
+    }
+
+    /// Emits one event: forwards to the live hub if attached, then
+    /// records it (dropped when no consumer is attached).
     #[inline]
     pub fn push(&mut self, ev: TelemetryEvent) {
-        if self.active {
+        if let Some(hub) = &self.live {
+            hub.observe(&ev);
+        }
+        if self.record {
             self.events.push(ev);
         }
     }
@@ -81,6 +104,14 @@ impl EventBus {
     /// Events recorded so far.
     pub fn events(&self) -> &[TelemetryEvent] {
         &self.events
+    }
+
+    /// Seals the live hub's series, if one is attached (call at end of
+    /// run, before the bus is consumed).
+    pub fn finish_live(&self) {
+        if let Some(hub) = &self.live {
+            hub.finish();
+        }
     }
 
     /// Consumes the bus into an immutable log.

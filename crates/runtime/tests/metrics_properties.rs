@@ -1,0 +1,75 @@
+//! Property suite for the metrics registry's latency histogram: the
+//! fixed-bucket accumulator must satisfy the Prometheus histogram
+//! invariants (bucket counts partition the observations; cumulative
+//! rendering is monotone; `+Inf` equals `_count`; `_sum` is the exact
+//! integer sum) for *any* observation stream.
+
+use gpuflow_runtime::BucketHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// Per-bucket counts always sum to the observation count, and the
+    /// sum accumulator is the exact integer total.
+    #[test]
+    fn bucket_counts_partition_the_observations(
+        obs in prop::collection::vec(0u64..30_000_000_000, 0..200),
+    ) {
+        let mut h = BucketHistogram::default();
+        for &ns in &obs {
+            h.observe_ns(ns);
+        }
+        prop_assert_eq!(h.count(), obs.len() as u64);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), obs.len() as u64);
+        prop_assert_eq!(h.sum_ns(), obs.iter().sum::<u64>());
+    }
+
+    /// The cumulative ladder (the shape `expose()` renders) is
+    /// non-decreasing and its `+Inf` rung equals the count — the two
+    /// invariants the promtext checker enforces on the emitted text.
+    #[test]
+    fn cumulative_ladder_is_monotone_and_ends_at_count(
+        obs in prop::collection::vec(0u64..30_000_000_000, 1..200),
+    ) {
+        let mut h = BucketHistogram::default();
+        for &ns in &obs {
+            h.observe_ns(ns);
+        }
+        let mut cum = 0u64;
+        let mut prev = 0u64;
+        for &c in h.bucket_counts() {
+            cum += c;
+            prop_assert!(cum >= prev);
+            prev = cum;
+        }
+        prop_assert_eq!(cum, h.count());
+    }
+
+    /// Observation order never matters: the histogram is a commutative
+    /// fold, so any permutation of the stream lands identical state.
+    #[test]
+    fn observation_order_is_irrelevant(
+        obs in prop::collection::vec(0u64..30_000_000_000, 0..100),
+    ) {
+        let mut forward = BucketHistogram::default();
+        for &ns in &obs {
+            forward.observe_ns(ns);
+        }
+        let mut backward = BucketHistogram::default();
+        for &ns in obs.iter().rev() {
+            backward.observe_ns(ns);
+        }
+        prop_assert_eq!(forward, backward);
+    }
+}
+
+/// Boundary observations land in the bucket whose upper bound they
+/// equal (Prometheus `le` semantics: bounds are inclusive).
+#[test]
+fn boundary_values_are_le_inclusive() {
+    let mut h = BucketHistogram::default();
+    h.observe_ns(1_000_000); // exactly 1ms, the first bound
+    assert_eq!(h.bucket_counts()[0], 1);
+    h.observe_ns(1_000_001); // just past it
+    assert_eq!(h.bucket_counts()[0], 1);
+    assert_eq!(h.bucket_counts()[1], 1);
+}

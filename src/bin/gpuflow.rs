@@ -6,9 +6,11 @@
 //!                [--clusters 10] [--iterations 3] [--processor gpu]
 //!                [--storage shared|local] [--policy fifo|locality]
 //!                [--threads N] [--prv out.prv] [--csv out.csv]
-//! gpuflow obs    <export-chrome|decisions|overhead|profile|summary|jsonl>
+//! gpuflow obs    <export-chrome|decisions|overhead|profile|summary|metrics|jsonl>
 //!                --workload matmul --rows 16384 --cols 16384 --grid 16
-//!                [run options] [--out FILE] [--json]
+//!                [run options] [--out FILE] [--json] [--series]
+//! gpuflow serve  --workload matmul --rows 16384 --cols 16384 --grid 16
+//!                [run options] [--metrics-port P] [--metrics-interval SECS] [--requests N]
 //! gpuflow diff   A.profile B.profile [--json] [--out FILE]
 //! gpuflow doctor --workload matmul --rows 16384 --cols 16384 --grid 16
 //!                [run options] [--json]   (or: --profile FILE)
@@ -35,9 +37,10 @@ use gpuflow::cli::{
 };
 use gpuflow::cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
 use gpuflow::runtime::{
-    run, to_chrome_trace, to_paraver_prv, trace_analysis, OverheadReport, RunConfig, RunDiff,
-    RunProfile, SchedulingPolicy, Workflow,
+    run, to_chrome_trace, to_paraver_prv, trace_analysis, MetricsHub, MetricsRegistry,
+    OverheadReport, RunConfig, RunDiff, RunProfile, SchedulingPolicy, Workflow,
 };
+use gpuflow::sim::SimDuration;
 
 fn build_workflow(args: &Args) -> Result<(Workload, Workflow), String> {
     let workload = workload_from(args)?;
@@ -198,13 +201,23 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
         "decisions" => log.render_decisions(),
         "overhead" => OverheadReport::from_log(log, report.makespan()).render(),
         "jsonl" => log.to_jsonl(),
+        "metrics" => {
+            let registry = MetricsRegistry::from_log(log, metrics_interval(args)?);
+            if args.flag("series") {
+                registry.render_series()
+            } else {
+                registry.expose()
+            }
+        }
         "summary" if args.flag("json") => {
             // Schema documented in docs/observability.md.
+            let registry = MetricsRegistry::from_log(log, metrics_interval(args)?);
             format!(
-                "{{\"workload\":\"{}\",\"makespan_ns\":{},\"telemetry\":{}}}\n",
+                "{{\"workload\":\"{}\",\"makespan_ns\":{},\"telemetry\":{},\"metrics\":{}}}\n",
                 workload.label().replace('"', "\\\""),
-                gpuflow::sim::SimDuration::from_secs_f64(report.makespan()).as_nanos(),
-                log.summary_json()
+                SimDuration::from_secs_f64(report.makespan()).as_nanos(),
+                log.summary_json(),
+                registry.summary_json()
             )
         }
         "summary" => {
@@ -216,11 +229,68 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "unknown obs view '{other}' (export-chrome, decisions, overhead, profile, summary, jsonl)"
+                "unknown obs view '{other}' (export-chrome, decisions, overhead, profile, summary, metrics, jsonl)"
             ))
         }
     };
     emit(args, sub, &output)
+}
+
+/// The metrics sampling interval from `--metrics-interval SECS`
+/// (default 10 ms of virtual time).
+fn metrics_interval(args: &Args) -> Result<SimDuration, String> {
+    let secs: f64 = args.num("metrics-interval", 0.01)?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "--metrics-interval must be finite and non-negative, got {secs}"
+        ));
+    }
+    Ok(SimDuration::from_secs_f64(secs))
+}
+
+/// `gpuflow serve`: run a workload on a worker thread while a zero-dep
+/// HTTP endpoint serves live Prometheus snapshots of its metrics.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let (workload, workflow) = build_workflow(args)?;
+    let processor = processor_from(args)?;
+    let threads: usize = args.num("threads", 1)?;
+    let port: u16 = args.num("metrics-port", 0)?;
+    let max_requests: u64 = args.num("requests", 0)?;
+    let hub = MetricsHub::new(metrics_interval(args)?);
+    let mut config = RunConfig::new(ClusterSpec::minotauro(), processor)
+        .with_storage(storage_from(args)?)
+        .with_policy(policy_from(args)?)
+        .with_cpu_threads(threads)
+        .with_recovery(recovery_from(args)?)
+        .with_live_metrics(hub.clone());
+    if let Some(plan) = faults_from(args)? {
+        config = config.with_faults(plan);
+    }
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("serving metrics on http://{addr}/metrics");
+    // The run is the payload; the listener is a read-only shell over its
+    // live metrics hub. The simulation stays virtual-time and
+    // deterministic — this thread only changes when its results become
+    // observable, never what they are.
+    // lint: allow(D3, serve is a real-time shell outside the simulation; the run itself is unaffected by scrape timing)
+    let worker = std::thread::spawn(move || run(&workflow, &config).map_err(|e| e.to_string()));
+    let max = if max_requests == 0 {
+        None
+    } else {
+        Some(max_requests)
+    };
+    gpuflow::serve::serve_until(&listener, &hub, max);
+    if max.is_none() {
+        return Ok(()); // unreachable in practice: serve_until loops forever
+    }
+    let report = worker
+        .join()
+        .map_err(|_| String::from("simulation thread panicked"))??;
+    eprintln!("workload {} done", workload.label());
+    println!("makespan:  {:.6} s", report.makespan());
+    Ok(())
 }
 
 /// Reads and parses a profile file written by `gpuflow obs profile` or
@@ -431,6 +501,9 @@ fn help() {
          USAGE:\n\
          \u{20} gpuflow run    --workload <w> --rows N --cols N --grid G [options]\n\
          \u{20} gpuflow obs    <view> --workload <w> --rows N --cols N --grid G [options] [--out FILE]\n\
+         \u{20} gpuflow serve  --workload <w> --rows N --cols N --grid G [options]\n\
+         \u{20}                [--metrics-port P] [--metrics-interval SECS] [--requests N]\n\
+         \u{20}                live Prometheus /metrics endpoint while the run executes\n\
          \u{20} gpuflow diff   A.profile B.profile [--json] [--out FILE]\n\
          \u{20} gpuflow lint   [--root DIR] [--json] [--out FILE]   determinism & integer-time lints\n\
          \u{20} gpuflow doctor --workload <w> --rows N --cols N --grid G [options] [--json]\n\
@@ -443,6 +516,8 @@ fn help() {
          \u{20}           (scheduler decision log) | overhead (makespan decomposition) |\n\
          \u{20}           profile (parseable run digest for diff/doctor) |\n\
          \u{20}           summary (event counts; --json for machine-readable) |\n\
+         \u{20}           metrics (Prometheus text exposition; --series for the\n\
+         \u{20}           virtual-time table, --metrics-interval SECS to sample) |\n\
          \u{20}           jsonl (raw event stream)\n\
          \n\
          WORKLOADS: matmul | fma | kmeans | knn | cholesky\n\
@@ -475,12 +550,13 @@ fn main() -> ExitCode {
         "run" => Args::parse(rest).and_then(|a| cmd_run(&a)),
         "obs" => match rest.split_first() {
             Some((sub, rest)) if !sub.starts_with("--") => {
-                Args::parse_with(rest, &["json"]).and_then(|a| cmd_obs(sub, &a))
+                Args::parse_with(rest, &["json", "series"]).and_then(|a| cmd_obs(sub, &a))
             }
             _ => Err(String::from(
-                "obs needs a view: export-chrome, decisions, overhead, profile, summary, jsonl",
+                "obs needs a view: export-chrome, decisions, overhead, profile, summary, metrics, jsonl",
             )),
         },
+        "serve" => Args::parse(rest).and_then(|a| cmd_serve(&a)),
         "diff" => match rest {
             [a, b, flags @ ..] if !a.starts_with("--") && !b.starts_with("--") => {
                 Args::parse_with(flags, &["json"]).and_then(|ar| cmd_diff(a, b, &ar))
@@ -499,7 +575,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (run, obs, diff, lint, doctor, advise, dag, chaos, help)"
+            "unknown command '{other}' (run, obs, serve, diff, lint, doctor, advise, dag, chaos, help)"
         )),
     };
     match result {
