@@ -1,0 +1,269 @@
+//! `gpuflowd` — the long-lived multi-tenant scheduler daemon.
+//!
+//! A thin real-time shell over [`gpuflow_daemon::DaemonCore`]: one
+//! accept loop, one request line per connection, every decision
+//! recorded in the submission journal. Run it, talk to it with the
+//! `gpuflow submit` / `queue` / `cancel` / `ctl` verbs (or netcat),
+//! and replay the recorded journal bit-identically with
+//! `gpuflow repro replay --from-log FILE`.
+//!
+//! ```text
+//! gpuflowd [--port N] [--tenants acme:3,beta:2,gamma:1] [--quota N]
+//!          [--queue-cap N] [--window N] [--tenant-window N]
+//!          [--tick-us N] [--interval-us N] [--seed 0xHEX]
+//!          [--max-tasks N] [--log FILE] [--metrics-port N]
+//! ```
+//!
+//! `--port 0` (the default) binds an ephemeral port; the daemon prints
+//! `gpuflowd listening on 127.0.0.1:PORT` so scripts can capture it.
+//! `--log FILE` persists the journal after every accepted decision.
+//! `--metrics-port` additionally serves `GET /metrics` + `/healthz`
+//! on a scrape endpoint that shuts down cleanly with the daemon.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use gpuflow_daemon::core::DrainSummary;
+use gpuflow_daemon::protocol::parse_command;
+use gpuflow_daemon::{Command, DaemonConfig, DaemonCore, ServeControl};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gpuflowd [--port N] [--tenants name:weight,...] [--quota N] [--queue-cap N]\n\
+         \x20               [--window N] [--tenant-window N] [--tick-us N] [--interval-us N]\n\
+         \x20               [--seed 0xHEX] [--max-tasks N] [--log FILE] [--metrics-port N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str, flag: &str) -> u64 {
+    let v = if let Some(h) = s.strip_prefix("0x") {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        s.parse().ok()
+    };
+    v.unwrap_or_else(|| {
+        eprintln!("gpuflowd: {flag} wants an integer, got {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_tenants(s: &str) -> Vec<(String, u32)> {
+    s.split(',')
+        .map(|pair| {
+            let Some((name, weight)) = pair.split_once(':') else {
+                eprintln!("gpuflowd: --tenants wants name:weight pairs, got {pair:?}");
+                std::process::exit(2);
+            };
+            (
+                name.to_string(),
+                parse_u64(weight, "--tenants weight") as u32,
+            )
+        })
+        .collect()
+}
+
+struct Options {
+    port: u16,
+    cfg: DaemonConfig,
+    log: Option<String>,
+    metrics_port: Option<u16>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        port: 0,
+        cfg: DaemonConfig::default(),
+        log: None,
+        metrics_port: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("gpuflowd: {flag} wants a value");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--port" => opts.port = parse_u64(&value(), flag) as u16,
+            "--tenants" => opts.cfg.tenants = parse_tenants(&value()),
+            "--quota" => opts.cfg.quota = parse_u64(&value(), flag) as u32,
+            "--queue-cap" => opts.cfg.queue_cap = parse_u64(&value(), flag) as u32,
+            "--window" => opts.cfg.window = parse_u64(&value(), flag) as u32,
+            "--tenant-window" => opts.cfg.tenant_window = parse_u64(&value(), flag) as u32,
+            "--tick-us" => opts.cfg.tick_us = parse_u64(&value(), flag),
+            "--interval-us" => opts.cfg.interval_us = parse_u64(&value(), flag),
+            "--seed" => opts.cfg.seed = parse_u64(&value(), flag),
+            "--max-tasks" => opts.cfg.max_tasks = parse_u64(&value(), flag),
+            "--log" => opts.log = Some(value()),
+            "--metrics-port" => opts.metrics_port = Some(parse_u64(&value(), flag) as u16),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("gpuflowd: unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Executes one parsed command. Returns `(reply text, shutdown?)`.
+fn execute(core: &mut DaemonCore, cmd: Command) -> (String, bool) {
+    match cmd {
+        Command::Submit {
+            tenant,
+            shape,
+            tasks,
+            prio,
+        } => match core.submit(&tenant, shape, tasks, prio) {
+            Ok(job) => {
+                let t_us = core.jobs().last().map(|j| j.t_us).unwrap_or(0);
+                (
+                    format!(
+                        "ok job={job} t={}.{:06}\n",
+                        t_us / 1_000_000,
+                        t_us % 1_000_000
+                    ),
+                    false,
+                )
+            }
+            Err(reason) => (format!("err reject reason={}\n", reason.label()), false),
+        },
+        Command::Cancel { job } => match core.cancel(job) {
+            Ok(()) => (format!("ok cancelled job={job}\n"), false),
+            Err(e) => (format!("err {e}\n"), false),
+        },
+        Command::Drain => match core.drain() {
+            Ok(DrainSummary {
+                jobs,
+                epoch,
+                makespan_secs,
+            }) => (
+                format!("ok drained jobs={jobs} epoch={epoch} makespan={makespan_secs:.6}\n"),
+                false,
+            ),
+            Err(e) => (format!("err {e}\n"), false),
+        },
+        Command::Queue { json } => {
+            if json {
+                (core.queue_json(), false)
+            } else {
+                (core.queue_table(), false)
+            }
+        }
+        Command::Report => (core.report(), false),
+        Command::Metrics => (core.metrics_text(), false),
+        Command::Health => (
+            format!(
+                "ok gpuflowd alive seq={} epochs={} queued={}\n",
+                core.seq(),
+                core.epochs(),
+                core.queued()
+            ),
+            false,
+        ),
+        Command::Log => (core.journal_text(), false),
+        Command::Shutdown => ("ok shutting down\n".to_string(), true),
+    }
+}
+
+/// Reads one request line from an accepted connection (newline, EOF or
+/// a 4 KiB cap, whichever first).
+fn read_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = [0u8; 4096];
+    let mut n = 0;
+    loop {
+        let read = stream.read(&mut buf[n..])?;
+        n += read;
+        if read == 0 || n == buf.len() || buf[..n].contains(&b'\n') {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf[..n]);
+    Ok(text.lines().next().unwrap_or("").to_string())
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut core = match DaemonCore::new(opts.cfg) {
+        Ok(core) => core,
+        Err(e) => {
+            eprintln!("gpuflowd: {e}");
+            std::process::exit(2);
+        }
+    };
+    let listener = match TcpListener::bind(("127.0.0.1", opts.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gpuflowd: cannot bind 127.0.0.1:{}: {e}", opts.port);
+            std::process::exit(1);
+        }
+    };
+    let port = listener.local_addr().map(|a| a.port()).unwrap_or(opts.port);
+    println!("gpuflowd listening on 127.0.0.1:{port}");
+
+    // Optional scrape endpoint on its own thread, cleanly stopped at
+    // shutdown via the control's self-connect wake.
+    let metrics_ctl = opts.metrics_port.map(|mport| {
+        let mlistener = match TcpListener::bind(("127.0.0.1", mport)) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("gpuflowd: cannot bind metrics port {mport}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let maddr = mlistener
+            .local_addr()
+            .expect("bound listener has an address");
+        println!("gpuflowd metrics on http://{maddr}/metrics");
+        let ctl = ServeControl::new(&mlistener).expect("bound listener has an address");
+        let hub = core.hub().clone();
+        let ctl2 = ctl.clone();
+        // lint: allow(D3, real-time scrape shell; the hub is the only shared state and it is lock-protected)
+        let handle = std::thread::spawn(move || {
+            gpuflow_daemon::serve_until(&mlistener, &hub, None, Some(&ctl2));
+        });
+        (ctl, handle)
+    });
+
+    if let Some(path) = &opts.log {
+        if let Err(e) = std::fs::write(path, core.journal_text()) {
+            eprintln!("gpuflowd: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let Ok(line) = read_line(&mut stream) else {
+            continue;
+        };
+        let seq_before = core.seq();
+        let (reply, shutdown) = match parse_command(&line) {
+            Ok(cmd) => execute(&mut core, cmd),
+            Err(e) => (format!("err {e}\n"), false),
+        };
+        let _ = stream.write_all(reply.as_bytes());
+        drop(stream);
+        if core.seq() != seq_before {
+            if let Some(path) = &opts.log {
+                if let Err(e) = std::fs::write(path, core.journal_text()) {
+                    eprintln!("gpuflowd: cannot write {path}: {e}");
+                }
+            }
+        }
+        if shutdown {
+            break;
+        }
+    }
+
+    if let Some((ctl, handle)) = metrics_ctl {
+        ctl.shutdown();
+        let _ = handle.join();
+    }
+}

@@ -1,0 +1,21 @@
+//! The one-request TCP client the `gpuflow` CLI verbs use to talk to
+//! `gpuflowd`.
+//!
+//! The daemon protocol is strictly one request line, one reply, then
+//! close ([`crate::protocol`]); the client mirrors that: connect,
+//! write the line, half-close the write side, read the reply to EOF.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+/// Sends one request line to a daemon on `127.0.0.1:port` and returns
+/// the reply text (which may span multiple lines, e.g. `queue json`).
+pub fn request(port: u16, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.shutdown(Shutdown::Write)?;
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply)?;
+    Ok(reply)
+}

@@ -1,0 +1,221 @@
+//! The line-oriented client protocol of `gpuflowd`.
+//!
+//! One TCP connection carries one request line and one reply; the
+//! daemon closes the connection after writing, so clients read to EOF.
+//! Requests are `verb k=v ...` with a fixed keyword set — the same
+//! `k=v` idiom as the recorded journal ([`crate::log`]) — and replies
+//! start with `ok` or `err`.
+
+use gpuflow_runtime::JobShape;
+
+/// Why a submission was refused — the typed backpressure surface.
+/// Every reason is also a Prometheus label value on
+/// `gpuflow_tenant_jobs_rejected_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant already has `quota` jobs queued.
+    QuotaExceeded,
+    /// The global queue is at capacity.
+    QueueFull,
+    /// The submission names a tenant the daemon was not configured
+    /// with.
+    UnknownTenant,
+    /// Malformed submission (bad shape, zero or oversized task count,
+    /// bad tenant name).
+    BadRequest,
+}
+
+impl RejectReason {
+    /// Every reason, in declaration order.
+    pub const ALL: [RejectReason; 4] = [
+        RejectReason::QuotaExceeded,
+        RejectReason::QueueFull,
+        RejectReason::UnknownTenant,
+        RejectReason::BadRequest,
+    ];
+
+    /// Stable label used in the journal and as a metric label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QuotaExceeded => "quota",
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::UnknownTenant => "unknown-tenant",
+            RejectReason::BadRequest => "bad-request",
+        }
+    }
+
+    /// Parses a [`RejectReason::label`] back to the reason.
+    pub fn parse(s: &str) -> Option<RejectReason> {
+        RejectReason::ALL.into_iter().find(|r| r.label() == s)
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Submit one job: `submit tenant=acme shape=wide tasks=24
+    /// [prio=5]`.
+    Submit {
+        /// Tenant name (validated against the daemon config).
+        tenant: String,
+        /// DAG template.
+        shape: JobShape,
+        /// Requested task count.
+        tasks: u64,
+        /// Fair-share tie-break priority (higher first; default 0).
+        prio: u32,
+    },
+    /// Cancel a queued job: `cancel job=3`.
+    Cancel {
+        /// The job id `submit` returned.
+        job: u64,
+    },
+    /// Execute every queued job as one simulated epoch: `drain`.
+    Drain,
+    /// Queue state: `queue` (table) or `queue json` (fixed schema).
+    Queue {
+        /// Emit the machine-readable JSON form.
+        json: bool,
+    },
+    /// Per-job fingerprint report plus the metrics exposition.
+    Report,
+    /// The current Prometheus exposition snapshot.
+    Metrics,
+    /// Liveness probe.
+    Health,
+    /// The recorded submission journal.
+    Log,
+    /// Stop the daemon after replying.
+    Shutdown,
+}
+
+/// Tenant names are journal- and label-safe by construction: ASCII
+/// alphanumerics, `_`, `-`, 1..=64 chars.
+pub fn valid_tenant_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Looks up `key=`-prefixed value among whitespace-split words.
+pub(crate) fn field<'a>(words: &[&'a str], key: &str) -> Option<&'a str> {
+    words
+        .iter()
+        .find_map(|w| w.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+}
+
+/// Parses one request line. Unknown verbs and malformed fields are
+/// errors (the daemon replies `err ...` without touching any state).
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let verb = *words.first().ok_or("empty request")?;
+    match verb {
+        "submit" => {
+            let tenant = field(&words, "tenant").ok_or("submit needs tenant=")?;
+            let shape = field(&words, "shape").ok_or("submit needs shape=")?;
+            let shape = JobShape::parse(shape)
+                .ok_or_else(|| format!("unknown shape {shape:?} (wide|stencil|tree)"))?;
+            let tasks: u64 = field(&words, "tasks")
+                .ok_or("submit needs tasks=")?
+                .parse()
+                .map_err(|_| "tasks= must be an integer".to_string())?;
+            let prio: u32 = match field(&words, "prio") {
+                None => 0,
+                Some(p) => p
+                    .parse()
+                    .map_err(|_| "prio= must be a non-negative integer".to_string())?,
+            };
+            Ok(Command::Submit {
+                tenant: tenant.to_string(),
+                shape,
+                tasks,
+                prio,
+            })
+        }
+        "cancel" => {
+            let job: u64 = field(&words, "job")
+                .ok_or("cancel needs job=")?
+                .parse()
+                .map_err(|_| "job= must be an integer".to_string())?;
+            Ok(Command::Cancel { job })
+        }
+        "drain" => Ok(Command::Drain),
+        "queue" => Ok(Command::Queue {
+            json: words.get(1) == Some(&"json"),
+        }),
+        "report" => Ok(Command::Report),
+        "metrics" => Ok(Command::Metrics),
+        "health" => Ok(Command::Health),
+        "log" => Ok(Command::Log),
+        "shutdown" => Ok(Command::Shutdown),
+        other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_submit_with_and_without_prio() {
+        assert_eq!(
+            parse_command("submit tenant=acme shape=wide tasks=24"),
+            Ok(Command::Submit {
+                tenant: "acme".into(),
+                shape: JobShape::Wide,
+                tasks: 24,
+                prio: 0
+            })
+        );
+        assert_eq!(
+            parse_command("submit tenant=beta shape=tree tasks=9 prio=5"),
+            Ok(Command::Submit {
+                tenant: "beta".into(),
+                shape: JobShape::Tree,
+                tasks: 9,
+                prio: 5
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("submit tenant=a shape=ring tasks=4").is_err());
+        assert!(parse_command("submit tenant=a tasks=4").is_err());
+        assert!(parse_command("cancel").is_err());
+        assert!(parse_command("frobnicate").is_err());
+    }
+
+    #[test]
+    fn parses_control_verbs() {
+        assert_eq!(parse_command("queue"), Ok(Command::Queue { json: false }));
+        assert_eq!(
+            parse_command("queue json"),
+            Ok(Command::Queue { json: true })
+        );
+        assert_eq!(
+            parse_command("cancel job=3"),
+            Ok(Command::Cancel { job: 3 })
+        );
+        assert_eq!(parse_command("drain"), Ok(Command::Drain));
+        assert_eq!(parse_command("shutdown"), Ok(Command::Shutdown));
+    }
+
+    #[test]
+    fn reject_reason_labels_round_trip() {
+        for r in RejectReason::ALL {
+            assert_eq!(RejectReason::parse(r.label()), Some(r));
+        }
+        assert_eq!(RejectReason::parse("nope"), None);
+    }
+
+    #[test]
+    fn tenant_name_charset_is_enforced() {
+        assert!(valid_tenant_name("acme-prod_2"));
+        assert!(!valid_tenant_name(""));
+        assert!(!valid_tenant_name("a b"));
+        assert!(!valid_tenant_name("quote\"y"));
+    }
+}

@@ -35,6 +35,11 @@
 //! repro replay --check       # validate the Prometheus exposition
 //!                            # (exits 1 on malformed output)
 //! repro replay --out FILE    # write the artifact to FILE
+//! repro replay --from-log FILE   # deterministically re-execute a
+//!                                # recorded gpuflowd submission log;
+//!                                # prints the per-job fingerprints and
+//!                                # exposition — bit-identical to the
+//!                                # live daemon run at any --threads
 //! ```
 //!
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
@@ -136,6 +141,46 @@ fn run_perf(args: &[String]) {
 /// exposition; with `--check`, the exposition is validated against the
 /// text-format grammar and the process exits nonzero on a violation —
 /// this is the zero-dependency checker the CI metrics-smoke job runs.
+/// `repro replay --from-log FILE`: re-executes a recorded `gpuflowd`
+/// submission journal by committing its decisions verbatim
+/// ([`gpuflow_daemon::DaemonCore::replay`]). The printed report —
+/// per-job output fingerprints plus the final Prometheus exposition —
+/// is bit-identical to the live daemon's `ctl report` output.
+fn run_replay_from_log(path: &str, args: &[String]) {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("repro replay: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let core = gpuflow_daemon::DaemonCore::replay(&text).unwrap_or_else(|e| {
+        eprintln!("repro replay: {path}: {e}");
+        std::process::exit(2);
+    });
+    let report = core.report();
+    print!("{report}");
+    if let Some(out) = value_of("--out") {
+        std::fs::write(&out, &report).expect("write replay report");
+        eprintln!("[replay -> {out}]");
+    }
+    if args.iter().any(|a| a == "--check") {
+        match gpuflow_lint::promtext::check(&core.metrics_text()) {
+            Ok(stats) => println!(
+                "exposition check: PASS ({} families, {} samples)",
+                stats.families, stats.samples
+            ),
+            Err(err) => {
+                eprintln!("exposition check: FAIL\n{err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn run_replay(args: &[String]) {
     let value_of = |flag: &str| {
         args.iter()
@@ -143,6 +188,10 @@ fn run_replay(args: &[String]) {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    if let Some(path) = value_of("--from-log") {
+        run_replay_from_log(&path, args);
+        return;
+    }
     let mut spec = replay::ReplaySpec::default();
     if let Some(v) = value_of("--seed") {
         spec.seed = v.parse().expect("--seed takes an integer");

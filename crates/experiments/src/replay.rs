@@ -26,12 +26,12 @@
 use std::fmt::Write as _;
 
 use gpuflow_chaos::{mix64, FaultPlan};
-use gpuflow_cluster::{ClusterSpec, KernelWork, ProcessorKind, StorageArchitecture};
-use gpuflow_runtime::{
-    CostProfile, Direction, MetricsRegistry, RunConfig, SchedulingPolicy, TaskId, Workflow,
-    WorkflowBuilder,
-};
+use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
+use gpuflow_runtime::{MetricsRegistry, RunConfig, SchedulingPolicy};
 use gpuflow_sim::SimDuration;
+
+pub use gpuflow_runtime::jobs::build;
+pub use gpuflow_runtime::{JobShape, JobSpec};
 
 /// Weight of each of the 24 "hours" of the diurnal arrival curve. The
 /// scenario horizon is mapped onto this day: a deep overnight trough, a
@@ -40,35 +40,6 @@ use gpuflow_sim::SimDuration;
 const DIURNAL_WEIGHTS: [u32; 24] = [
     2, 1, 1, 1, 1, 2, 4, 8, 14, 18, 20, 20, 18, 19, 20, 19, 16, 12, 9, 7, 5, 4, 3, 2,
 ];
-
-/// Job DAG templates, scaled-down versions of the stress shapes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobShape {
-    /// Independent fan-out: every task is a root.
-    Wide,
-    /// A short stencil sweep (rows of 16 cells).
-    Stencil,
-    /// A binary reduction tree.
-    Tree,
-}
-
-impl JobShape {
-    /// Every shape, in sampling order.
-    pub const ALL: [JobShape; 3] = [JobShape::Wide, JobShape::Stencil, JobShape::Tree];
-
-    /// Lower-case label used in the submission log and task types.
-    pub fn label(self) -> &'static str {
-        match self {
-            JobShape::Wide => "wide",
-            JobShape::Stencil => "stencil",
-            JobShape::Tree => "tree",
-        }
-    }
-}
-
-/// Row width of the stencil job shape (scaled down from the stress
-/// suite's 1000 so replay jobs stay small).
-const JOB_STENCIL_WIDTH: usize = 16;
 
 /// Parameters of one replay scenario.
 #[derive(Debug, Clone)]
@@ -99,21 +70,6 @@ impl Default for ReplaySpec {
             interval_secs: 0.25,
         }
     }
-}
-
-/// One sampled job of the scenario.
-#[derive(Debug, Clone, PartialEq)]
-pub struct JobSpec {
-    /// Job index (sampling key).
-    pub id: usize,
-    /// Owning tenant.
-    pub tenant: usize,
-    /// DAG template.
-    pub shape: JobShape,
-    /// Requested task count (the built DAG may round by shape).
-    pub tasks: usize,
-    /// Submission instant, virtual seconds.
-    pub arrival_secs: f64,
 }
 
 /// Picks an index from integer `weights` with hash `h` (cumulative
@@ -170,6 +126,7 @@ pub fn generate(spec: &ReplaySpec) -> Vec<JobSpec> {
             shape,
             tasks,
             arrival_secs,
+            priority: 0,
         });
     }
     jobs.sort_by(|a, b| {
@@ -178,106 +135,6 @@ pub fn generate(spec: &ReplaySpec) -> Vec<JobSpec> {
             .then(a.id.cmp(&b.id))
     });
     jobs
-}
-
-/// Builds the scenario workflow: every job's DAG in one shared builder
-/// (data names prefixed `j<id>_`, task types `<shape>_t<tenant>`), and
-/// the arrival list releasing each job's root tasks at its submission
-/// instant.
-pub fn build(jobs: &[JobSpec]) -> (Workflow, Vec<(TaskId, f64)>) {
-    const MB: u64 = 1 << 20;
-    let cost = CostProfile::fully_parallel(KernelWork::data_parallel(1e7, 1e6));
-    let mut b = WorkflowBuilder::new();
-    let mut arrivals: Vec<(TaskId, f64)> = Vec::new();
-    for job in jobs {
-        let p = format!("j{}_", job.id);
-        let ty = format!("{}_t{}", job.shape.label(), job.tenant);
-        let mut roots: Vec<TaskId> = Vec::new();
-        match job.shape {
-            JobShape::Wide => {
-                for i in 0..job.tasks {
-                    let x = b.input(format!("{p}x{i}"), MB);
-                    let t = b
-                        .submit(&ty, cost, &[(x, Direction::In)], false)
-                        .expect("valid replay task");
-                    roots.push(t);
-                }
-            }
-            JobShape::Stencil => {
-                let rows = (job.tasks / JOB_STENCIL_WIDTH).max(1);
-                let mut prev: Vec<_> = (0..JOB_STENCIL_WIDTH)
-                    .map(|i| b.input(format!("{p}x{i}"), MB))
-                    .collect();
-                for r in 0..rows {
-                    let mut cur = Vec::with_capacity(JOB_STENCIL_WIDTH);
-                    for i in 0..JOB_STENCIL_WIDTH {
-                        let out = b.intermediate(format!("{p}c{r}_{i}"), MB);
-                        let left = prev[i.saturating_sub(1)];
-                        let t = b
-                            .submit(
-                                &ty,
-                                cost,
-                                &[
-                                    (prev[i], Direction::In),
-                                    (left, Direction::In),
-                                    (out, Direction::Out),
-                                ],
-                                false,
-                            )
-                            .expect("valid replay task");
-                        if r == 0 {
-                            roots.push(t);
-                        }
-                        cur.push(out);
-                    }
-                    prev = cur;
-                }
-            }
-            JobShape::Tree => {
-                let leaves = job.tasks.div_ceil(2).max(1);
-                let mut frontier: Vec<_> = (0..leaves)
-                    .map(|i| {
-                        let x = b.input(format!("{p}x{i}"), MB);
-                        let o = b.intermediate(format!("{p}l{i}"), MB);
-                        let t = b
-                            .submit(&ty, cost, &[(x, Direction::In), (o, Direction::Out)], false)
-                            .expect("valid replay task");
-                        roots.push(t);
-                        o
-                    })
-                    .collect();
-                let mut lvl = 0;
-                while frontier.len() > 1 {
-                    let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
-                    for (q, pair) in frontier.chunks(2).enumerate() {
-                        if let [a, bb] = pair {
-                            let o = b.intermediate(format!("{p}m{lvl}_{q}"), MB);
-                            b.submit(
-                                &ty,
-                                cost,
-                                &[
-                                    (*a, Direction::In),
-                                    (*bb, Direction::In),
-                                    (o, Direction::Out),
-                                ],
-                                false,
-                            )
-                            .expect("valid replay task");
-                            next.push(o);
-                        } else {
-                            next.push(pair[0]);
-                        }
-                    }
-                    frontier = next;
-                    lvl += 1;
-                }
-            }
-        }
-        for t in roots {
-            arrivals.push((t, job.arrival_secs));
-        }
-    }
-    (b.build(), arrivals)
 }
 
 /// The scenario's seeded fault plan (used with `--chaos`): a mid-run

@@ -16,7 +16,11 @@
 //!   per labelled series (each non-`le` label combination is its own
 //!   cumulative ladder) — bucket counts are non-decreasing in
 //!   declaration order, the `+Inf` bucket equals the series' `_count`,
-//!   and `_sum` / `_count` are present.
+//!   and `_sum` / `_count` are present;
+//! * label-key consistency: every sample of a family carries the same
+//!   label *name* set (`le` excluded), so a labelled family — e.g. the
+//!   per-tenant `{tenant,reason}` admission counters — cannot
+//!   accidentally mix dimensions.
 
 /// Summary of a validated exposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +76,8 @@ pub fn check(text: &str) -> Result<Stats, String> {
     let mut samples = 0usize;
     let mut typed: Vec<(String, String)> = Vec::new();
     let mut histograms: Vec<(String, HistogramState)> = Vec::new();
+    // Canonical label-name set of each family's first sample.
+    let mut keysets: Vec<(String, String)> = Vec::new();
 
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -127,6 +133,25 @@ pub fn check(text: &str) -> Result<Stats, String> {
                 )));
             }
             _ => {}
+        }
+        // Label-key consistency: all of a family's samples must agree
+        // on the label-name set (`le` excluded, so histogram buckets
+        // and their _sum/_count compare equal).
+        let mut keys: Vec<&str> = labels
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| *k != "le")
+            .collect();
+        keys.sort_unstable();
+        let keyset = keys.join(",");
+        match keysets.iter().find(|(fam, _)| fam == base) {
+            None => keysets.push((base.to_string(), keyset)),
+            Some((_, first)) if *first != keyset => {
+                return Err(err(format!(
+                    "family {base} mixes label sets: {{{first}}} vs {{{keyset}}}"
+                )));
+            }
+            Some(_) => {}
         }
         if let Some(fam) = family {
             let state = histograms
@@ -467,5 +492,29 @@ h_count 3
     fn rejects_unterminated_labels() {
         assert!(check("# TYPE m counter\nm{l=\"x} 1\n").is_err());
         assert!(check("# TYPE m counter\nm{l=x} 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_mixed_label_sets_within_a_family() {
+        let text = "\
+# TYPE gpuflow_tenant_jobs_rejected_total counter
+gpuflow_tenant_jobs_rejected_total{tenant=\"a\",reason=\"quota\"} 1
+gpuflow_tenant_jobs_rejected_total{tenant=\"b\"} 2
+";
+        assert!(check(text).unwrap_err().contains("mixes label sets"));
+    }
+
+    #[test]
+    fn histogram_components_share_one_label_set() {
+        // _bucket carries le, _sum/_count do not; the canonical set
+        // strips le so the family stays consistent.
+        assert!(check(GOOD).is_ok());
+        let bad = "\
+# TYPE h histogram
+h_bucket{type=\"a\",le=\"+Inf\"} 1
+h_sum{tenant=\"a\"} 1.0
+h_count{type=\"a\"} 1
+";
+        assert!(check(bad).unwrap_err().contains("mixes label sets"));
     }
 }

@@ -28,6 +28,7 @@ use gpuflow_sim::{Engine, FairShareLink, FlowId, GroupedLink, Jitter, SimDuratio
 
 use crate::cache::BlockCache;
 use crate::data::{DataId, DataVersion};
+use crate::jobs::JobSchedule;
 use crate::metrics::{RunMetrics, TaskRecord};
 use crate::scheduler::{decision_overhead, place, NodeAvail, ReadyQueue, SchedulingPolicy};
 use crate::task::TaskId;
@@ -86,6 +87,12 @@ pub struct RunConfig {
     /// queue at their submission instant instead of time zero —
     /// the replay frontend's arrival process. Empty = all roots at 0.
     pub arrivals: Vec<(TaskId, f64)>,
+    /// Multi-tenant job gate (see [`JobSchedule`]): jobs become
+    /// *eligible* at their arrival instants but are released into a
+    /// bounded in-flight window under stride fair-share + priority —
+    /// the `gpuflowd` admission path. Mutually exclusive with
+    /// [`RunConfig::arrivals`].
+    pub jobs: Option<JobSchedule>,
 }
 
 impl RunConfig {
@@ -107,6 +114,7 @@ impl RunConfig {
             recovery: RecoveryPolicy::default(),
             live_metrics: None,
             arrivals: Vec::new(),
+            jobs: None,
         }
     }
 
@@ -182,6 +190,13 @@ impl RunConfig {
     /// [`RunConfig::arrivals`]).
     pub fn with_arrivals(mut self, arrivals: Vec<(TaskId, f64)>) -> Self {
         self.arrivals = arrivals;
+        self
+    }
+
+    /// Gates whole jobs behind a fair-share in-flight window (see
+    /// [`RunConfig::jobs`]).
+    pub fn with_jobs(mut self, jobs: JobSchedule) -> Self {
+        self.jobs = Some(jobs);
         self
     }
 }
@@ -500,6 +515,9 @@ pub fn run(workflow: &Workflow, config: &RunConfig) -> Result<RunReport, RunErro
             )));
         }
     }
+    if let Some(sched) = &config.jobs {
+        validate_job_schedule(workflow, config, sched)?;
+    }
     let mut exec = Exec::new(workflow, config);
     exec.schedule_faults();
     exec.seed_ready();
@@ -512,6 +530,81 @@ pub fn run(workflow: &Workflow, config: &RunConfig) -> Result<RunReport, RunErro
         }
     }
     exec.finish()
+}
+
+/// Checks a [`JobSchedule`] against the workflow: sane window and
+/// weights, in-range non-overlapping task ranges, no cross-job
+/// dependencies, and every dependency-free task of a job's range listed
+/// among its roots (an unlisted one would enter the ready queue at time
+/// zero and bypass the gate, corrupting the window accounting).
+fn validate_job_schedule(
+    workflow: &Workflow,
+    config: &RunConfig,
+    sched: &JobSchedule,
+) -> Result<(), RunError> {
+    let bad = |msg: String| Err(RunError::InvalidConfig(msg));
+    if !config.arrivals.is_empty() {
+        return bad("arrivals and a job schedule are mutually exclusive".into());
+    }
+    if sched.max_inflight == 0 {
+        return bad("job schedule needs max_inflight >= 1".into());
+    }
+    if sched.tenants.is_empty() {
+        return bad("job schedule needs at least one tenant".into());
+    }
+    if let Some(t) = sched.tenants.iter().find(|t| t.weight == 0) {
+        return bad(format!("tenant {} has zero fair-share weight", t.name));
+    }
+    let n_tasks = workflow.tasks().len() as u32;
+    for (j, job) in sched.jobs.iter().enumerate() {
+        if job.tenant >= sched.tenants.len() {
+            return bad(format!("job {j} names unknown tenant {}", job.tenant));
+        }
+        if job.task_lo > job.task_hi || job.task_hi >= n_tasks {
+            return bad(format!(
+                "job {j} has task range {}..={} outside the workflow's {n_tasks} tasks",
+                job.task_lo, job.task_hi
+            ));
+        }
+        if !job.arrival_secs.is_finite() || job.arrival_secs < 0.0 {
+            return bad(format!(
+                "job {j} arrival must be finite and non-negative, got {}",
+                job.arrival_secs
+            ));
+        }
+        let roots: FxHashSet<u32> = job.roots.iter().map(|t| t.0).collect();
+        for &r in &job.roots {
+            if !(job.task_lo..=job.task_hi).contains(&r.0) {
+                return bad(format!("job {j} root {} outside its task range", r.0));
+            }
+        }
+        for tid in job.task_lo..=job.task_hi {
+            let preds = workflow.predecessors(TaskId(tid));
+            if preds.is_empty() && !roots.contains(&tid) {
+                return bad(format!(
+                    "job {j}: dependency-free task {tid} is not listed as a root"
+                ));
+            }
+            if let Some(p) = preds
+                .iter()
+                .find(|p| !(job.task_lo..=job.task_hi).contains(&p.0))
+            {
+                return bad(format!(
+                    "job {j}: task {tid} depends on task {} of another job",
+                    p.0
+                ));
+            }
+        }
+    }
+    let mut ranges: Vec<(u32, u32)> = sched.jobs.iter().map(|j| (j.task_lo, j.task_hi)).collect();
+    ranges.sort_unstable();
+    if let Some(w) = ranges.windows(2).find(|w| w[1].0 <= w[0].1) {
+        return bad(format!(
+            "job task ranges {}..={} and {}..={} overlap",
+            w[0].0, w[0].1, w[1].0, w[1].1
+        ));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -547,6 +640,35 @@ enum Ev {
     /// Submission instant of a root task with a configured arrival time
     /// (see [`RunConfig::arrivals`]): the task enters the ready queue.
     Release(TaskId),
+    /// Eligibility instant of a gated job (index into
+    /// [`JobSchedule::jobs`]): the job may now be released into the
+    /// fair-share window when a slot frees up.
+    JobArrive(usize),
+}
+
+/// Runtime state of the [`JobSchedule`] gate (see
+/// [`RunConfig::jobs`]): which jobs are eligible/released, how much of
+/// each is still running, and the per-tenant stride accounting.
+#[derive(Debug)]
+struct JobGate {
+    /// Job reached its arrival instant (eligible for release).
+    arrived: Vec<bool>,
+    /// Job's roots have been released into the ready queue.
+    released: Vec<bool>,
+    /// Unfinished tasks per job; 0 after release means the job is done
+    /// and its window slot frees up.
+    remaining: Vec<usize>,
+    /// Released-but-unfinished jobs (bounded by `max_inflight`).
+    inflight: usize,
+    /// Released-but-unfinished jobs per tenant.
+    tenant_inflight: Vec<usize>,
+    /// Stride accounting: tasks released per tenant. The next slot goes
+    /// to the eligible job minimising `consumed / weight`, compared
+    /// exactly by cross-multiplication.
+    consumed: Vec<u64>,
+    /// `(task_lo, task_hi, job index)`, sorted, for task-to-job lookup
+    /// on completion.
+    ranges: Vec<(u32, u32, usize)>,
 }
 
 /// A discrete fault materialised from the plan at a fixed virtual time.
@@ -666,6 +788,8 @@ struct Exec<'a> {
     /// Root tasks with a future submission time: invisible to the
     /// scheduler (and to recovery re-admission) until released.
     unarrived: FxHashSet<u32>,
+    /// The job gate, when [`RunConfig::jobs`] is set.
+    gate: Option<JobGate>,
     /// Task currently has a valid completed output.
     completed: Vec<bool>,
     /// Task's first successful attempt has been recorded.
@@ -829,6 +953,24 @@ impl<'a> Exec<'a> {
             last_failed_node: vec![None; n_tasks],
             in_backoff: vec![false; n_tasks],
             unarrived: FxHashSet::default(),
+            gate: cfg.jobs.as_ref().map(|sched| {
+                let mut ranges: Vec<(u32, u32, usize)> = sched
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, job)| (job.task_lo, job.task_hi, j))
+                    .collect();
+                ranges.sort_unstable();
+                JobGate {
+                    arrived: vec![false; sched.jobs.len()],
+                    released: vec![false; sched.jobs.len()],
+                    remaining: sched.jobs.iter().map(|j| j.task_count() as usize).collect(),
+                    inflight: 0,
+                    tenant_inflight: vec![0; sched.tenants.len()],
+                    consumed: vec![0; sched.tenants.len()],
+                    ranges,
+                }
+            }),
             completed: vec![false; n_tasks],
             recorded: vec![false; n_tasks],
             node_up: vec![true; nodes],
@@ -898,6 +1040,19 @@ impl<'a> Exec<'a> {
                 );
             }
         }
+        // Gated jobs: every root is held back — even at time zero — and
+        // only the fair-share window releases it (see `job_fill_window`).
+        if let Some(sched) = self.cfg.jobs.as_ref() {
+            for (j, job) in sched.jobs.iter().enumerate() {
+                for r in &job.roots {
+                    self.unarrived.insert(r.0);
+                }
+                self.engine.schedule_at(
+                    SimTime::ZERO + SimDuration::from_secs_f64(job.arrival_secs),
+                    Ev::JobArrive(j),
+                );
+            }
+        }
         for (i, &d) in self.deps_left.iter().enumerate() {
             if d == 0 && !self.unarrived.contains(&(i as u32)) {
                 self.ready.insert(self.upward_rank[i], TaskId(i as u32));
@@ -924,6 +1079,117 @@ impl<'a> Exec<'a> {
             });
         }
         self.try_start_master();
+    }
+
+    /// A gated job reached its arrival instant: mark it eligible and
+    /// try to release work into the window.
+    fn on_job_arrive(&mut self, j: usize) {
+        match self.gate.as_mut() {
+            Some(gate) if !gate.arrived[j] => gate.arrived[j] = true,
+            _ => return,
+        }
+        self.job_fill_window();
+    }
+
+    /// Releases eligible jobs into the in-flight window until it is
+    /// full or no job qualifies. Pick rule (stride fair-share): the
+    /// eligible job whose tenant minimises `consumed / weight` —
+    /// compared exactly by cross-multiplication, no floats — with ties
+    /// broken by priority (higher first), then submission order. A
+    /// released job's roots leave `unarrived` and enter the ready
+    /// queue at the current virtual instant.
+    fn job_fill_window(&mut self) {
+        // `cfg` is a copyable `&'a RunConfig`, so `sched` borrows the
+        // config for `'a` rather than `self` — the loop below mutates
+        // `self` freely.
+        let cfg: &'a RunConfig = self.cfg;
+        let Some(sched) = cfg.jobs.as_ref() else {
+            return;
+        };
+        let now = self.now();
+        loop {
+            let gate = self.gate.as_ref().expect("gate exists with a schedule");
+            if gate.inflight >= sched.max_inflight {
+                break;
+            }
+            let mut best: Option<usize> = None;
+            for (j, job) in sched.jobs.iter().enumerate() {
+                if !gate.arrived[j] || gate.released[j] {
+                    continue;
+                }
+                if sched.max_inflight_per_tenant > 0
+                    && gate.tenant_inflight[job.tenant] >= sched.max_inflight_per_tenant
+                {
+                    continue;
+                }
+                best = match best {
+                    None => Some(j),
+                    Some(b) => {
+                        let other = &sched.jobs[b];
+                        let lhs = gate.consumed[job.tenant] as u128
+                            * sched.tenants[other.tenant].weight as u128;
+                        let rhs = gate.consumed[other.tenant] as u128
+                            * sched.tenants[job.tenant].weight as u128;
+                        let ord = lhs
+                            .cmp(&rhs)
+                            .then(other.priority.cmp(&job.priority))
+                            .then(std::cmp::Ordering::Greater);
+                        if ord == std::cmp::Ordering::Less {
+                            Some(j)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            let Some(j) = best else { break };
+            let job = &sched.jobs[j];
+            let gate = self.gate.as_mut().expect("gate exists with a schedule");
+            gate.released[j] = true;
+            gate.inflight += 1;
+            gate.tenant_inflight[job.tenant] += 1;
+            gate.consumed[job.tenant] += job.task_count();
+            for &r in &job.roots {
+                if self.unarrived.remove(&r.0) {
+                    self.ready.insert(self.upward_rank[r.0 as usize], r);
+                    if self.bus.active() {
+                        self.bus
+                            .push(TelemetryEvent::TaskReady { at: now, task: r });
+                    }
+                }
+            }
+        }
+        self.try_start_master();
+    }
+
+    /// Job-gate bookkeeping for a task's first successful completion:
+    /// when the job's last task finishes, its window slot frees up and
+    /// the window refills.
+    fn job_task_done(&mut self, tid: TaskId) {
+        let Some(gate) = self.gate.as_mut() else {
+            return;
+        };
+        let Ok(idx) = gate.ranges.binary_search_by(|&(lo, hi, _)| {
+            if hi < tid.0 {
+                std::cmp::Ordering::Less
+            } else if lo > tid.0 {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) else {
+            return;
+        };
+        let j = gate.ranges[idx].2;
+        gate.remaining[j] -= 1;
+        if gate.remaining[j] == 0 {
+            let sched = self.cfg.jobs.as_ref().expect("gate exists with a schedule");
+            let tenant = sched.jobs[j].tenant;
+            let gate = self.gate.as_mut().expect("gate exists with a schedule");
+            gate.inflight -= 1;
+            gate.tenant_inflight[tenant] -= 1;
+            self.job_fill_window();
+        }
     }
 
     /// Does this task offload its parallel fraction to a GPU in this run?
@@ -1229,6 +1495,10 @@ impl<'a> Exec<'a> {
             }
             Ev::Release(tid) => {
                 self.on_release(tid);
+                Ok(())
+            }
+            Ev::JobArrive(j) => {
+                self.on_job_arrive(j);
                 Ok(())
             }
             Ev::LinkTick(key, gen) => {
@@ -1839,6 +2109,7 @@ impl<'a> Exec<'a> {
             self.recorded[i] = true;
             self.records.push(run.rec);
             self.done += 1;
+            self.job_task_done(tid);
         }
         if self.bus.active() {
             self.bus.push(TelemetryEvent::TaskCompleted {

@@ -1,0 +1,393 @@
+//! Multi-tenant job model: small per-job DAG templates and the
+//! fair-share gate the executor applies between whole jobs.
+//!
+//! A *job* is one tenant's workflow submission — a scaled-down DAG
+//! (wide fan-out, stencil sweep, or reduction tree) stamped into a
+//! shared [`Workflow`] so thousands of concurrent jobs share one
+//! cluster model. Two layers consume this module:
+//!
+//! * the replay frontend (`repro replay`) samples seeded [`JobSpec`]s
+//!   and releases each job's roots at its arrival instant via
+//!   [`crate::RunConfig::with_arrivals`];
+//! * the `gpuflowd` daemon admits recorded submissions and hands the
+//!   executor a [`JobSchedule`] — the fair-share + priority gate that
+//!   releases whole jobs into a bounded in-flight window as capacity
+//!   frees up, instead of releasing every root at its arrival time.
+//!
+//! The gate is *stride* fair-share over integer accounting: each
+//! tenant accrues weighted consumption as its jobs are released, and
+//! the next free window slot goes to the eligible job whose tenant has
+//! the smallest consumption-to-weight ratio (compared exactly by
+//! cross-multiplication — no floats touch the pick). Ties break by
+//! priority (higher first), then submission order. Everything is a
+//! pure function of the schedule, so runs are bit-identical at any
+//! `--threads` count.
+
+use gpuflow_cluster::KernelWork;
+
+use crate::data::Direction;
+use crate::task::{CostProfile, TaskId};
+use crate::workflow::{Workflow, WorkflowBuilder};
+
+/// Job DAG templates, scaled-down versions of the stress shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobShape {
+    /// Independent fan-out: every task is a root.
+    Wide,
+    /// A short stencil sweep (rows of 16 cells).
+    Stencil,
+    /// A binary reduction tree.
+    Tree,
+}
+
+impl JobShape {
+    /// Every shape, in sampling order.
+    pub const ALL: [JobShape; 3] = [JobShape::Wide, JobShape::Stencil, JobShape::Tree];
+
+    /// Lower-case label used in the submission log and task types.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobShape::Wide => "wide",
+            JobShape::Stencil => "stencil",
+            JobShape::Tree => "tree",
+        }
+    }
+
+    /// Parses a [`JobShape::label`] back to the shape.
+    pub fn parse(s: &str) -> Option<JobShape> {
+        JobShape::ALL.into_iter().find(|sh| sh.label() == s)
+    }
+}
+
+/// Row width of the stencil job shape (scaled down from the stress
+/// suite's 1000 so replay jobs stay small).
+pub(crate) const JOB_STENCIL_WIDTH: usize = 16;
+
+/// One job of a scenario: a tenant's submission of a DAG template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job index (sampling key / daemon-assigned id).
+    pub id: usize,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// DAG template.
+    pub shape: JobShape,
+    /// Requested task count (the built DAG may round by shape).
+    pub tasks: usize,
+    /// Submission instant, virtual seconds.
+    pub arrival_secs: f64,
+    /// Scheduling priority within the fair-share pick (higher first;
+    /// the seeded replay frontend submits everything at 0).
+    pub priority: u32,
+}
+
+/// Where one job landed in the shared workflow after [`build_jobs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuiltJob {
+    /// The job's root tasks (no predecessors), in construction order.
+    pub roots: Vec<TaskId>,
+    /// First task id of the job's contiguous range.
+    pub task_lo: u32,
+    /// Last task id of the job's contiguous range (inclusive).
+    pub task_hi: u32,
+}
+
+/// Builds every job's DAG into one shared workflow (data names
+/// prefixed `j<id>_`, task types `<shape>_t<tenant>`), returning each
+/// job's root set and contiguous task-id range.
+pub fn build_jobs(jobs: &[JobSpec]) -> (Workflow, Vec<BuiltJob>) {
+    const MB: u64 = 1 << 20;
+    let cost = CostProfile::fully_parallel(KernelWork::data_parallel(1e7, 1e6));
+    let mut b = WorkflowBuilder::new();
+    let mut built: Vec<BuiltJob> = Vec::with_capacity(jobs.len());
+    let mut next_task = 0u32;
+    for job in jobs {
+        let p = format!("j{}_", job.id);
+        let ty = format!("{}_t{}", job.shape.label(), job.tenant);
+        let mut roots: Vec<TaskId> = Vec::new();
+        match job.shape {
+            JobShape::Wide => {
+                for i in 0..job.tasks {
+                    let x = b.input(format!("{p}x{i}"), MB);
+                    let t = b
+                        .submit(&ty, cost, &[(x, Direction::In)], false)
+                        .expect("valid replay task");
+                    roots.push(t);
+                }
+            }
+            JobShape::Stencil => {
+                let rows = (job.tasks / JOB_STENCIL_WIDTH).max(1);
+                let mut prev: Vec<_> = (0..JOB_STENCIL_WIDTH)
+                    .map(|i| b.input(format!("{p}x{i}"), MB))
+                    .collect();
+                for r in 0..rows {
+                    let mut cur = Vec::with_capacity(JOB_STENCIL_WIDTH);
+                    for i in 0..JOB_STENCIL_WIDTH {
+                        let out = b.intermediate(format!("{p}c{r}_{i}"), MB);
+                        let left = prev[i.saturating_sub(1)];
+                        let t = b
+                            .submit(
+                                &ty,
+                                cost,
+                                &[
+                                    (prev[i], Direction::In),
+                                    (left, Direction::In),
+                                    (out, Direction::Out),
+                                ],
+                                false,
+                            )
+                            .expect("valid replay task");
+                        if r == 0 {
+                            roots.push(t);
+                        }
+                        cur.push(out);
+                    }
+                    prev = cur;
+                }
+            }
+            JobShape::Tree => {
+                let leaves = job.tasks.div_ceil(2).max(1);
+                let mut frontier: Vec<_> = (0..leaves)
+                    .map(|i| {
+                        let x = b.input(format!("{p}x{i}"), MB);
+                        let o = b.intermediate(format!("{p}l{i}"), MB);
+                        let t = b
+                            .submit(&ty, cost, &[(x, Direction::In), (o, Direction::Out)], false)
+                            .expect("valid replay task");
+                        roots.push(t);
+                        o
+                    })
+                    .collect();
+                let mut lvl = 0;
+                while frontier.len() > 1 {
+                    let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+                    for (q, pair) in frontier.chunks(2).enumerate() {
+                        if let [a, bb] = pair {
+                            let o = b.intermediate(format!("{p}m{lvl}_{q}"), MB);
+                            b.submit(
+                                &ty,
+                                cost,
+                                &[
+                                    (*a, Direction::In),
+                                    (*bb, Direction::In),
+                                    (o, Direction::Out),
+                                ],
+                                false,
+                            )
+                            .expect("valid replay task");
+                            next.push(o);
+                        } else {
+                            next.push(pair[0]);
+                        }
+                    }
+                    frontier = next;
+                    lvl += 1;
+                }
+            }
+        }
+        let wf_tasks = b.task_count() as u32;
+        built.push(BuiltJob {
+            roots,
+            task_lo: next_task,
+            task_hi: wf_tasks - 1,
+        });
+        next_task = wf_tasks;
+    }
+    (b.build(), built)
+}
+
+/// Builds the scenario workflow plus the arrival list releasing each
+/// job's root tasks at its submission instant — the ungated replay
+/// frontend (see [`crate::RunConfig::with_arrivals`]).
+pub fn build(jobs: &[JobSpec]) -> (Workflow, Vec<(TaskId, f64)>) {
+    let (wf, built) = build_jobs(jobs);
+    let mut arrivals: Vec<(TaskId, f64)> = Vec::new();
+    for (job, b) in jobs.iter().zip(&built) {
+        for &t in &b.roots {
+            arrivals.push((t, job.arrival_secs));
+        }
+    }
+    (wf, arrivals)
+}
+
+/// One tenant of a [`JobSchedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (Prometheus label value).
+    pub name: String,
+    /// Fair-share weight (>= 1): under saturation a tenant's released
+    /// work converges to `weight / sum(weights)` of the cluster.
+    pub weight: u32,
+}
+
+/// One gated job of a [`JobSchedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEntry {
+    /// Submission id (journal key; reporting only).
+    pub id: usize,
+    /// Index into [`JobSchedule::tenants`].
+    pub tenant: usize,
+    /// Priority within the fair-share pick (higher first).
+    pub priority: u32,
+    /// Instant the job becomes *eligible*, virtual seconds. Actual
+    /// release waits for a window slot.
+    pub arrival_secs: f64,
+    /// The job's root tasks.
+    pub roots: Vec<TaskId>,
+    /// First task id of the job's contiguous range.
+    pub task_lo: u32,
+    /// Last task id of the job's contiguous range (inclusive).
+    pub task_hi: u32,
+}
+
+impl JobEntry {
+    /// Tasks in the job.
+    pub fn task_count(&self) -> u64 {
+        (self.task_hi - self.task_lo + 1) as u64
+    }
+}
+
+/// The executor's job gate: tenants with fair-share weights, the gated
+/// jobs, and the in-flight window bounds (see the module docs for the
+/// pick rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSchedule {
+    /// The tenants, in declaration order.
+    pub tenants: Vec<TenantSpec>,
+    /// The gated jobs, in submission order (earlier entries win
+    /// fair-share ties).
+    pub jobs: Vec<JobEntry>,
+    /// Jobs allowed in flight at once (>= 1).
+    pub max_inflight: usize,
+    /// Per-tenant cap on in-flight jobs (0 = no cap).
+    pub max_inflight_per_tenant: usize,
+}
+
+impl JobSchedule {
+    /// Assembles a schedule from sampled specs and their built
+    /// placements (parallel slices), with every tenant at the given
+    /// weights.
+    pub fn assemble(
+        tenants: Vec<TenantSpec>,
+        specs: &[JobSpec],
+        built: &[BuiltJob],
+        max_inflight: usize,
+    ) -> Self {
+        let jobs = specs
+            .iter()
+            .zip(built)
+            .map(|(s, b)| JobEntry {
+                id: s.id,
+                tenant: s.tenant,
+                priority: s.priority,
+                arrival_secs: s.arrival_secs,
+                roots: b.roots.clone(),
+                task_lo: b.task_lo,
+                task_hi: b.task_hi,
+            })
+            .collect();
+        JobSchedule {
+            tenants,
+            jobs,
+            max_inflight,
+            max_inflight_per_tenant: 0,
+        }
+    }
+
+    /// The task-id ranges annotated with tenant indices, for per-tenant
+    /// metrics attribution (see `MetricsRegistry::begin_epoch`).
+    pub fn tenant_ranges(&self) -> Vec<(u32, u32, usize)> {
+        let mut ranges: Vec<(u32, u32, usize)> = self
+            .jobs
+            .iter()
+            .map(|j| (j.task_lo, j.task_hi, j.tenant))
+            .collect();
+        ranges.sort_unstable();
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: usize, tenant: usize, shape: JobShape, tasks: usize) -> JobSpec {
+        JobSpec {
+            id,
+            tenant,
+            shape,
+            tasks,
+            arrival_secs: 0.0,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn built_ranges_are_contiguous_and_cover_the_workflow() {
+        let specs = vec![
+            spec(0, 0, JobShape::Wide, 5),
+            spec(1, 1, JobShape::Tree, 9),
+            spec(2, 2, JobShape::Stencil, 32),
+        ];
+        let (wf, built) = build_jobs(&specs);
+        assert_eq!(built.len(), 3);
+        assert_eq!(built[0].task_lo, 0);
+        for w in built.windows(2) {
+            assert_eq!(w[1].task_lo, w[0].task_hi + 1);
+        }
+        assert_eq!(built.last().unwrap().task_hi as usize + 1, wf.tasks().len());
+        // Every root really is a root, inside its own job's range.
+        for b in &built {
+            assert!(!b.roots.is_empty());
+            for &r in &b.roots {
+                assert!(wf.predecessors(r).is_empty());
+                assert!((b.task_lo..=b.task_hi).contains(&r.0));
+            }
+        }
+    }
+
+    #[test]
+    fn build_wrapper_releases_only_roots_at_the_job_arrival() {
+        let mut specs = vec![spec(0, 0, JobShape::Tree, 8), spec(1, 1, JobShape::Wide, 4)];
+        specs[0].arrival_secs = 0.5;
+        specs[1].arrival_secs = 1.25;
+        let (wf, arrivals) = build(&specs);
+        assert!(!arrivals.is_empty());
+        for (tid, at) in &arrivals {
+            assert!(wf.predecessors(*tid).is_empty());
+            assert!(*at == 0.5 || *at == 1.25);
+        }
+    }
+
+    #[test]
+    fn shape_labels_round_trip() {
+        for s in JobShape::ALL {
+            assert_eq!(JobShape::parse(s.label()), Some(s));
+        }
+        assert_eq!(JobShape::parse("ring"), None);
+    }
+
+    #[test]
+    fn schedule_assembles_parallel_slices() {
+        let specs = vec![spec(0, 0, JobShape::Wide, 3), spec(1, 1, JobShape::Wide, 3)];
+        let (_, built) = build_jobs(&specs);
+        let sched = JobSchedule::assemble(
+            vec![
+                TenantSpec {
+                    name: "a".into(),
+                    weight: 2,
+                },
+                TenantSpec {
+                    name: "b".into(),
+                    weight: 1,
+                },
+            ],
+            &specs,
+            &built,
+            2,
+        );
+        assert_eq!(sched.jobs.len(), 2);
+        assert_eq!(sched.jobs[1].tenant, 1);
+        assert_eq!(sched.tenant_ranges(), vec![(0, 2, 0), (3, 5, 1)]);
+    }
+}

@@ -14,6 +14,7 @@
 mod cache;
 mod data;
 mod executor;
+pub mod jobs;
 mod metrics;
 mod scheduler;
 mod task;
@@ -26,6 +27,7 @@ pub use cache::BlockCache;
 pub use data::{DataId, DataRegistry, DataVersion, Direction};
 pub use executor::{run, RecoveryStats, RunConfig, RunError, RunReport};
 pub use gpuflow_chaos::{FaultPlan, RecoveryPolicy};
+pub use jobs::{BuiltJob, JobEntry, JobSchedule, JobShape, JobSpec, TenantSpec};
 pub use metrics::{LevelStats, RunMetrics, TaskRecord, UserCodeStats};
 pub use scheduler::{
     decision_overhead, pick, place, NodeAvail, RankKey, ReadyQueue, SchedulingPolicy,

@@ -117,6 +117,25 @@ struct LinkCounters {
     bytes: u64,
 }
 
+/// Per-tenant accounting of the multi-tenant daemon path: admission
+/// counters fed by the daemon's journal and task counters attributed by
+/// task-id range (see [`MetricsRegistry::begin_epoch`]). Families
+/// render in declaration (daemon-config) order, so the exposition
+/// stays byte-identical for identical runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct TenantMetrics {
+    name: String,
+    weight: u32,
+    /// Jobs admitted but not yet finished (gauge, set by the daemon).
+    queued: u64,
+    admitted: u64,
+    cancelled: u64,
+    /// Typed rejects, keyed by reason label.
+    rejected: BTreeMap<String, u64>,
+    completed_tasks: u64,
+    latency: BucketHistogram,
+}
+
 /// Sampled per-node occupancy, tracked from `NodeGauge` and
 /// `NodeDown`/`NodeUp` events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +227,17 @@ pub struct MetricsRegistry {
     /// hash order cannot reach any output.
     inflight: FxHashMap<u32, (u64, String)>,
     samples: Vec<SampleRow>,
+    // Multi-tenant daemon state (empty outside the daemon path, which
+    // keeps the exposition byte-identical to the single-run format).
+    /// Virtual-time offset added to every event time, so one registry
+    /// can concatenate the epochs of a daemon's successive drains onto
+    /// one monotonic clock (see [`MetricsRegistry::begin_epoch`]).
+    offset_ns: u64,
+    /// Per-tenant accounting, in declaration order.
+    tenants: Vec<TenantMetrics>,
+    /// `(task_lo, task_hi, tenant)` of the current epoch, sorted —
+    /// completion events are attributed to tenants by binary search.
+    tenant_ranges: Vec<(u32, u32, usize)>,
 }
 
 /// Declaration-order index of a link label in [`MetricsRegistry::links`].
@@ -263,6 +293,9 @@ impl MetricsRegistry {
             latency_by_type: BTreeMap::new(),
             inflight: FxHashMap::default(),
             samples: Vec::new(),
+            offset_ns: 0,
+            tenants: Vec::new(),
+            tenant_ranges: Vec::new(),
         }
     }
 
@@ -319,7 +352,12 @@ impl MetricsRegistry {
     /// boundary the stream has moved past. A boundary's row reflects
     /// every event with time `<= boundary`, because it is only sealed
     /// once a strictly later event arrives.
+    ///
+    /// The epoch offset is applied here — and only here — so every
+    /// other computation (latencies, overheads) works on raw event
+    /// times where the offset cancels out of the differences.
     fn advance_clock(&mut self, t_ns: u64) {
+        let t_ns = t_ns.saturating_add(self.offset_ns);
         if t_ns <= self.clock_ns {
             return;
         }
@@ -350,6 +388,78 @@ impl MetricsRegistry {
         if self.samples.last().map(|s| s.t_ns) != Some(self.clock_ns) {
             self.push_sample(self.clock_ns);
         }
+    }
+
+    /// Declares the tenant set (daemon config order). Resets any prior
+    /// per-tenant accounting; the exposition grows the per-tenant
+    /// families from here on.
+    pub fn set_tenants(&mut self, tenants: &[(String, u32)]) {
+        self.tenants = tenants
+            .iter()
+            .map(|(name, weight)| TenantMetrics {
+                name: name.clone(),
+                weight: *weight,
+                ..TenantMetrics::default()
+            })
+            .collect();
+    }
+
+    /// Starts a drain epoch: every event observed from here on runs on
+    /// an executor clock restarting at zero, and is shifted onto this
+    /// registry's monotonic clock by the current offset. `ranges` are
+    /// the epoch's `(task_lo, task_hi, tenant)` spans (sorted), used to
+    /// attribute completions to tenants.
+    pub fn begin_epoch(&mut self, ranges: Vec<(u32, u32, usize)>) {
+        self.offset_ns = self.clock_ns;
+        self.sealed = false;
+        self.tenant_ranges = ranges;
+        // Task ids restart from zero each epoch; stale in-flight
+        // entries must not leak across.
+        self.inflight.clear();
+    }
+
+    /// Counts a job admission for `tenant`.
+    pub fn record_job_admitted(&mut self, tenant: usize) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.admitted += 1;
+        }
+    }
+
+    /// Counts a typed job reject for `tenant`.
+    pub fn record_job_rejected(&mut self, tenant: usize, reason: &str) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            *t.rejected.entry(reason.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Counts a job cancellation for `tenant`.
+    pub fn record_job_cancelled(&mut self, tenant: usize) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.cancelled += 1;
+        }
+    }
+
+    /// Sets the queued-jobs gauge for `tenant`.
+    pub fn set_tenant_queued(&mut self, tenant: usize, queued: u64) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.queued = queued;
+        }
+    }
+
+    /// The tenant owning raw task id `tid` in the current epoch.
+    fn tenant_of_task(&self, tid: u32) -> Option<usize> {
+        self.tenant_ranges
+            .binary_search_by(|&(lo, hi, _)| {
+                if hi < tid {
+                    std::cmp::Ordering::Less
+                } else if lo > tid {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()
+            .map(|i| self.tenant_ranges[i].2)
     }
 
     /// Folds one event into every affected counter, gauge, and
@@ -437,6 +547,12 @@ impl MetricsRegistry {
                     .entry(task_type)
                     .or_default()
                     .observe_ns(latency);
+                if let Some(tix) = self.tenant_of_task(task.0) {
+                    if let Some(t) = self.tenants.get_mut(tix) {
+                        t.completed_tasks += 1;
+                        t.latency.observe_ns(latency);
+                    }
+                }
             }
             TelemetryEvent::FaultInjected { .. } => {
                 // Plan entries are announced up front with their future
@@ -665,7 +781,133 @@ impl MetricsRegistry {
                 h.count
             );
         }
+        self.expose_tenants(&mut o);
         o
+    }
+
+    /// The per-tenant families of the daemon path, appended after the
+    /// single-run families. Emitted only when a tenant set has been
+    /// declared, so every pre-daemon exposition (and its goldens) is
+    /// byte-identical to before.
+    fn expose_tenants(&self, o: &mut String) {
+        if self.tenants.is_empty() {
+            return;
+        }
+        family(
+            o,
+            "gpuflow_tenant_weight",
+            "Fair-share weight, per tenant.",
+            "gauge",
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                o,
+                "gpuflow_tenant_weight{{tenant=\"{}\"}} {}",
+                label_escape(&t.name),
+                t.weight
+            );
+        }
+        family(
+            o,
+            "gpuflow_tenant_queued_jobs",
+            "Jobs admitted and not yet finished, per tenant.",
+            "gauge",
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                o,
+                "gpuflow_tenant_queued_jobs{{tenant=\"{}\"}} {}",
+                label_escape(&t.name),
+                t.queued
+            );
+        }
+        family(
+            o,
+            "gpuflow_tenant_jobs_admitted_total",
+            "Jobs accepted into the queue, per tenant.",
+            "counter",
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                o,
+                "gpuflow_tenant_jobs_admitted_total{{tenant=\"{}\"}} {}",
+                label_escape(&t.name),
+                t.admitted
+            );
+        }
+        family(
+            o,
+            "gpuflow_tenant_jobs_cancelled_total",
+            "Queued jobs cancelled before running, per tenant.",
+            "counter",
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                o,
+                "gpuflow_tenant_jobs_cancelled_total{{tenant=\"{}\"}} {}",
+                label_escape(&t.name),
+                t.cancelled
+            );
+        }
+        family(
+            o,
+            "gpuflow_tenant_jobs_rejected_total",
+            "Submissions rejected by admission control, per tenant and reason.",
+            "counter",
+        );
+        for t in &self.tenants {
+            for (reason, n) in &t.rejected {
+                let _ = writeln!(
+                    o,
+                    "gpuflow_tenant_jobs_rejected_total{{tenant=\"{}\",reason=\"{}\"}} {n}",
+                    label_escape(&t.name),
+                    label_escape(reason)
+                );
+            }
+        }
+        family(
+            o,
+            "gpuflow_tenant_tasks_completed_total",
+            "Tasks completed, per tenant.",
+            "counter",
+        );
+        for t in &self.tenants {
+            let _ = writeln!(
+                o,
+                "gpuflow_tenant_tasks_completed_total{{tenant=\"{}\"}} {}",
+                label_escape(&t.name),
+                t.completed_tasks
+            );
+        }
+        family(
+            o,
+            "gpuflow_tenant_task_duration_seconds",
+            "Dispatch-to-completion latency, by tenant.",
+            "histogram",
+        );
+        for t in &self.tenants {
+            let name = label_escape(&t.name);
+            let h = &t.latency;
+            let mut cum = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cum += c;
+                let le = LATENCY_LE_LABELS.get(i).copied().unwrap_or("+Inf");
+                let _ = writeln!(
+                    o,
+                    "gpuflow_tenant_task_duration_seconds_bucket{{tenant=\"{name}\",le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(
+                o,
+                "gpuflow_tenant_task_duration_seconds_sum{{tenant=\"{name}\"}} {}",
+                fmt_seconds(h.sum_ns)
+            );
+            let _ = writeln!(
+                o,
+                "gpuflow_tenant_task_duration_seconds_count{{tenant=\"{name}\"}} {}",
+                h.count
+            );
+        }
     }
 
     fn expose_node_gauges(&self, o: &mut String) {
@@ -814,6 +1056,12 @@ impl MetricsHub {
     /// A deep copy of the registry at this instant.
     pub fn snapshot(&self) -> MetricsRegistry {
         self.lock().clone()
+    }
+
+    /// Runs `f` under the registry lock — the daemon's hook for tenant
+    /// declarations, admission counters, and epoch boundaries.
+    pub fn update<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.lock())
     }
 }
 
@@ -1020,5 +1268,59 @@ mod tests {
     fn label_escape_handles_specials() {
         assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(label_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn tenant_families_appear_only_with_tenants() {
+        let mut reg = MetricsRegistry::new(SimDuration::ZERO);
+        reg.observe(&dispatch(0, 0, "map"));
+        reg.observe(&complete(2_000_000, 0));
+        assert!(!reg.expose().contains("gpuflow_tenant_"));
+        reg.set_tenants(&[("acme".into(), 3), ("beta".into(), 1)]);
+        reg.record_job_admitted(0);
+        reg.record_job_rejected(1, "quota");
+        reg.record_job_cancelled(0);
+        reg.set_tenant_queued(0, 2);
+        let text = reg.expose();
+        assert!(text.contains("gpuflow_tenant_weight{tenant=\"acme\"} 3"));
+        assert!(text.contains("gpuflow_tenant_queued_jobs{tenant=\"acme\"} 2"));
+        assert!(text.contains("gpuflow_tenant_jobs_admitted_total{tenant=\"acme\"} 1"));
+        assert!(text.contains("gpuflow_tenant_jobs_cancelled_total{tenant=\"acme\"} 1"));
+        assert!(
+            text.contains("gpuflow_tenant_jobs_rejected_total{tenant=\"beta\",reason=\"quota\"} 1")
+        );
+        // No tenant ranges declared: the completion stays unattributed.
+        assert!(text.contains("gpuflow_tenant_tasks_completed_total{tenant=\"acme\"} 0"));
+    }
+
+    #[test]
+    fn epoch_offset_concatenates_runs_onto_one_clock() {
+        let mut reg = MetricsRegistry::new(SimDuration::from_nanos(1_000_000));
+        reg.set_tenants(&[("acme".into(), 1), ("beta".into(), 2)]);
+        // Epoch 1: tasks 0..=1 belong to acme.
+        reg.begin_epoch(vec![(0, 1, 0)]);
+        reg.observe(&dispatch(0, 0, "map"));
+        reg.observe(&complete(2_000_000, 0));
+        reg.seal();
+        let end1 = reg.clock_ns;
+        assert_eq!(end1, 2_000_000);
+        // Epoch 2 restarts the executor clock at zero; task 0 now
+        // belongs to beta.
+        reg.begin_epoch(vec![(0, 3, 1)]);
+        reg.observe(&dispatch(1_000_000, 0, "map"));
+        reg.observe(&complete(4_000_000, 0));
+        reg.seal();
+        assert_eq!(
+            reg.clock_ns,
+            end1 + 4_000_000,
+            "epoch 2 shifted by epoch 1's end"
+        );
+        // Latency math uses raw times, so the offset cancels.
+        let text = reg.expose();
+        assert!(text.contains("gpuflow_tenant_tasks_completed_total{tenant=\"acme\"} 1"));
+        assert!(text.contains("gpuflow_tenant_tasks_completed_total{tenant=\"beta\"} 1"));
+        assert!(text.contains("gpuflow_tenant_task_duration_seconds_sum{tenant=\"beta\"} 0.003"));
+        // Series rows are strictly monotonic across epochs.
+        assert!(reg.samples().windows(2).all(|w| w[0].t_ns < w[1].t_ns));
     }
 }

@@ -235,6 +235,11 @@ impl WorkflowBuilder {
         self.registry.register_intermediate(name, bytes)
     }
 
+    /// Number of tasks submitted so far (the next task id).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
     /// Submits a task; dependencies are derived from the parameter
     /// directions and the current data versions.
     ///

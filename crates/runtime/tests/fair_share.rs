@@ -1,0 +1,122 @@
+//! Property suite for the executor's job gate: stride fair-share over
+//! tenant weights must *converge* — when every tenant has a deep
+//! backlog of identical jobs, the share of jobs each tenant gets in
+//! any execution prefix tracks its weight share, with at most the
+//! classic one-stride deviation per tenant.
+
+use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
+use gpuflow_runtime::jobs::build_jobs;
+use gpuflow_runtime::{
+    run, JobSchedule, JobShape, JobSpec, RunConfig, SchedulingPolicy, TenantSpec,
+};
+use proptest::prelude::*;
+
+const JOBS_PER_TENANT: usize = 20;
+const TASKS_PER_JOB: usize = 6;
+
+/// Runs a backlog of identical Wide jobs (all eligible at t=0) for the
+/// given tenant weights through a window-1 gate and returns, per
+/// tenant, how many of its jobs sit in the first `prefix` executions.
+fn prefix_counts(weights: &[u32], prefix: usize) -> Vec<usize> {
+    let tenants: Vec<TenantSpec> = weights
+        .iter()
+        .enumerate()
+        .map(|(t, &w)| TenantSpec {
+            name: format!("t{t}"),
+            weight: w,
+        })
+        .collect();
+    // Submission order round-robins tenants so ties cannot
+    // systematically favor one of them.
+    let mut specs = Vec::new();
+    for round in 0..JOBS_PER_TENANT {
+        for t in 0..weights.len() {
+            specs.push(JobSpec {
+                id: round * weights.len() + t,
+                tenant: t,
+                shape: JobShape::Wide,
+                tasks: TASKS_PER_JOB,
+                arrival_secs: 0.0,
+                priority: 0,
+            });
+        }
+    }
+    let (workflow, built) = build_jobs(&specs);
+    let sched = JobSchedule::assemble(tenants, &specs, &built, 1);
+    let mut cfg = RunConfig::new(ClusterSpec::minotauro(), ProcessorKind::Gpu)
+        .with_storage(StorageArchitecture::SharedDisk)
+        .with_policy(SchedulingPolicy::GenerationOrder)
+        .with_seed(7)
+        .with_jobs(sched);
+    cfg.jitter_sigma = 0.0;
+    let report = run(&workflow, &cfg).expect("gated backlog executes");
+
+    // Window 1 serializes jobs, so each job's earliest task start is
+    // its release instant; sorting jobs by it recovers release order.
+    let mut starts: Vec<(u64, usize)> = specs
+        .iter()
+        .map(|s| {
+            let (lo, hi) = (built[s.id].task_lo, built[s.id].task_hi);
+            let first = report
+                .records
+                .iter()
+                .filter(|r| (lo..=hi).contains(&r.task.0))
+                .map(|r| r.start.as_nanos())
+                .min()
+                .expect("every job ran");
+            (first, s.id)
+        })
+        .collect();
+    starts.sort_unstable();
+    let mut counts = vec![0usize; weights.len()];
+    for &(_, id) in starts.iter().take(prefix) {
+        counts[specs[id].tenant] += 1;
+    }
+    counts
+}
+
+proptest! {
+    /// In the first 12 executions of a deep uniform backlog, every
+    /// tenant's job count is within one stride (±2 jobs) of its ideal
+    /// weighted share — i.e. fair-share converges instead of starving
+    /// light tenants or capping heavy ones.
+    #[test]
+    fn fair_share_prefix_tracks_weight_share(
+        weights in prop::collection::vec(1u32..5, 2..4),
+    ) {
+        let prefix = 12usize;
+        let counts = prefix_counts(&weights, prefix);
+        let total_w: u64 = weights.iter().map(|&w| w as u64).sum();
+        for (t, &got) in counts.iter().enumerate() {
+            let ideal = prefix as f64 * weights[t] as f64 / total_w as f64;
+            let dev = (got as f64 - ideal).abs();
+            prop_assert!(
+                dev <= 2.0,
+                "tenant {t} (weight {} of {total_w}) got {got} of {prefix} jobs, ideal {ideal:.2}, \
+                 weights {weights:?}",
+                weights[t]
+            );
+        }
+        // The heaviest tenant never gets fewer prefix jobs than the
+        // lightest — monotonicity in weights.
+        let max_w = *weights.iter().max().unwrap();
+        let min_w = *weights.iter().min().unwrap();
+        if max_w > min_w {
+            let heavy = (0..weights.len()).find(|&t| weights[t] == max_w).unwrap();
+            let light = (0..weights.len()).find(|&t| weights[t] == min_w).unwrap();
+            prop_assert!(
+                counts[heavy] >= counts[light],
+                "weights {weights:?} but prefix counts {counts:?}"
+            );
+        }
+    }
+}
+
+/// Every queued job runs exactly once regardless of weights — the gate
+/// never drops or duplicates work.
+#[test]
+fn gate_completes_the_whole_backlog() {
+    let counts = prefix_counts(&[3, 1], JOBS_PER_TENANT * 2);
+    assert_eq!(counts.iter().sum::<usize>(), JOBS_PER_TENANT * 2);
+    assert_eq!(counts, vec![JOBS_PER_TENANT, JOBS_PER_TENANT]);
+}

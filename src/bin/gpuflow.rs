@@ -11,6 +11,10 @@
 //!                [run options] [--out FILE] [--json] [--series]
 //! gpuflow serve  --workload matmul --rows 16384 --cols 16384 --grid 16
 //!                [run options] [--metrics-port P] [--metrics-interval SECS] [--requests N]
+//! gpuflow submit --port P --tenant NAME --tasks N [--shape S] [--prio N]
+//! gpuflow queue  --port P [--json]
+//! gpuflow cancel --port P --job N
+//! gpuflow ctl    <drain|health|report|metrics|log|shutdown> --port P
 //! gpuflow diff   A.profile B.profile [--json] [--out FILE]
 //! gpuflow doctor --workload matmul --rows 16384 --cols 16384 --grid 16
 //!                [run options] [--json]   (or: --profile FILE)
@@ -33,7 +37,8 @@ use std::process::ExitCode;
 use gpuflow::advisor::{Advisor, SearchSpace, Workload};
 use gpuflow::analysis::{DoctorReport, WhatIf};
 use gpuflow::cli::{
-    faults_from, policy_from, processor_from, recovery_from, storage_from, workload_from, Args,
+    daemon_request_from, faults_from, policy_from, processor_from, recovery_from, storage_from,
+    workload_from, Args, CTL_ACTIONS,
 };
 use gpuflow::cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
 use gpuflow::runtime::{
@@ -293,6 +298,23 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `gpuflow submit|queue|cancel|ctl` — client verbs for a running
+/// `gpuflowd`. Builds the protocol line, sends it over one TCP
+/// request, prints the reply; an `err ...` reply becomes a nonzero
+/// exit so scripts can branch on rejects.
+fn cmd_daemon(verb: &str, args: &Args) -> Result<(), String> {
+    let port: u16 = args.required_num("port")?;
+    let line = daemon_request_from(verb, args)?;
+    let reply = gpuflow::daemon::client::request(port, &line)
+        .map_err(|e| format!("gpuflowd on 127.0.0.1:{port}: {e}"))?;
+    print!("{reply}");
+    if reply.starts_with("err") {
+        Err(String::from("daemon refused the request"))
+    } else {
+        Ok(())
+    }
+}
+
 /// Reads and parses a profile file written by `gpuflow obs profile` or
 /// `repro gate`.
 fn read_profile(path: &str) -> Result<RunProfile, String> {
@@ -504,6 +526,11 @@ fn help() {
          \u{20} gpuflow serve  --workload <w> --rows N --cols N --grid G [options]\n\
          \u{20}                [--metrics-port P] [--metrics-interval SECS] [--requests N]\n\
          \u{20}                live Prometheus /metrics endpoint while the run executes\n\
+         \u{20} gpuflow submit --port P --tenant NAME --tasks N [--shape wide|stencil|tree] [--prio N]\n\
+         \u{20} gpuflow queue  --port P [--json]        queue state of a running gpuflowd\n\
+         \u{20} gpuflow cancel --port P --job N\n\
+         \u{20} gpuflow ctl    <drain|health|report|metrics|log|shutdown> --port P\n\
+         \u{20}                client verbs for the gpuflowd scheduler daemon (see docs/daemon.md)\n\
          \u{20} gpuflow diff   A.profile B.profile [--json] [--out FILE]\n\
          \u{20} gpuflow lint   [--root DIR] [--json] [--out FILE]   determinism & integer-time lints\n\
          \u{20} gpuflow doctor --workload <w> --rows N --cols N --grid G [options] [--json]\n\
@@ -557,6 +584,17 @@ fn main() -> ExitCode {
             )),
         },
         "serve" => Args::parse(rest).and_then(|a| cmd_serve(&a)),
+        "submit" | "cancel" => Args::parse(rest).and_then(|a| cmd_daemon(cmd, &a)),
+        "queue" => Args::parse_with(rest, &["json"]).and_then(|a| cmd_daemon(cmd, &a)),
+        "ctl" => match rest.split_first() {
+            Some((action, rest)) if CTL_ACTIONS.contains(&action.as_str()) => {
+                Args::parse(rest).and_then(|a| cmd_daemon(action, &a))
+            }
+            _ => Err(format!(
+                "ctl needs an action: gpuflow ctl <{}> --port P",
+                CTL_ACTIONS.join("|")
+            )),
+        },
         "diff" => match rest {
             [a, b, flags @ ..] if !a.starts_with("--") && !b.starts_with("--") => {
                 Args::parse_with(flags, &["json"]).and_then(|ar| cmd_diff(a, b, &ar))
@@ -575,7 +613,8 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (run, obs, serve, diff, lint, doctor, advise, dag, chaos, help)"
+            "unknown command '{other}' (run, obs, serve, submit, queue, cancel, ctl, diff, lint, \
+             doctor, advise, dag, chaos, help)"
         )),
     };
     match result {

@@ -194,6 +194,49 @@ pub fn recovery_from(args: &Args) -> Result<RecoveryPolicy, String> {
     })
 }
 
+/// Control verbs `gpuflow ctl ACTION` forwards to a running `gpuflowd`
+/// unchanged.
+pub const CTL_ACTIONS: [&str; 6] = ["drain", "health", "report", "metrics", "log", "shutdown"];
+
+/// Builds the one-line daemon request for the client verbs
+/// (`gpuflow submit` / `queue` / `cancel` / `ctl ACTION`) — kept in the
+/// library so the request grammar is unit-testable. `verb` is the CLI
+/// subcommand; for `ctl`, the action is the verb itself.
+///
+/// # Errors
+/// Reports missing flags and unknown control actions.
+pub fn daemon_request_from(verb: &str, args: &Args) -> Result<String, String> {
+    match verb {
+        "submit" => {
+            let tenant = args
+                .get("tenant")
+                .ok_or("--tenant is required (a tenant name the daemon was started with)")?;
+            let shape = args.get("shape").unwrap_or("wide");
+            let tasks: u64 = args.required_num("tasks")?;
+            let prio: u32 = args.num("prio", 0)?;
+            let mut line = format!("submit tenant={tenant} shape={shape} tasks={tasks}");
+            if prio != 0 {
+                line.push_str(&format!(" prio={prio}"));
+            }
+            Ok(line)
+        }
+        "queue" => Ok(if args.flag("json") {
+            "queue json".to_string()
+        } else {
+            "queue".to_string()
+        }),
+        "cancel" => {
+            let job: u64 = args.required_num("job")?;
+            Ok(format!("cancel job={job}"))
+        }
+        action if CTL_ACTIONS.contains(&action) => Ok(action.to_string()),
+        other => Err(format!(
+            "unknown daemon action '{other}' ({})",
+            CTL_ACTIONS.join(", ")
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +370,32 @@ mod tests {
         assert!(recovery_from(&a).unwrap_err().contains("alt, same"));
         let a = args(&["--fallback", "maybe"]);
         assert!(recovery_from(&a).unwrap_err().contains("on, off"));
+    }
+
+    #[test]
+    fn daemon_requests_render_the_protocol_lines() {
+        let a = args(&["--tenant", "acme", "--shape", "tree", "--tasks", "24"]);
+        assert_eq!(
+            daemon_request_from("submit", &a).unwrap(),
+            "submit tenant=acme shape=tree tasks=24"
+        );
+        let a = args(&["--tenant", "acme", "--tasks", "8", "--prio", "5"]);
+        assert_eq!(
+            daemon_request_from("submit", &a).unwrap(),
+            "submit tenant=acme shape=wide tasks=8 prio=5"
+        );
+        let a = args(&["--job", "3"]);
+        assert_eq!(daemon_request_from("cancel", &a).unwrap(), "cancel job=3");
+        let v: Vec<String> = vec!["--json".into()];
+        let a = Args::parse_with(&v, &["json"]).unwrap();
+        assert_eq!(daemon_request_from("queue", &a).unwrap(), "queue json");
+        assert_eq!(daemon_request_from("queue", &args(&[])).unwrap(), "queue");
+        for action in CTL_ACTIONS {
+            assert_eq!(daemon_request_from(action, &args(&[])).unwrap(), action);
+        }
+        assert!(daemon_request_from("submit", &args(&[])).is_err());
+        assert!(daemon_request_from("cancel", &args(&[])).is_err());
+        assert!(daemon_request_from("florp", &args(&[])).is_err());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub use gpuflow_advisor as advisor;
 pub use gpuflow_algorithms as algorithms;
 pub use gpuflow_analysis as analysis;
 pub use gpuflow_cluster as cluster;
+pub use gpuflow_daemon as daemon;
 pub use gpuflow_data as data;
 pub use gpuflow_experiments as experiments;
 pub use gpuflow_runtime as runtime;

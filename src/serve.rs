@@ -5,91 +5,40 @@
 //! is the read-only real-time shell around it. The executor runs on a
 //! worker thread with a shared [`MetricsHub`] attached to its event
 //! bus, while the listener thread answers `GET /metrics` with the hub's
-//! current Prometheus snapshot. Scrapes never perturb the run — the hub
-//! is fed identically whether zero or a thousand requests arrive, so
-//! the run's artifacts stay byte-identical to an unserved run.
+//! current Prometheus snapshot and `GET /healthz` with a liveness `ok`.
+//! Scrapes never perturb the run — the hub is fed identically whether
+//! zero or a thousand requests arrive, so the run's artifacts stay
+//! byte-identical to an unserved run.
 //!
-//! The HTTP surface is deliberately tiny (no keep-alive, no chunking,
-//! HTTP/1.0-style close-after-response) because its only consumers are
-//! scrapers and `curl`.
+//! The HTTP machinery itself lives in [`gpuflow_daemon::http`] (it is
+//! shared with the `gpuflowd` scheduler daemon's scrape endpoint); this
+//! module re-exports it and keeps the historical three-argument
+//! [`serve_until`] shape. Clean shutdown comes from [`ServeControl`]:
+//! any clone's `shutdown()` stops the accept loop by self-connecting,
+//! so the endpoint can be torn down without killing a thread.
 
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 
 use gpuflow_runtime::MetricsHub;
 
-/// Routes one request line to a `(status line, content type, body)`
-/// triple. Pure, so the protocol surface is unit-testable without
-/// sockets.
-pub fn handle_request(request_line: &str, hub: &MetricsHub) -> (String, &'static str, String) {
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    if method != "GET" {
-        return (
-            "HTTP/1.0 405 Method Not Allowed".to_string(),
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
-        );
-    }
-    match path {
-        "/metrics" => (
-            "HTTP/1.0 200 OK".to_string(),
-            // The content type the Prometheus text exposition mandates.
-            "text/plain; version=0.0.4; charset=utf-8",
-            hub.expose(),
-        ),
-        "/" => (
-            "HTTP/1.0 200 OK".to_string(),
-            "text/plain; charset=utf-8",
-            "gpuflow metrics endpoint\n\n  GET /metrics  Prometheus text exposition\n".to_string(),
-        ),
-        _ => (
-            "HTTP/1.0 404 Not Found".to_string(),
-            "text/plain; charset=utf-8",
-            "not found (try /metrics)\n".to_string(),
-        ),
-    }
-}
-
-/// Answers one accepted connection. The request is read until the
-/// header-terminating blank line (clients may deliver it in several
-/// segments), EOF, or the 2 KiB cap — whichever comes first.
-fn answer(stream: &mut TcpStream, hub: &MetricsHub) -> std::io::Result<()> {
-    let mut buf = [0u8; 2048];
-    let mut n = 0;
-    loop {
-        let read = stream.read(&mut buf[n..])?;
-        n += read;
-        if read == 0 || n == buf.len() || buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-    }
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let request_line = request.lines().next().unwrap_or("");
-    let (status, ctype, body) = handle_request(request_line, hub);
-    let header = format!(
-        "{status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())
-}
+pub use gpuflow_daemon::http::{handle_request, ServeControl};
 
 /// Serves scrape requests on `listener` until `max_requests` have been
 /// answered (`None` = forever). Individual connection errors are
 /// ignored — a dropped scrape must not kill the endpoint.
 pub fn serve_until(listener: &TcpListener, hub: &MetricsHub, max_requests: Option<u64>) {
-    let mut answered = 0u64;
-    for stream in listener.incoming() {
-        if let Ok(mut stream) = stream {
-            let _ = answer(&mut stream, hub);
-            answered += 1;
-        }
-        if max_requests.is_some_and(|max| answered >= max) {
-            break;
-        }
-    }
+    gpuflow_daemon::http::serve_until(listener, hub, max_requests, None);
+}
+
+/// Serves scrape requests until `max_requests` have been answered or
+/// `control` requests shutdown, whichever comes first.
+pub fn serve_with_control(
+    listener: &TcpListener,
+    hub: &MetricsHub,
+    max_requests: Option<u64>,
+    control: &ServeControl,
+) {
+    gpuflow_daemon::http::serve_until(listener, hub, max_requests, Some(control));
 }
 
 #[cfg(test)]
@@ -97,12 +46,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn routes_metrics_root_and_unknown_paths() {
+    fn routes_metrics_healthz_root_and_unknown_paths() {
         let hub = MetricsHub::default();
         let (status, ctype, body) = handle_request("GET /metrics HTTP/1.1", &hub);
         assert!(status.contains("200"));
         assert!(ctype.contains("version=0.0.4"));
         assert!(body.contains("gpuflow_ready_tasks"));
+
+        let (status, _, body) = handle_request("GET /healthz HTTP/1.1", &hub);
+        assert!(status.contains("200"));
+        assert_eq!(body, "ok\n");
 
         let (status, _, body) = handle_request("GET / HTTP/1.1", &hub);
         assert!(status.contains("200"));
@@ -120,5 +73,15 @@ mod tests {
         let hub = MetricsHub::default();
         let (status, _, _) = handle_request("", &hub);
         assert!(status.contains("405"));
+    }
+
+    #[test]
+    fn control_stops_the_loop_before_max_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let hub = MetricsHub::default();
+        let ctl = ServeControl::new(&listener).unwrap();
+        ctl.shutdown();
+        // Already-stopped control: returns without serving anything.
+        serve_with_control(&listener, &hub, None, &ctl);
     }
 }

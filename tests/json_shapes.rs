@@ -55,6 +55,35 @@ fn obs_summary_json_matches_schema() {
 }
 
 #[test]
+fn daemon_queue_json_matches_schema() {
+    use gpuflow::daemon::{DaemonConfig, DaemonCore};
+    use gpuflow::runtime::JobShape;
+
+    let mut core = DaemonCore::new(DaemonConfig::default()).expect("default config is valid");
+    core.submit("acme", JobShape::Wide, 12, 1).unwrap();
+    core.submit("beta", JobShape::Tree, 9, 0).unwrap();
+    core.submit("nobody", JobShape::Wide, 4, 0).unwrap_err();
+    core.drain().unwrap();
+    core.submit("gamma", JobShape::Stencil, 16, 0).unwrap();
+    core.cancel(3).unwrap();
+
+    let out = core.queue_json();
+    let value = json::parse(&out).expect("queue json parses");
+    json::check_shape(&schema("queue.json"), &value)
+        .unwrap_or_else(|e| panic!("queue json shape drifted: {e}\noutput: {out}"));
+    assert_eq!(
+        value.get("schema").and_then(|v| v.as_str()),
+        Some("gpuflow.daemon.queue.v1"),
+        "schema tag drifted: {out}"
+    );
+    // Every lifecycle state appears, proving the example exercises the
+    // whole surface the schema pins.
+    for state in ["done", "cancelled"] {
+        assert!(out.contains(&format!("\"state\": \"{state}\"")), "{out}");
+    }
+}
+
+#[test]
 fn diff_json_matches_schema() {
     let dir = std::env::temp_dir().join(format!("gpuflow_json_shapes_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
