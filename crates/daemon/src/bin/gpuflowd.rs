@@ -158,6 +158,7 @@ fn execute(core: &mut DaemonCore, cmd: Command) -> (String, bool) {
         }
         Command::Report => (core.report(), false),
         Command::Metrics => (core.metrics_text(), false),
+        Command::Alerts => (core.alerts_text(), false),
         Command::Health => (
             format!(
                 "ok gpuflowd alive seq={} epochs={} queued={}\n",

@@ -26,7 +26,8 @@ use gpuflow_chaos::mix64;
 use gpuflow_cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
 use gpuflow_runtime::jobs::build_jobs;
 use gpuflow_runtime::{
-    JobSchedule, JobShape, JobSpec, MetricsHub, RunConfig, SchedulingPolicy, TenantSpec,
+    AlertRule, JobSchedule, JobShape, JobSpec, MetricsHub, RunConfig, SchedulingPolicy, SpanForest,
+    TenantSpec,
 };
 use gpuflow_sim::SimDuration;
 
@@ -155,6 +156,30 @@ pub struct DaemonCore {
     /// could not be attributed to a configured tenant.
     rejects: Vec<u64>,
     rejects_other: u64,
+    /// Per-job root spans, appended at every drain — the daemon level
+    /// of the causal span tree (`gpuflow ctl alerts` body).
+    job_spans: Vec<JobRootSpan>,
+}
+
+/// The root span of one executed job: its tasks' full extent on the
+/// epoch's virtual clock, folded from the drain's telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRootSpan {
+    /// The job id `submit` returned.
+    pub job: u64,
+    /// Owning tenant index into the daemon config.
+    pub tenant: usize,
+    /// Drain epoch the job executed in.
+    pub epoch: u64,
+    /// Earliest observable moment of any task of the job, virtual ns
+    /// on the epoch-local clock.
+    pub t0_ns: u64,
+    /// Latest completion of any task of the job, virtual ns.
+    pub t1_ns: u64,
+    /// Tasks the job contributed to the epoch's DAG.
+    pub tasks: u64,
+    /// How many of them lay on the epoch's critical path.
+    pub critical: u64,
 }
 
 impl DaemonCore {
@@ -188,7 +213,13 @@ impl DaemonCore {
             return Err("config: max_tasks must be >= 1".into());
         }
         let hub = MetricsHub::new(SimDuration::from_micros(cfg.interval_us));
-        hub.update(|r| r.set_tenants(&cfg.tenants));
+        hub.update(|r| {
+            r.set_tenants(&cfg.tenants);
+            // SLO alerting is always on in the daemon; the rules step
+            // at every sealed sample boundary of each drain epoch, so
+            // live and replayed cores produce the same firing timeline.
+            r.enable_alerts(AlertRule::standard());
+        });
         let mut journal = vec![LogLine::Config {
             seed: cfg.seed,
             tick_us: cfg.tick_us,
@@ -215,6 +246,7 @@ impl DaemonCore {
             epochs: 0,
             rejects: vec![0; n],
             rejects_other: 0,
+            job_spans: Vec::new(),
         })
     }
 
@@ -551,6 +583,7 @@ impl DaemonCore {
             .with_policy(SchedulingPolicy::GenerationOrder)
             .with_seed(self.cfg.seed)
             .with_jobs(sched)
+            .with_telemetry()
             .with_live_metrics(self.hub.clone());
         run_cfg.jitter_sigma = 0.0;
         let report = gpuflow_runtime::run(&workflow, &run_cfg)
@@ -563,6 +596,10 @@ impl DaemonCore {
             end_node[r.task.0 as usize] = (r.end.as_nanos(), r.node);
         }
         let epoch = self.epochs;
+        // The daemon level of the causal span tree: one root span per
+        // job, folded from the drain's telemetry over the job's task
+        // range on the epoch-local clock.
+        let forest = SpanForest::from_telemetry(&workflow, &report.telemetry);
         for (k, &i) in queued.iter().enumerate() {
             let (lo, hi) = (built[k].task_lo, built[k].task_hi);
             let mut fp = FP_SEED;
@@ -570,6 +607,29 @@ impl DaemonCore {
                 let (end_ns, node) = end_node[tid as usize];
                 fp = mix64(fp ^ mix64(((tid as u64) << 32) ^ end_ns ^ node as u64));
             }
+            let mut span = JobRootSpan {
+                job: self.jobs[i].id,
+                tenant: self.jobs[i].tenant,
+                epoch,
+                t0_ns: u64::MAX,
+                t1_ns: 0,
+                tasks: (hi - lo + 1) as u64,
+                critical: 0,
+            };
+            for t in &forest.tasks {
+                if t.task.0 < lo || t.task.0 > hi {
+                    continue;
+                }
+                span.t0_ns = span.t0_ns.min(t.start_ns);
+                span.t1_ns = span.t1_ns.max(t.end_ns);
+                if t.on_critical_path {
+                    span.critical += 1;
+                }
+            }
+            if span.t0_ns == u64::MAX {
+                span.t0_ns = 0;
+            }
+            self.job_spans.push(span);
             let j = &mut self.jobs[i];
             j.state = JobState::Done;
             j.fingerprint = fp;
@@ -597,6 +657,47 @@ impl DaemonCore {
     /// The current Prometheus exposition (text format 0.0.4).
     pub fn metrics_text(&self) -> String {
         self.hub.expose()
+    }
+
+    /// Per-job root spans accumulated across drains, submission order.
+    pub fn job_spans(&self) -> &[JobRootSpan] {
+        &self.job_spans
+    }
+
+    /// The `gpuflow ctl alerts` body: current rule states, the firing
+    /// timeline, and the per-job root spans. Pure read — evaluation
+    /// happens only at sample boundaries inside drains, so querying
+    /// never perturbs the live/replay bit-identity.
+    pub fn alerts_text(&self) -> String {
+        let reg = self.hub.snapshot();
+        let mut s = String::from("-- alert rules --\n");
+        match reg.alerts() {
+            Some(eng) => {
+                s.push_str(&eng.render_table());
+                s.push_str("-- firing timeline --\n");
+                let timeline = eng.render_timeline();
+                if timeline.is_empty() {
+                    s.push_str("(no transitions)\n");
+                } else {
+                    s.push_str(&timeline);
+                }
+            }
+            None => s.push_str("(alerting disabled)\n"),
+        }
+        s.push_str("-- job root spans --\n");
+        for sp in &self.job_spans {
+            s.push_str(&format!(
+                "job={} tenant={} epoch={} t0_ns={} t1_ns={} tasks={} critical={}\n",
+                sp.job,
+                self.cfg.tenants[sp.tenant].0,
+                sp.epoch,
+                sp.t0_ns,
+                sp.t1_ns,
+                sp.tasks,
+                sp.critical
+            ));
+        }
+        s
     }
 
     /// Human-readable queue table.
@@ -816,6 +917,43 @@ mod tests {
         assert_eq!(replayed.metrics_text(), live.metrics_text());
         assert_eq!(replayed.report(), live.report());
         assert_eq!(replayed.queue_json(), live.queue_json());
+        assert_eq!(replayed.alerts_text(), live.alerts_text());
+        assert_eq!(replayed.job_spans(), live.job_spans());
+    }
+
+    #[test]
+    fn alerts_text_reports_rules_and_job_root_spans() {
+        let mut core = DaemonCore::new(small_cfg()).unwrap();
+        core.submit("acme", JobShape::Wide, 12, 0).unwrap();
+        core.submit("beta", JobShape::Tree, 9, 0).unwrap();
+        core.drain().unwrap();
+        let text = core.alerts_text();
+        assert!(text.contains("-- alert rules --"), "{text}");
+        assert!(text.contains("queue_wait_p99"), "{text}");
+        assert!(text.contains("-- firing timeline --"), "{text}");
+        assert!(text.contains("-- job root spans --"), "{text}");
+        assert!(text.contains("job=1 tenant=acme epoch=0"), "{text}");
+        assert_eq!(core.job_spans().len(), 2);
+        for sp in core.job_spans() {
+            assert!(sp.t1_ns > sp.t0_ns, "root span must have extent: {sp:?}");
+            assert!(sp.tasks > 0);
+        }
+        // Every epoch has a critical path; its tasks belong to the
+        // drained jobs, so at least one root span holds critical tasks.
+        assert!(core.job_spans().iter().any(|s| s.critical > 0));
+        // Reading alerts must not perturb state (pure read).
+        assert_eq!(text, core.alerts_text());
+        // The scrape exposition carries the alerting families.
+        let metrics = core.metrics_text();
+        assert!(metrics.contains("gpuflow_alert_state{"), "{metrics}");
+        assert!(
+            metrics.contains("gpuflow:queue_wait_seconds:p99"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("gpuflow_queue_wait_seconds_count"),
+            "{metrics}"
+        );
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub fn handle_request(request_line: &str, hub: &MetricsHub) -> (String, &'static
         "/" => (
             "HTTP/1.0 200 OK".to_string(),
             "text/plain; charset=utf-8",
-            "gpuflow metrics endpoint\n\n  GET /metrics  Prometheus text exposition\n  \
+            "gpuflow metrics endpoint\n\n  GET /metrics  Prometheus text exposition \
+             (incl. gpuflow_alert_state and recording rules)\n  \
              GET /healthz  liveness probe\n"
                 .to_string(),
         ),

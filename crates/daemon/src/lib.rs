@@ -42,7 +42,7 @@ pub mod http;
 pub mod log;
 pub mod protocol;
 
-pub use crate::core::{DaemonConfig, DaemonCore, DrainSummary, JobState};
+pub use crate::core::{DaemonConfig, DaemonCore, DrainSummary, JobRootSpan, JobState};
 pub use crate::http::{handle_request, serve_until, ServeControl};
 pub use crate::log::LogLine;
 pub use crate::protocol::{Command, RejectReason};

@@ -81,6 +81,8 @@ pub enum Command {
     Report,
     /// The current Prometheus exposition snapshot.
     Metrics,
+    /// Alert rule states, the firing timeline, and per-job root spans.
+    Alerts,
     /// Liveness probe.
     Health,
     /// The recorded submission journal.
@@ -146,6 +148,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }),
         "report" => Ok(Command::Report),
         "metrics" => Ok(Command::Metrics),
+        "alerts" => Ok(Command::Alerts),
         "health" => Ok(Command::Health),
         "log" => Ok(Command::Log),
         "shutdown" => Ok(Command::Shutdown),
@@ -200,6 +203,7 @@ mod tests {
             Ok(Command::Cancel { job: 3 })
         );
         assert_eq!(parse_command("drain"), Ok(Command::Drain));
+        assert_eq!(parse_command("alerts"), Ok(Command::Alerts));
         assert_eq!(parse_command("shutdown"), Ok(Command::Shutdown));
     }
 

@@ -40,6 +40,19 @@
 //!                                # prints the per-job fingerprints and
 //!                                # exposition — bit-identical to the
 //!                                # live daemon run at any --threads
+//! repro spans                # causal span traces, flame graph,
+//!                            # deterministic sampling and the SLO
+//!                            # alert timeline over the chaos replay
+//!                            # scenario
+//! repro spans --rate PPM --span-seed N --otlp FILE --out FILE
+//! repro spans --check        # byte-diff against artifacts/spans.txt,
+//!                            # validate the collapsed-stack grammar
+//!                            # and the Prometheus exposition; exits 1
+//!                            # on any mismatch
+//! repro spans --stress       # 10^6-task DAG sampler bound check:
+//!                            # kept <= documented bound and 100%
+//!                            # critical-path retention; exits 1 on
+//!                            # breach (--tasks N, --shape S override)
 //! ```
 //!
 //! Artifacts: table1, fig1, fig6, fig7a, fig7b, fig8, fig9a, fig9b,
@@ -54,7 +67,7 @@ use std::time::Instant;
 
 use gpuflow_experiments::{
     ablation, factors, fault_sensitivity, fig1, fig10, fig11, fig12, fig6, fig7, fig8, fig9, gate,
-    generalizability, memory, obs, prediction, replay, sensitivity, stress, Context,
+    generalizability, memory, obs, prediction, replay, sensitivity, spans, stress, Context,
 };
 
 /// Runs the perf-regression gate (`repro gate [--update] [--baselines
@@ -168,13 +181,24 @@ fn run_replay_from_log(path: &str, args: &[String]) {
         eprintln!("[replay -> {out}]");
     }
     if args.iter().any(|a| a == "--check") {
-        match gpuflow_lint::promtext::check(&core.metrics_text()) {
+        let text = core.metrics_text();
+        match gpuflow_lint::promtext::check(&text) {
             Ok(stats) => println!(
                 "exposition check: PASS ({} families, {} samples)",
                 stats.families, stats.samples
             ),
             Err(err) => {
                 eprintln!("exposition check: FAIL\n{err}");
+                std::process::exit(1);
+            }
+        }
+        match gpuflow_lint::promtext::check_alert_families(&text) {
+            Ok(stats) => println!(
+                "alert surface check: PASS ({} alert samples, {} recording rules)",
+                stats.alert_samples, stats.recording_families
+            ),
+            Err(err) => {
+                eprintln!("alert surface check: FAIL\n{err}");
                 std::process::exit(1);
             }
         }
@@ -232,6 +256,117 @@ fn run_replay(args: &[String]) {
     }
 }
 
+/// Runs the span-trace scenario (`repro spans [--seed N] [--jobs N]
+/// [--tenants N] [--horizon SECS] [--interval SECS] [--rate PPM]
+/// [--span-seed N] [--otlp FILE] [--out FILE] [--check] [--stress
+/// [--tasks N] [--shape S]]`). The artifact is the chaos replay
+/// scenario's collapsed flame graph, span summary, sampler coverage,
+/// and SLO alert timeline; with `--check` it is byte-diffed against
+/// the committed golden and both output grammars are validated. With
+/// `--stress`, a million-task DAG (by default) checks the sampler's
+/// documented size bound and 100% critical-path retention instead.
+fn run_spans(args: &[String]) {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let rate = value_of("--rate")
+        .map(|v| v.parse::<u64>().expect("--rate takes ppm"))
+        .unwrap_or(spans::DEFAULT_RATE_PPM);
+    let span_seed = value_of("--span-seed")
+        .map(|v| v.parse::<u64>().expect("--span-seed takes an integer"))
+        .unwrap_or(spans::DEFAULT_SAMPLER_SEED);
+    if args.iter().any(|a| a == "--stress") {
+        let tasks = value_of("--tasks")
+            .map(|v| v.parse::<usize>().expect("--tasks takes a number"))
+            .unwrap_or(1_000_000);
+        let shape = value_of("--shape")
+            .map(|v| stress::Shape::parse(&v).expect("--shape takes wide|stencil|tree"))
+            .unwrap_or(stress::Shape::Wide);
+        let verdict = spans::run_stress(shape, tasks, rate, span_seed);
+        let line = spans::render_stress(&verdict);
+        println!("{line}");
+        if !verdict.passed() {
+            eprintln!("spans stress check: FAIL");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let mut spec = replay::ReplaySpec {
+        chaos: true,
+        ..replay::ReplaySpec::default()
+    };
+    if let Some(v) = value_of("--seed") {
+        spec.seed = v.parse().expect("--seed takes an integer");
+    }
+    if let Some(v) = value_of("--jobs") {
+        spec.jobs = v.parse().expect("--jobs takes a number");
+    }
+    if let Some(v) = value_of("--tenants") {
+        spec.tenants = v.parse().expect("--tenants takes a number");
+    }
+    if let Some(v) = value_of("--horizon") {
+        spec.horizon_secs = v.parse().expect("--horizon takes seconds");
+    }
+    if let Some(v) = value_of("--interval") {
+        spec.interval_secs = v.parse().expect("--interval takes seconds");
+    }
+    let report = spans::run(&spec, rate, span_seed);
+    let text = report.render();
+    println!("{text}");
+    if let Some(path) = value_of("--out") {
+        std::fs::write(&path, &text).expect("write spans artifact");
+        eprintln!("[spans -> {path}]");
+    }
+    if let Some(path) = value_of("--otlp") {
+        std::fs::write(&path, report.sampled.to_otlp_json()).expect("write OTLP span JSON");
+        eprintln!("[otlp -> {path}]");
+    }
+    if args.iter().any(|a| a == "--check") {
+        let golden = value_of("--golden").unwrap_or_else(|| "artifacts/spans.txt".to_string());
+        let pinned = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+            eprintln!("spans check: cannot read {golden}: {e}");
+            std::process::exit(2);
+        });
+        let mut failed = false;
+        if pinned != text {
+            eprintln!("spans check: FAIL — output differs from {golden}");
+            failed = true;
+        }
+        if let Err(err) = gpuflow_lint::collapsed::check(&report.collapsed()) {
+            eprintln!("collapsed grammar check: FAIL\n{err}");
+            failed = true;
+        }
+        let exposition = report.metrics.expose();
+        match gpuflow_lint::promtext::check(&exposition) {
+            Ok(stats) => println!(
+                "exposition check: PASS ({} families, {} samples)",
+                stats.families, stats.samples
+            ),
+            Err(err) => {
+                eprintln!("exposition check: FAIL\n{err}");
+                failed = true;
+            }
+        }
+        match gpuflow_lint::promtext::check_alert_families(&exposition) {
+            Ok(stats) => println!(
+                "alert surface check: PASS ({} alert samples, {} recording rules)",
+                stats.alert_samples, stats.recording_families
+            ),
+            Err(err) => {
+                eprintln!("alert surface check: FAIL\n{err}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("spans check: PASS (byte-identical to {golden})");
+    }
+}
+
 /// Returns a one-line warning when the workspace is not lint-clean,
 /// or `None` when it is (or when no workspace root can be found).
 fn lint_note() -> Option<String> {
@@ -264,10 +399,14 @@ fn run_lint() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Replay dispatches before the generic `--out DIR` handling: its
-    // `--out` names a file, not a directory.
+    // Replay and spans dispatch before the generic `--out DIR`
+    // handling: their `--out` names a file, not a directory.
     if args.iter().any(|a| a == "replay") {
         run_replay(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "spans") {
+        run_spans(&args);
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");

@@ -22,6 +22,7 @@
 //! | [`fault_sensitivity`] | extension: makespan and output convergence under injected faults |
 //! | [`gate`] | extension: perf-regression gate over committed baseline profiles |
 //! | [`replay`] | extension: production-trace replay (diurnal arrivals × heavy-tailed jobs × tenant mix) with metrics-over-time artifact |
+//! | [`spans`] | extension: causal span traces, critical-path flame graphs, deterministic sampling, and the SLO alert timeline over the chaos replay scenario |
 //!
 //! Each module exposes `run(&Context)` returning structured results with
 //! a `render()` text table, so the `repro` binary, the Criterion benches,
@@ -49,6 +50,7 @@ pub mod obs;
 pub mod prediction;
 pub mod replay;
 pub mod sensitivity;
+pub mod spans;
 pub mod stress;
 mod table;
 

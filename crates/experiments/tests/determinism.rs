@@ -22,11 +22,13 @@
 
 use gpuflow_algorithms::{KmeansConfig, MatmulConfig};
 use gpuflow_cluster::{ProcessorKind, StorageArchitecture};
-use gpuflow_experiments::{fig11, measure::par_map, obs, replay, stress, Context};
+use gpuflow_experiments::{fig11, measure::par_map, obs, replay, spans, stress, Context};
 use gpuflow_runtime::{
-    FaultPlan, MetricsHub, MetricsRegistry, RunConfig, SchedulingPolicy, Workflow,
+    FaultPlan, MetricsHub, MetricsRegistry, RunConfig, SchedulingPolicy, SpanForest, SpanSampler,
+    Workflow,
 };
 use gpuflow_sim::SimDuration;
+use proptest::prelude::*;
 
 fn canonical_matmul() -> Workflow {
     MatmulConfig::new(gpuflow_data::paper::matmul_128mb(), 4)
@@ -290,6 +292,80 @@ fn replay_artifact_is_identical_across_thread_counts() {
     })
     .render();
     assert_ne!(single, other, "seed must matter");
+}
+
+/// The entire span-tracing surface — the OTLP-shaped span JSON, the
+/// collapsed-stack flame graph, and the SLO alert firing timeline — is
+/// byte-identical at every thread count, including under concurrent
+/// runs: causal folding, sampling, and alert evaluation all ride the
+/// integer virtual clock, never host timing.
+#[test]
+fn span_flame_and_alert_outputs_are_identical_across_thread_counts() {
+    let spec = replay::ReplaySpec {
+        jobs: 6,
+        chaos: true,
+        ..replay::ReplaySpec::default()
+    };
+    let run_once = || {
+        let r = spans::run(&spec, spans::DEFAULT_RATE_PPM, spans::DEFAULT_SAMPLER_SEED);
+        let timeline = r
+            .metrics
+            .alerts()
+            .map(|eng| eng.render_timeline())
+            .unwrap_or_default();
+        (r.forest.to_otlp_json(), r.collapsed(), timeline, r.render())
+    };
+    let single = run_once();
+    assert!(single.0.contains("resourceSpans"));
+    assert!(single.1.starts_with("gpuflow;"));
+    for threads in [1usize, 4, 8] {
+        let runs = par_map(threads, &[(); 4], |_, _| run_once());
+        assert!(runs.iter().all(|r| *r == single), "{threads} threads");
+    }
+}
+
+/// The span forest the sampler property suite below filters: one real
+/// chaos run (with retries and a critical path), folded once.
+fn sampler_fixture() -> &'static SpanForest {
+    static FOREST: std::sync::OnceLock<SpanForest> = std::sync::OnceLock::new();
+    FOREST.get_or_init(|| {
+        let spec = replay::ReplaySpec {
+            jobs: 6,
+            chaos: true,
+            ..replay::ReplaySpec::default()
+        };
+        spans::run(&spec, 0, 0).forest
+    })
+}
+
+proptest! {
+    /// For *any* sampler seed and head rate — including rate 0, which
+    /// drops everything the always-keep rules don't protect — the
+    /// sampled trace retains every critical-path span: the sampler may
+    /// thin the forest, never the path that determined the makespan.
+    #[test]
+    fn sampled_traces_retain_every_critical_path_span(
+        seed in 0u64..u64::MAX,
+        rate in 0u64..1_000_001,
+    ) {
+        let forest = sampler_fixture();
+        let critical: Vec<_> = forest
+            .tasks
+            .iter()
+            .filter(|t| t.on_critical_path)
+            .map(|t| t.task)
+            .collect();
+        prop_assert!(!critical.is_empty(), "fixture must have a critical path");
+        let (kept, stats) = SpanSampler::new(seed, rate).sample(forest);
+        for id in &critical {
+            prop_assert!(
+                kept.tasks.iter().any(|t| t.task == *id),
+                "critical task {id:?} dropped at seed={seed:#x} rate={rate}"
+            );
+        }
+        prop_assert_eq!(stats.critical, critical.len());
+        prop_assert!(stats.kept >= stats.critical);
+    }
 }
 
 /// A recoverable node crash (with rejoin) on local-disk storage loses

@@ -1,0 +1,104 @@
+//! A zero-dep validator for the collapsed-stack flame-graph format —
+//! the `folded` text `flamegraph.pl` and speedscope consume, emitted
+//! by `gpuflow obs flame` and `repro spans`.
+//!
+//! The grammar is one stack per line: semicolon-separated frames, one
+//! space, an integer weight. On top of it the checker enforces what
+//! the deterministic emitter guarantees: non-empty frames, positive
+//! integer weights (virtual nanoseconds), no duplicate stacks, and a
+//! shared root frame — so a merge bug or a float leak fails CI without
+//! any flame-graph tooling in the container.
+
+/// Summary of a validated collapsed-stack document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Stack lines.
+    pub stacks: usize,
+    /// Sum of all weights (virtual nanoseconds).
+    pub total_weight: u64,
+}
+
+/// Validates `text` as collapsed stacks; returns summary stats or the
+/// first violation.
+pub fn check(text: &str) -> Result<Stats, String> {
+    let mut stats = Stats {
+        stacks: 0,
+        total_weight: 0,
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    let mut root: Option<&str> = None;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let err = |msg: String| format!("line {lineno}: {msg}");
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, weight) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err(format!("no weight field: {line:?}")))?;
+        let weight: u64 = weight
+            .parse()
+            .map_err(|_| err(format!("weight must be a non-negative integer: {weight:?}")))?;
+        if weight == 0 {
+            return Err(err("zero-weight stack (the emitter omits them)".into()));
+        }
+        if stack.is_empty() || stack.split(';').any(|f| f.is_empty() || f.contains(' ')) {
+            return Err(err(format!("malformed stack {stack:?}")));
+        }
+        let first = stack.split(';').next().expect("non-empty stack");
+        match root {
+            None => root = Some(first),
+            Some(r) if r != first => {
+                return Err(err(format!("root frame {first:?} differs from {r:?}")));
+            }
+            Some(_) => {}
+        }
+        if seen.contains(&stack) {
+            return Err(err(format!("duplicate stack {stack:?}")));
+        }
+        seen.push(stack);
+        stats.stacks += 1;
+        stats.total_weight += weight;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_collapsed_stacks() {
+        let text = "\
+gpuflow;wide_t0;queue-wait 120
+gpuflow;wide_t0;compute 4800
+gpuflow;tree_t1;compute 900
+";
+        let stats = check(text).expect("valid");
+        assert_eq!(stats.stacks, 3);
+        assert_eq!(stats.total_weight, 5820);
+    }
+
+    #[test]
+    fn rejects_missing_or_non_integer_weights() {
+        assert!(check("gpuflow;compute\n").is_err());
+        assert!(check("gpuflow;compute 1.5\n").is_err());
+        assert!(check("gpuflow;compute -3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_weights_empty_frames_and_duplicates() {
+        assert!(check("gpuflow;compute 0\n").unwrap_err().contains("zero"));
+        assert!(check("gpuflow;;compute 1\n")
+            .unwrap_err()
+            .contains("malformed"));
+        let dup = "gpuflow;compute 1\ngpuflow;compute 2\n";
+        assert!(check(dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_a_forked_root_frame() {
+        let text = "gpuflow;compute 1\nother;compute 2\n";
+        assert!(check(text).unwrap_err().contains("root frame"));
+    }
+}

@@ -20,11 +20,14 @@
 //! Entry points: [`run`] (whole tree, used by `gpuflow lint` and
 //! `repro lint`), [`scan::scan_file`] (one file, used by the golden
 //! fixture tests), [`json`] (parser + shape checker backing the CLI
-//! JSON schema tests), and [`promtext`] (Prometheus text-exposition
+//! JSON schema tests), [`promtext`] (Prometheus text-exposition
 //! validator backing `repro replay --check` and the CI metrics-smoke
-//! job).
+//! job, including the SLO alert/recording-rule surface), and
+//! [`collapsed`] (collapsed-stack flame-graph grammar backing
+//! `repro spans --check` and the CI spans-smoke job).
 
 pub mod allow;
+pub mod collapsed;
 pub mod json;
 pub mod lexer;
 pub mod promtext;

@@ -230,6 +230,95 @@ pub fn check(text: &str) -> Result<Stats, String> {
     Ok(Stats { families, samples })
 }
 
+/// Summary of a validated alert/recording-rule surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertStats {
+    /// `gpuflow_alert_state` samples.
+    pub alert_samples: usize,
+    /// Recording-rule families (colon-named, e.g.
+    /// `gpuflow:queue_wait_seconds:p99`).
+    pub recording_families: usize,
+}
+
+/// Validates the SLO alerting surface of an exposition on top of the
+/// base grammar ([`check`] must already have passed or be run by the
+/// caller):
+///
+/// * every `gpuflow_alert_state` sample carries exactly the
+///   `{alert,severity,subject}` label set, a `severity` of `warning`
+///   or `critical`, and a value in `{0,1,2}`
+///   (inactive/pending/firing), and the family is declared `gauge`;
+/// * every colon-named family is a recording rule of the Prometheus
+///   `level:metric:operation` naming convention — exactly two colons,
+///   non-empty identifier segments — and is declared `gauge`.
+pub fn check_alert_families(text: &str) -> Result<AlertStats, String> {
+    let mut stats = AlertStats {
+        alert_samples: 0,
+        recording_families: 0,
+    };
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let err = |msg: String| format!("line {lineno}: {msg}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if name == "gpuflow_alert_state" && kind != "gauge" {
+                    return Err(err(format!(
+                        "gpuflow_alert_state must be a gauge, not {kind}"
+                    )));
+                }
+                if name.contains(':') {
+                    let segments: Vec<&str> = name.split(':').collect();
+                    if segments.len() != 3 || segments.iter().any(|s| s.is_empty()) {
+                        return Err(err(format!(
+                            "recording rule {name} must be level:metric:operation"
+                        )));
+                    }
+                    if kind != "gauge" {
+                        return Err(err(format!(
+                            "recording rule {name} must be a gauge, not {kind}"
+                        )));
+                    }
+                    stats.recording_families += 1;
+                }
+            }
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line).map_err(&err)?;
+        if name != "gpuflow_alert_state" {
+            continue;
+        }
+        let mut keys: Vec<&str> = labels.iter().map(|(k, _)| k.as_str()).collect();
+        keys.sort_unstable();
+        if keys != ["alert", "severity", "subject"] {
+            return Err(err(format!(
+                "gpuflow_alert_state must carry {{alert,severity,subject}}, got {{{}}}",
+                keys.join(",")
+            )));
+        }
+        let severity = labels
+            .iter()
+            .find(|(k, _)| k == "severity")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("");
+        if !matches!(severity, "warning" | "critical") {
+            return Err(err(format!("unknown alert severity {severity:?}")));
+        }
+        if !matches!(value.as_str(), "0" | "1" | "2") {
+            return Err(err(format!(
+                "gpuflow_alert_state value must be 0|1|2 (inactive|pending|firing), got {value}"
+            )));
+        }
+        stats.alert_samples += 1;
+    }
+    Ok(stats)
+}
+
 /// Maps a histogram component sample (`<fam>_bucket`, `<fam>_sum`,
 /// `<fam>_count`) back to its declared family name, if any.
 fn histogram_family<'a>(name: &str, typed: &'a [(String, String)]) -> Option<&'a str> {
@@ -492,6 +581,56 @@ h_count 3
     fn rejects_unterminated_labels() {
         assert!(check("# TYPE m counter\nm{l=\"x} 1\n").is_err());
         assert!(check("# TYPE m counter\nm{l=x} 1\n").is_err());
+    }
+
+    #[test]
+    fn accepts_a_well_formed_alert_surface() {
+        let text = "\
+# TYPE gpuflow_queue_wait_seconds histogram
+gpuflow_queue_wait_seconds_bucket{le=\"+Inf\"} 2
+gpuflow_queue_wait_seconds_sum 0.1
+gpuflow_queue_wait_seconds_count 2
+# TYPE gpuflow:queue_wait_seconds:p99 gauge
+gpuflow:queue_wait_seconds:p99 0.05
+# TYPE gpuflow_alert_state gauge
+gpuflow_alert_state{alert=\"queue_wait_p99\",severity=\"warning\",subject=\"global\"} 2
+gpuflow_alert_state{alert=\"reject_rate\",severity=\"critical\",subject=\"quota\"} 0
+";
+        check(text).expect("base grammar");
+        let stats = check_alert_families(text).expect("alert surface");
+        assert_eq!(stats.alert_samples, 2);
+        assert_eq!(stats.recording_families, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_alert_state_samples() {
+        // Wrong label set.
+        let bad = "# TYPE gpuflow_alert_state gauge\n\
+                   gpuflow_alert_state{alert=\"a\",subject=\"s\"} 0\n";
+        assert!(check_alert_families(bad)
+            .unwrap_err()
+            .contains("alert,severity,subject"));
+        // Unknown severity.
+        let bad = "# TYPE gpuflow_alert_state gauge\n\
+                   gpuflow_alert_state{alert=\"a\",severity=\"fatal\",subject=\"s\"} 0\n";
+        assert!(check_alert_families(bad).unwrap_err().contains("severity"));
+        // Out-of-range state value.
+        let bad = "# TYPE gpuflow_alert_state gauge\n\
+                   gpuflow_alert_state{alert=\"a\",severity=\"warning\",subject=\"s\"} 3\n";
+        assert!(check_alert_families(bad).unwrap_err().contains("0|1|2"));
+        // Alert family declared as a counter.
+        let bad = "# TYPE gpuflow_alert_state counter\n";
+        assert!(check_alert_families(bad).unwrap_err().contains("gauge"));
+    }
+
+    #[test]
+    fn rejects_malformed_recording_rule_names() {
+        let bad = "# TYPE gpuflow:p99 gauge\ngpuflow:p99 0.1\n";
+        assert!(check_alert_families(bad)
+            .unwrap_err()
+            .contains("level:metric:operation"));
+        let bad = "# TYPE gpuflow:queue_wait_seconds:p99 counter\n";
+        assert!(check_alert_families(bad).unwrap_err().contains("gauge"));
     }
 
     #[test]

@@ -34,10 +34,12 @@ pub use scheduler::{
 };
 pub use task::{CostProfile, Param, TaskId, TaskSpec, TaskType};
 pub use telemetry::{
-    to_chrome_trace, BucketDelta, BucketHistogram, CandidateScore, ChromeTraceSink,
+    to_chrome_trace, to_collapsed, AlertEngine, AlertRule, AlertSeverity, AlertState,
+    AlertTransition, BucketDelta, BucketHistogram, CandidateScore, ChromeTraceSink,
     CriticalSegment, EventBus, Histogram, HistogramDigest, JsonlSink, LinkKind, MemorySink,
-    MetricsHub, MetricsRegistry, OverheadReport, PathChange, PathDelta, ResourceProfile, RunDiff,
-    RunProfile, SampleRow, SchedulerDecision, TaskTypeProfile, TelemetryEvent, TelemetryLog,
+    MetricsHub, MetricsRegistry, OverheadReport, PathChange, PathDelta, PhaseSpan, ResourceProfile,
+    RuleKind, RunDiff, RunProfile, SampleRow, SampleStats, SchedulerDecision, SpanForest,
+    SpanPhase, SpanSampler, TaskSpans, TaskTypeProfile, TelemetryEvent, TelemetryLog,
     TelemetrySink, TypeDelta,
 };
 pub use trace::{paraver_pcf, to_paraver_prv, Trace, TraceRecord, TraceState};

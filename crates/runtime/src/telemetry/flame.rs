@@ -1,0 +1,107 @@
+//! Collapsed-stack flame-graph export of a [`SpanForest`].
+//!
+//! The output follows the `flamegraph.pl` collapsed format — one
+//! `frame;frame;frame count` line per stack — with virtual-time
+//! nanoseconds as the weight, aggregated per task type and lifecycle
+//! phase:
+//!
+//! ```text
+//! gpuflow;matmul;compute 1200000000
+//! gpuflow;matmul;queue-wait 40000000
+//! ```
+//!
+//! Stacks are emitted in `BTreeMap` order (task type ascending, then
+//! canonical phase order), zero-weight phases are omitted, and every
+//! weight is an integer virtual ns, so the text is byte-identical at
+//! any thread count.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use super::span::{SpanForest, SpanPhase};
+
+/// Renders the forest as `flamegraph.pl`-compatible collapsed stacks,
+/// virtual-time-weighted and aggregated per task type.
+pub fn to_collapsed(forest: &SpanForest) -> String {
+    let mut weights: BTreeMap<String, [u64; SpanPhase::ALL.len()]> = BTreeMap::new();
+    for t in &forest.tasks {
+        let slot = weights
+            .entry(t.task_type.clone())
+            .or_insert([0; SpanPhase::ALL.len()]);
+        for p in &t.phases {
+            slot[p.phase.index()] += p.duration_ns();
+        }
+    }
+    let mut o = String::new();
+    for (ty, by_phase) in &weights {
+        for phase in SpanPhase::ALL {
+            let w = by_phase[phase.index()];
+            if w == 0 {
+                continue;
+            }
+            let _ = writeln!(o, "gpuflow;{ty};{} {w}", phase.label());
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::span::{PhaseSpan, TaskSpans};
+    use super::*;
+    use crate::task::TaskId;
+
+    fn spans(ty: &str, phase: SpanPhase, ns: u64) -> TaskSpans {
+        TaskSpans {
+            task: TaskId(0),
+            task_type: ty.to_string(),
+            node: 0,
+            phases: vec![PhaseSpan {
+                phase,
+                t0_ns: 0,
+                t1_ns: ns,
+                attempt: 0,
+            }],
+            start_ns: 0,
+            end_ns: ns,
+            causal_parent: None,
+            on_critical_path: false,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_type_in_sorted_order() {
+        let forest = SpanForest {
+            tasks: vec![
+                spans("zeta", SpanPhase::Compute, 5),
+                spans("alpha", SpanPhase::Compute, 7),
+                spans("alpha", SpanPhase::Compute, 3),
+            ],
+        };
+        let out = to_collapsed(&forest);
+        assert_eq!(out, "gpuflow;alpha;compute 10\ngpuflow;zeta;compute 5\n");
+    }
+
+    #[test]
+    fn zero_weight_phases_are_omitted() {
+        let forest = SpanForest {
+            tasks: vec![spans("t", SpanPhase::Resubmit, 0)],
+        };
+        assert_eq!(to_collapsed(&forest), "");
+    }
+
+    #[test]
+    fn lines_match_the_collapsed_grammar() {
+        let forest = SpanForest {
+            tasks: vec![
+                spans("map", SpanPhase::QueueWait, 11),
+                spans("map", SpanPhase::Compute, 22),
+            ],
+        };
+        for line in to_collapsed(&forest).lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("space-separated");
+            assert!(count.chars().all(|c| c.is_ascii_digit()), "{line}");
+            assert!(stack.split(';').count() >= 2, "{line}");
+        }
+    }
+}

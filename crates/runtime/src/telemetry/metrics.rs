@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex};
 use fxhash::FxHashMap;
 use gpuflow_sim::SimDuration;
 
+use super::alert::{AlertEngine, AlertRule, AlertSnapshot};
 use super::event::{LinkKind, TelemetryEvent};
 use super::sink::TelemetrySink;
 use super::TelemetryLog;
@@ -107,6 +108,25 @@ impl BucketHistogram {
     /// Per-bucket (non-cumulative) counts, overflow slot last.
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Upper bound (integer ns) of the smallest bucket whose cumulative
+    /// count reaches `ceil(count·num/den)` — the bucketed quantile
+    /// estimate alert rules use. Returns `None` on an empty histogram
+    /// and `Some(u64::MAX)` when only the `+Inf` slot reaches the rank.
+    pub fn quantile_bound_ns(&self, num: u64, den: u64) -> Option<u64> {
+        if self.count == 0 || den == 0 {
+            return None;
+        }
+        let rank = (self.count.saturating_mul(num)).div_ceil(den).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(LATENCY_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
     }
 }
 
@@ -238,6 +258,15 @@ pub struct MetricsRegistry {
     /// `(task_lo, task_hi, tenant)` of the current epoch, sorted —
     /// completion events are attributed to tenants by binary search.
     tenant_ranges: Vec<(u32, u32, usize)>,
+    /// Ready→dispatch queue residency per attempt; folded always (it is
+    /// cheap), exposed only while the alert engine is enabled so the
+    /// pre-alerting exposition stays byte-identical.
+    queue_wait: BucketHistogram,
+    /// Ready instants of tasks not yet dispatched; insert/remove by key
+    /// only, never iterated, so hash order cannot reach any output.
+    pending_ready: FxHashMap<u32, u64>,
+    /// SLO rule evaluator, stepped at every sealed sample boundary.
+    alerts: Option<AlertEngine>,
 }
 
 /// Declaration-order index of a link label in [`MetricsRegistry::links`].
@@ -296,6 +325,9 @@ impl MetricsRegistry {
             offset_ns: 0,
             tenants: Vec::new(),
             tenant_ranges: Vec::new(),
+            queue_wait: BucketHistogram::default(),
+            pending_ready: FxHashMap::default(),
+            alerts: None,
         }
     }
 
@@ -365,6 +397,7 @@ impl MetricsRegistry {
             while self.next_sample_ns < t_ns {
                 let at = self.next_sample_ns;
                 self.push_sample(at);
+                self.eval_alerts(at);
                 self.next_sample_ns += self.interval_ns;
             }
         }
@@ -382,12 +415,60 @@ impl MetricsRegistry {
             while self.next_sample_ns <= self.clock_ns {
                 let at = self.next_sample_ns;
                 self.push_sample(at);
+                self.eval_alerts(at);
                 self.next_sample_ns += self.interval_ns;
             }
         }
         if self.samples.last().map(|s| s.t_ns) != Some(self.clock_ns) {
             self.push_sample(self.clock_ns);
         }
+        self.eval_alerts(self.clock_ns);
+    }
+
+    /// Enables SLO alerting: `rules` are evaluated at every sealed
+    /// sample boundary from here on, and the exposition grows the
+    /// queue-wait, recording-rule, and `gpuflow_alert_state` families.
+    pub fn enable_alerts(&mut self, rules: Vec<AlertRule>) {
+        self.alerts = Some(AlertEngine::new(rules));
+    }
+
+    /// The alert engine, when [`enable_alerts`](Self::enable_alerts)
+    /// has been called.
+    pub fn alerts(&self) -> Option<&AlertEngine> {
+        self.alerts.as_ref()
+    }
+
+    /// The ready→dispatch queue-wait histogram.
+    pub fn queue_wait_histogram(&self) -> &BucketHistogram {
+        &self.queue_wait
+    }
+
+    /// Steps the alert engine at boundary `at_ns` (absolute virtual
+    /// ns). The engine is taken out for the call so it can read the
+    /// registry without aliasing; per-boundary idempotence lives in
+    /// [`AlertEngine::step`].
+    fn eval_alerts(&mut self, at_ns: u64) {
+        let Some(mut eng) = self.alerts.take() else {
+            return;
+        };
+        let mut rejects: BTreeMap<String, u64> = BTreeMap::new();
+        for t in &self.tenants {
+            for (reason, n) in &t.rejected {
+                *rejects.entry(reason.clone()).or_insert(0) += n;
+            }
+        }
+        let tenants: Vec<(&str, u64, u64)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.name.as_str(), t.queued, t.completed_tasks))
+            .collect();
+        eng.step(&AlertSnapshot {
+            at_ns,
+            queue_wait: &self.queue_wait,
+            rejects,
+            tenants,
+        });
+        self.alerts = Some(eng);
     }
 
     /// Declares the tenant set (daemon config order). Resets any prior
@@ -416,6 +497,14 @@ impl MetricsRegistry {
         // Task ids restart from zero each epoch; stale in-flight
         // entries must not leak across.
         self.inflight.clear();
+        self.pending_ready.clear();
+        // An epoch starts with nothing ready or running; the gauges may
+        // hold a stale residue when the previous epoch's final Decision
+        // resync preceded late ready insertions. High-water marks
+        // (`max_queue_depth`, `peak_running`) deliberately persist —
+        // they summarise the whole session, not one epoch.
+        self.ready_tasks = 0;
+        self.running_tasks = 0;
     }
 
     /// Counts a job admission for `tenant`.
@@ -466,11 +555,12 @@ impl MetricsRegistry {
     /// histogram.
     pub fn observe(&mut self, ev: &TelemetryEvent) {
         match ev {
-            TelemetryEvent::TaskReady { at, .. } => {
+            TelemetryEvent::TaskReady { at, task } => {
                 self.advance_clock(at.as_nanos());
                 self.ready_total += 1;
                 self.ready_tasks += 1;
                 self.max_queue_depth = self.max_queue_depth.max(self.ready_tasks);
+                self.pending_ready.insert(task.0, at.as_nanos());
             }
             TelemetryEvent::Decision(d) => {
                 self.advance_clock(d.at.as_nanos());
@@ -495,6 +585,10 @@ impl MetricsRegistry {
                 self.dispatched_total += 1;
                 self.running_tasks += 1;
                 self.peak_running = self.peak_running.max(self.running_tasks);
+                if let Some(ready_ns) = self.pending_ready.remove(&task.0) {
+                    self.queue_wait
+                        .observe_ns(at.as_nanos().saturating_sub(ready_ns));
+                }
                 self.inflight
                     .insert(task.0, (at.as_nanos(), task_type.to_string()));
             }
@@ -782,7 +876,49 @@ impl MetricsRegistry {
             );
         }
         self.expose_tenants(&mut o);
+        self.expose_alerts(&mut o);
         o
+    }
+
+    /// The alerting families, appended last and emitted only while an
+    /// [`AlertEngine`] is enabled — every pre-alerting exposition (and
+    /// its goldens) stays byte-identical.
+    fn expose_alerts(&self, o: &mut String) {
+        let Some(eng) = &self.alerts else {
+            return;
+        };
+        family(
+            o,
+            "gpuflow_queue_wait_seconds",
+            "Ready-to-dispatch queue residency per task attempt.",
+            "histogram",
+        );
+        let h = &self.queue_wait;
+        let mut cum = 0u64;
+        for (i, &c) in h.counts.iter().enumerate() {
+            cum += c;
+            let le = LATENCY_LE_LABELS.get(i).copied().unwrap_or("+Inf");
+            let _ = writeln!(o, "gpuflow_queue_wait_seconds_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(
+            o,
+            "gpuflow_queue_wait_seconds_sum {}",
+            fmt_seconds(h.sum_ns)
+        );
+        let _ = writeln!(o, "gpuflow_queue_wait_seconds_count {}", h.count);
+        family(
+            o,
+            "gpuflow:queue_wait_seconds:p99",
+            "Recording rule: bucketed p99 of the queue-wait histogram.",
+            "gauge",
+        );
+        let p99 = match h.quantile_bound_ns(99, 100) {
+            None => fmt_seconds(0),
+            Some(u64::MAX) => "+Inf".to_string(),
+            Some(bound) => fmt_seconds(bound),
+        };
+        let _ = writeln!(o, "gpuflow:queue_wait_seconds:p99 {p99}");
+        eng.expose_state(o);
     }
 
     /// The per-tenant families of the daemon path, appended after the
@@ -1322,5 +1458,108 @@ mod tests {
         assert!(text.contains("gpuflow_tenant_task_duration_seconds_sum{tenant=\"beta\"} 0.003"));
         // Series rows are strictly monotonic across epochs.
         assert!(reg.samples().windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+    }
+
+    #[test]
+    fn gauges_reset_but_high_water_marks_persist_across_epochs() {
+        let mut reg = MetricsRegistry::new(SimDuration::from_nanos(1_000_000));
+        reg.set_tenants(&[("acme".into(), 1)]);
+        // Epoch 1 ends with a stale residue: two tasks became ready but
+        // only one was dispatched and completed (no Decision events, so
+        // nothing resynchronised the ready gauge downward).
+        reg.begin_epoch(vec![(0, 9, 0)]);
+        reg.observe(&ready(0, 0));
+        reg.observe(&ready(0, 1));
+        reg.observe(&dispatch(10, 0, "map"));
+        reg.observe(&complete(2_000_000, 0));
+        reg.seal();
+        assert_eq!(reg.ready_tasks, 2, "stale residue by construction");
+        assert_eq!(reg.max_queue_depth, 2);
+        assert_eq!(reg.peak_running, 1);
+        // Epoch 2 must start from zero — no carry-over into its samples.
+        reg.begin_epoch(vec![(0, 9, 0)]);
+        assert_eq!(reg.ready_tasks, 0, "queued gauge carried stale value");
+        assert_eq!(reg.running_tasks, 0, "running gauge carried stale value");
+        reg.observe(&ready(0, 0));
+        reg.observe(&dispatch(10, 0, "map"));
+        reg.observe(&complete(3_000_000, 0));
+        reg.seal();
+        let epoch2: Vec<_> = reg
+            .samples()
+            .iter()
+            .filter(|s| s.t_ns > 2_000_000)
+            .collect();
+        assert!(!epoch2.is_empty());
+        assert!(
+            epoch2.iter().all(|s| s.ready <= 1),
+            "epoch 2 samples must not double-count epoch 1 residue"
+        );
+        // Session-level high-water marks survive the epoch boundary
+        // (no double-reset): the session max is still 2.
+        assert_eq!(reg.max_queue_depth, 2);
+        assert_eq!(reg.peak_running, 1);
+    }
+
+    #[test]
+    fn queue_wait_histogram_folds_ready_to_dispatch() {
+        let mut reg = MetricsRegistry::new(SimDuration::ZERO);
+        reg.observe(&ready(0, 0));
+        reg.observe(&dispatch(2_000_000, 0, "map"));
+        reg.observe(&ready(1_000_000, 1));
+        reg.observe(&dispatch(1_500_000, 1, "map"));
+        let h = reg.queue_wait_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_ns(), 2_500_000);
+    }
+
+    #[test]
+    fn alert_families_appear_only_when_enabled() {
+        let mut reg = MetricsRegistry::new(SimDuration::from_nanos(1_000_000));
+        reg.observe(&ready(0, 0));
+        reg.observe(&dispatch(10, 0, "map"));
+        reg.observe(&complete(2_000_000, 0));
+        reg.seal();
+        let plain = reg.expose();
+        assert!(!plain.contains("gpuflow_alert_state"));
+        assert!(!plain.contains("gpuflow_queue_wait_seconds"));
+        assert!(!plain.contains("gpuflow:queue_wait_seconds:p99"));
+
+        let mut reg = MetricsRegistry::new(SimDuration::from_nanos(1_000_000));
+        reg.enable_alerts(AlertRule::standard());
+        reg.observe(&ready(0, 0));
+        reg.observe(&dispatch(10, 0, "map"));
+        reg.observe(&complete(2_000_000, 0));
+        reg.seal();
+        let text = reg.expose();
+        assert!(text.contains("# TYPE gpuflow_queue_wait_seconds histogram"));
+        assert!(text.contains("# TYPE gpuflow:queue_wait_seconds:p99 gauge"));
+        assert!(text.contains(
+            "gpuflow_alert_state{alert=\"queue_wait_p99\",severity=\"warning\",subject=\"global\"} 0"
+        ));
+    }
+
+    #[test]
+    fn alert_timeline_fires_deterministically_on_queue_pressure() {
+        let run = || {
+            let mut reg = MetricsRegistry::new(SimDuration::from_nanos(10_000_000));
+            reg.enable_alerts(AlertRule::standard());
+            // 60 ms queue wait > the 50 ms threshold; boundaries every
+            // 10 ms step the engine into pending then firing.
+            reg.observe(&ready(0, 0));
+            reg.observe(&dispatch(60_000_000, 0, "map"));
+            reg.observe(&complete(200_000_000, 0));
+            reg.seal();
+            reg.alerts().unwrap().render_timeline()
+        };
+        let a = run();
+        assert_eq!(a, run(), "timeline must be deterministic");
+        assert!(
+            a.contains("alert=queue_wait_p99 subject=global state=pending"),
+            "{a}"
+        );
+        assert!(
+            a.contains("alert=queue_wait_p99 subject=global state=firing"),
+            "{a}"
+        );
     }
 }

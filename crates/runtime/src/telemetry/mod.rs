@@ -27,28 +27,36 @@
 //! Enable collection with [`crate::RunConfig::with_telemetry`]; the
 //! resulting [`crate::RunReport::telemetry`] log replays into any sink.
 
+mod alert;
 mod chrome;
 mod diff;
 mod event;
+mod flame;
 mod histogram;
 mod metrics;
 mod overhead;
+mod sampler;
 mod sink;
+mod span;
 
 use std::fmt::Write as _;
 
+pub use alert::{AlertEngine, AlertRule, AlertSeverity, AlertState, AlertTransition, RuleKind};
 pub use chrome::{to_chrome_trace, ChromeTraceSink};
 pub use diff::{
     BucketDelta, CriticalSegment, PathChange, PathDelta, ResourceProfile, RunDiff, RunProfile,
     TaskTypeProfile, TypeDelta,
 };
 pub use event::{CandidateScore, LinkKind, SchedulerDecision, TelemetryEvent};
+pub use flame::to_collapsed;
 pub use histogram::{Histogram, HistogramDigest};
 pub use metrics::{
     fmt_seconds, BucketHistogram, MetricsHub, MetricsRegistry, SampleRow, DEFAULT_SAMPLE_INTERVAL,
 };
 pub use overhead::OverheadReport;
+pub use sampler::{SampleStats, SpanSampler};
 pub use sink::{JsonlSink, MemorySink, TelemetrySink};
+pub use span::{PhaseSpan, SpanForest, SpanPhase, TaskSpans};
 
 /// The executor-side collector: a no-op unless activated, so disabled
 /// runs pay a single branch per emission site.

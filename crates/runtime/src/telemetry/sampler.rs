@@ -1,0 +1,217 @@
+//! Deterministic head-based span sampling for million-task DAGs.
+//!
+//! A [`SpanSampler`] keeps a task's span tree when any of three rules
+//! holds:
+//!
+//! 1. **Head sample** — `mix64(seed ^ task_id) % 1_000_000 <
+//!    rate_millionths`. Stateless and order-free: the decision depends
+//!    only on `(seed, task_id)`, never on stream position, so any
+//!    thread count keeps the same set.
+//! 2. **Critical path** — every span on the critical path is always
+//!    kept. A trace that drops the path that determined the makespan
+//!    is useless for the "why was this slow" question.
+//! 3. **Tail outliers** — per task type, the `ceil(n/100)` tasks with
+//!    the highest `(latency, task_id)` are kept, so the p99 tail of
+//!    every type survives even at aggressive head rates.
+//!
+//! The kept-size bound is therefore
+//! `E[kept] ≤ rate·N/10⁶ + |critical path| + Σ_type ⌈n_type/100⌉`,
+//! and the hard worst case replaces the first term with the binomial
+//! tail — the [`SampleStats`] returned next to the filtered forest
+//! report the actual split so callers can assert their budget.
+
+use std::collections::BTreeMap;
+
+use gpuflow_chaos::mix64;
+
+use super::span::SpanForest;
+
+/// Head-sampling configuration. `rate_millionths` is parts-per-million
+/// of tasks kept by the seeded head rule (1_000_000 keeps everything).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanSampler {
+    /// Seed of the stateless per-task keep decision.
+    pub seed: u64,
+    /// Head-sampling rate in parts per million.
+    pub rate_millionths: u64,
+}
+
+/// How many tasks each keep-rule contributed (a task counts toward
+/// every rule it satisfies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Tasks in the unsampled forest.
+    pub total: usize,
+    /// Tasks surviving in the sampled forest.
+    pub kept: usize,
+    /// Tasks kept by the seeded head rule.
+    pub head: usize,
+    /// Tasks kept because they lie on the critical path.
+    pub critical: usize,
+    /// Tasks kept as per-type tail-latency outliers.
+    pub outliers: usize,
+}
+
+impl SpanSampler {
+    /// A sampler keeping roughly `rate_millionths` ppm of tasks.
+    pub fn new(seed: u64, rate_millionths: u64) -> SpanSampler {
+        SpanSampler {
+            seed,
+            rate_millionths: rate_millionths.min(1_000_000),
+        }
+    }
+
+    /// The stateless head-keep decision for one task id.
+    pub fn head_keeps(&self, task_id: u32) -> bool {
+        mix64(self.seed ^ task_id as u64) % 1_000_000 < self.rate_millionths
+    }
+
+    /// Filters `forest`, returning the kept sub-forest (original task
+    /// order preserved) and the per-rule statistics.
+    pub fn sample(&self, forest: &SpanForest) -> (SpanForest, SampleStats) {
+        // Per-type outlier set: top ceil(n/100) by (latency, task id).
+        let mut by_type: BTreeMap<&str, Vec<(u64, u32)>> = BTreeMap::new();
+        for t in &forest.tasks {
+            by_type
+                .entry(t.task_type.as_str())
+                .or_default()
+                .push((t.latency_ns(), t.task.0));
+        }
+        let mut outlier_ids: Vec<u32> = Vec::new();
+        for ranked in by_type.values_mut() {
+            ranked.sort_unstable_by(|a, b| b.cmp(a));
+            let keep = ranked.len().div_ceil(100);
+            outlier_ids.extend(ranked[..keep].iter().map(|(_, id)| *id));
+        }
+        outlier_ids.sort_unstable();
+
+        let mut stats = SampleStats {
+            total: forest.tasks.len(),
+            ..SampleStats::default()
+        };
+        let mut kept = Vec::new();
+        for t in &forest.tasks {
+            let head = self.head_keeps(t.task.0);
+            let critical = t.on_critical_path;
+            let outlier = outlier_ids.binary_search(&t.task.0).is_ok();
+            if head {
+                stats.head += 1;
+            }
+            if critical {
+                stats.critical += 1;
+            }
+            if outlier {
+                stats.outliers += 1;
+            }
+            if head || critical || outlier {
+                stats.kept += 1;
+                kept.push(t.clone());
+            }
+        }
+        (SpanForest { tasks: kept }, stats)
+    }
+
+    /// The documented worst-case size bound for a forest of `total`
+    /// tasks split across `type_sizes` per-type populations and a
+    /// critical path of `critical_len` tasks: expected head keeps plus
+    /// both always-keep rules. The expected-head term uses the exact
+    /// ppm arithmetic (`ceil(total · rate / 10⁶)`).
+    pub fn expected_bound(&self, total: usize, critical_len: usize, type_sizes: &[usize]) -> usize {
+        let head = (total as u128 * self.rate_millionths as u128).div_ceil(1_000_000) as usize;
+        let outliers: usize = type_sizes.iter().map(|n| n.div_ceil(100)).sum();
+        head + critical_len + outliers
+    }
+
+    /// A hard acceptance bound: [`SpanSampler::expected_bound`] plus a
+    /// four-sigma binomial slack on the head term (with a +16 floor so
+    /// tiny populations are not over-tight). The seeded head rule is a
+    /// fixed pseudo-random subset, so its size concentrates around
+    /// `rate·N/10⁶` like a binomial draw; four standard deviations make
+    /// a false positive practically impossible while still catching a
+    /// sampler that ignores its rate. All integer arithmetic.
+    pub fn hard_bound(&self, total: usize, critical_len: usize, type_sizes: &[usize]) -> usize {
+        let n = total as u128;
+        let p = self.rate_millionths as u128;
+        // Binomial variance n·p·(1-p), in task² units (ppm² cancelled).
+        let var = n * p * (1_000_000 - p) / 1_000_000 / 1_000_000;
+        let slack = 4 * (var as u64).isqrt() as usize + 16;
+        self.expected_bound(total, critical_len, type_sizes) + slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::span::TaskSpans;
+    use super::*;
+    use crate::task::TaskId;
+
+    fn forest(n: u32, critical_every: u32) -> SpanForest {
+        let tasks = (0..n)
+            .map(|i| TaskSpans {
+                task: TaskId(i),
+                task_type: "t".into(),
+                node: 0,
+                phases: Vec::new(),
+                start_ns: 0,
+                end_ns: (i as u64 + 1) * 10,
+                causal_parent: None,
+                on_critical_path: critical_every != 0 && i % critical_every == 0,
+            })
+            .collect();
+        SpanForest { tasks }
+    }
+
+    #[test]
+    fn head_rule_is_stateless_and_seeded() {
+        let s = SpanSampler::new(7, 100_000);
+        let a: Vec<bool> = (0..64).map(|i| s.head_keeps(i)).collect();
+        let b: Vec<bool> = (0..64).map(|i| s.head_keeps(i)).collect();
+        assert_eq!(a, b);
+        let other = SpanSampler::new(8, 100_000);
+        assert_ne!(a, (0..64).map(|i| other.head_keeps(i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn critical_path_spans_always_survive() {
+        let f = forest(500, 7);
+        let (kept, stats) = SpanSampler::new(1, 0).sample(&f);
+        assert!(stats.critical > 0);
+        for t in &f.tasks {
+            if t.on_critical_path {
+                assert!(kept.tasks.iter().any(|k| k.task == t.task));
+            }
+        }
+    }
+
+    #[test]
+    fn tail_outliers_survive_zero_head_rate() {
+        let f = forest(300, 0);
+        let (kept, stats) = SpanSampler::new(1, 0).sample(&f);
+        // ceil(300/100) = 3 highest-latency tasks.
+        assert_eq!(stats.outliers, 3);
+        assert_eq!(stats.kept, 3);
+        let ids: Vec<u32> = kept.tasks.iter().map(|t| t.task.0).collect();
+        assert_eq!(ids, vec![297, 298, 299]);
+    }
+
+    #[test]
+    fn kept_respects_the_documented_bound() {
+        let f = forest(1000, 13);
+        let s = SpanSampler::new(0xBEEF, 50_000);
+        let (kept, stats) = s.sample(&f);
+        let critical = f.tasks.iter().filter(|t| t.on_critical_path).count();
+        // Worst case: every head keep distinct from the always-keep sets.
+        let bound = 3 * s.expected_bound(1000, critical, &[1000]);
+        assert!(kept.tasks.len() <= bound, "{} > {bound}", kept.tasks.len());
+        assert_eq!(stats.kept, kept.tasks.len());
+        assert_eq!(stats.total, 1000);
+    }
+
+    #[test]
+    fn full_rate_keeps_everything() {
+        let f = forest(128, 5);
+        let (kept, stats) = SpanSampler::new(3, 1_000_000).sample(&f);
+        assert_eq!(kept.tasks.len(), 128);
+        assert_eq!(stats.head, 128);
+    }
+}

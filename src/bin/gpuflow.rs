@@ -6,7 +6,7 @@
 //!                [--clusters 10] [--iterations 3] [--processor gpu]
 //!                [--storage shared|local] [--policy fifo|locality]
 //!                [--threads N] [--prv out.prv] [--csv out.csv]
-//! gpuflow obs    <export-chrome|decisions|overhead|profile|summary|metrics|jsonl>
+//! gpuflow obs    <export-chrome|decisions|overhead|profile|summary|metrics|jsonl|spans|flame>
 //!                --workload matmul --rows 16384 --cols 16384 --grid 16
 //!                [run options] [--out FILE] [--json] [--series]
 //! gpuflow serve  --workload matmul --rows 16384 --cols 16384 --grid 16
@@ -14,7 +14,7 @@
 //! gpuflow submit --port P --tenant NAME --tasks N [--shape S] [--prio N]
 //! gpuflow queue  --port P [--json]
 //! gpuflow cancel --port P --job N
-//! gpuflow ctl    <drain|health|report|metrics|log|shutdown> --port P
+//! gpuflow ctl    <drain|health|report|metrics|alerts|log|shutdown> --port P
 //! gpuflow diff   A.profile B.profile [--json] [--out FILE]
 //! gpuflow doctor --workload matmul --rows 16384 --cols 16384 --grid 16
 //!                [run options] [--json]   (or: --profile FILE)
@@ -42,8 +42,9 @@ use gpuflow::cli::{
 };
 use gpuflow::cluster::{ClusterSpec, ProcessorKind, StorageArchitecture};
 use gpuflow::runtime::{
-    run, to_chrome_trace, to_paraver_prv, trace_analysis, MetricsHub, MetricsRegistry,
-    OverheadReport, RunConfig, RunDiff, RunProfile, SchedulingPolicy, Workflow,
+    run, to_chrome_trace, to_collapsed, to_paraver_prv, trace_analysis, MetricsHub,
+    MetricsRegistry, OverheadReport, RunConfig, RunDiff, RunProfile, SchedulingPolicy, SpanForest,
+    SpanSampler, Workflow,
 };
 use gpuflow::sim::SimDuration;
 
@@ -206,6 +207,20 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
         "decisions" => log.render_decisions(),
         "overhead" => OverheadReport::from_log(log, report.makespan()).render(),
         "jsonl" => log.to_jsonl(),
+        "spans" => {
+            let forest = SpanForest::from_telemetry(&workflow, log);
+            match span_sampler_from(args)? {
+                Some(sampler) => sampler.sample(&forest).0.to_otlp_json(),
+                None => forest.to_otlp_json(),
+            }
+        }
+        "flame" => {
+            let forest = SpanForest::from_telemetry(&workflow, log);
+            match span_sampler_from(args)? {
+                Some(sampler) => to_collapsed(&sampler.sample(&forest).0),
+                None => to_collapsed(&forest),
+            }
+        }
         "metrics" => {
             let registry = MetricsRegistry::from_log(log, metrics_interval(args)?);
             if args.flag("series") {
@@ -217,12 +232,14 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
         "summary" if args.flag("json") => {
             // Schema documented in docs/observability.md.
             let registry = MetricsRegistry::from_log(log, metrics_interval(args)?);
+            let forest = SpanForest::from_telemetry(&workflow, log);
             format!(
-                "{{\"workload\":\"{}\",\"makespan_ns\":{},\"telemetry\":{},\"metrics\":{}}}\n",
+                "{{\"workload\":\"{}\",\"makespan_ns\":{},\"telemetry\":{},\"metrics\":{},\"spans\":{}}}\n",
                 workload.label().replace('"', "\\\""),
                 SimDuration::from_secs_f64(report.makespan()).as_nanos(),
                 log.summary_json(),
-                registry.summary_json()
+                registry.summary_json(),
+                forest.summary_json()
             )
         }
         "summary" => {
@@ -234,11 +251,23 @@ fn cmd_obs(sub: &str, args: &Args) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "unknown obs view '{other}' (export-chrome, decisions, overhead, profile, summary, metrics, jsonl)"
+                "unknown obs view '{other}' (export-chrome, decisions, overhead, profile, summary, metrics, jsonl, spans, flame)"
             ))
         }
     };
     emit(args, sub, &output)
+}
+
+/// The optional span sampler from `--sample-rate PPM` (parts per
+/// million of tasks head-sampled; critical-path and per-type tail
+/// spans are always kept) and `--span-seed N`.
+fn span_sampler_from(args: &Args) -> Result<Option<SpanSampler>, String> {
+    let rate: i64 = args.num("sample-rate", -1)?;
+    if rate < 0 {
+        return Ok(None);
+    }
+    let seed: u64 = args.num("span-seed", 0x5EED_u64)?;
+    Ok(Some(SpanSampler::new(seed, rate as u64)))
 }
 
 /// The metrics sampling interval from `--metrics-interval SECS`
@@ -529,7 +558,7 @@ fn help() {
          \u{20} gpuflow submit --port P --tenant NAME --tasks N [--shape wide|stencil|tree] [--prio N]\n\
          \u{20} gpuflow queue  --port P [--json]        queue state of a running gpuflowd\n\
          \u{20} gpuflow cancel --port P --job N\n\
-         \u{20} gpuflow ctl    <drain|health|report|metrics|log|shutdown> --port P\n\
+         \u{20} gpuflow ctl    <drain|health|report|metrics|alerts|log|shutdown> --port P\n\
          \u{20}                client verbs for the gpuflowd scheduler daemon (see docs/daemon.md)\n\
          \u{20} gpuflow diff   A.profile B.profile [--json] [--out FILE]\n\
          \u{20} gpuflow lint   [--root DIR] [--json] [--out FILE]   determinism & integer-time lints\n\
@@ -545,7 +574,10 @@ fn help() {
          \u{20}           summary (event counts; --json for machine-readable) |\n\
          \u{20}           metrics (Prometheus text exposition; --series for the\n\
          \u{20}           virtual-time table, --metrics-interval SECS to sample) |\n\
-         \u{20}           jsonl (raw event stream)\n\
+         \u{20}           jsonl (raw event stream) |\n\
+         \u{20}           spans (OTLP-shaped causal span JSON) |\n\
+         \u{20}           flame (collapsed stacks, flamegraph.pl-compatible;\n\
+         \u{20}           both take --sample-rate PPM and --span-seed N)\n\
          \n\
          WORKLOADS: matmul | fma | kmeans | knn | cholesky\n\
          \n\
@@ -580,7 +612,7 @@ fn main() -> ExitCode {
                 Args::parse_with(rest, &["json", "series"]).and_then(|a| cmd_obs(sub, &a))
             }
             _ => Err(String::from(
-                "obs needs a view: export-chrome, decisions, overhead, profile, summary, metrics, jsonl",
+                "obs needs a view: export-chrome, decisions, overhead, profile, summary, metrics, jsonl, spans, flame",
             )),
         },
         "serve" => Args::parse(rest).and_then(|a| cmd_serve(&a)),

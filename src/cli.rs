@@ -196,7 +196,9 @@ pub fn recovery_from(args: &Args) -> Result<RecoveryPolicy, String> {
 
 /// Control verbs `gpuflow ctl ACTION` forwards to a running `gpuflowd`
 /// unchanged.
-pub const CTL_ACTIONS: [&str; 6] = ["drain", "health", "report", "metrics", "log", "shutdown"];
+pub const CTL_ACTIONS: [&str; 7] = [
+    "drain", "health", "report", "metrics", "alerts", "log", "shutdown",
+];
 
 /// Builds the one-line daemon request for the client verbs
 /// (`gpuflow submit` / `queue` / `cancel` / `ctl ACTION`) — kept in the
