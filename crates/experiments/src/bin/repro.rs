@@ -376,10 +376,23 @@ fn lint_note() -> Option<String> {
     if report.clean() {
         None
     } else {
+        // Rule-code histogram, so the gate log itself says *what kind*
+        // of violation to suspect (a D2 wall clock explains drift; an
+        // A1 stale allow does not).
+        let mut by_rule: Vec<(gpuflow_lint::RuleCode, usize)> = Vec::new();
+        for f in &report.findings {
+            match by_rule.iter_mut().find(|(c, _)| *c == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => by_rule.push((f.rule, 1)),
+            }
+        }
+        by_rule.sort();
+        let histogram: Vec<String> = by_rule.iter().map(|(c, n)| format!("{c}: {n}")).collect();
         Some(format!(
-            "note: the tree is not lint-clean ({} unsuppressed finding(s)) — run `gpuflow lint` \
-             and rule out a determinism violation before chasing the regression",
-            report.findings.len()
+            "note: the tree is not lint-clean ({} unsuppressed finding(s); {}) — run \
+             `gpuflow lint` and rule out a determinism violation before chasing the regression",
+            report.findings.len(),
+            histogram.join(", ")
         ))
     }
 }

@@ -30,34 +30,37 @@ pub mod allow;
 pub mod collapsed;
 pub mod json;
 pub mod lexer;
+pub mod locks;
 pub mod promtext;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
+pub mod units;
 pub mod workspace;
 
 use std::path::Path;
 
-pub use report::{Finding, Report};
+pub use report::{ChainHop, Finding, Report};
 pub use rules::RuleCode;
 
-/// Scans every lintable file under `root` and returns the report.
-/// Unreadable files are skipped (they cannot carry findings the
-/// compiler would accept either).
+/// Scans every lintable file under `root` and returns the report —
+/// per-function rules on each file plus the interprocedural passes
+/// (D5/T2/L1) over the workspace symbol graph. Unreadable files are
+/// skipped (they cannot carry findings the compiler would accept
+/// either).
 pub fn run(root: &Path) -> std::io::Result<Report> {
     let files = workspace::discover(root)?;
-    let mut report = Report {
-        files_scanned: files.len(),
-        ..Report::default()
-    };
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for (rel, abs) in &files {
         let Ok(src) = std::fs::read_to_string(abs) else {
             continue;
         };
-        report.findings.extend(scan::scan_file(rel, &src));
+        sources.push((rel.clone(), src));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Ok(report)
+    Ok(Report {
+        files_scanned: files.len(),
+        findings: scan::analyze(&sources),
+    })
 }

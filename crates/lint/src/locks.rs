@@ -1,0 +1,381 @@
+//! Lock-order / deadlock analysis (rule `L1`).
+//!
+//! The daemon and the metrics hub guard shared state with
+//! `Mutex`/`RwLock`. Two threads taking the same pair of locks in
+//! opposite orders is the textbook deadlock, and nothing dynamic in the
+//! test suite would catch it short of an actual hang. This pass:
+//!
+//! 1. indexes every lock **binding name** in the workspace — struct
+//!    fields, statics, and `let`s whose type or initializer mentions
+//!    `Mutex<..>`/`RwLock<..>` (also through `Arc<..>`);
+//! 2. records, per function, the ordered sequence of acquisitions —
+//!    `.lock()`, `.read()`, `.write()` on a known lock name — and the
+//!    calls interleaved with them;
+//! 3. builds a lock graph: an edge `A -> B` when some function acquires
+//!    `A` and later acquires `B` (directly, or because a function it
+//!    calls *after* taking `A` acquires `B` — **one** level of
+//!    inlining, a documented limit);
+//! 4. reports every cycle among distinct locks, with the functions
+//!    contributing each edge.
+//!
+//! Guard-drop tracking is deliberately absent: a guard bound by `let`
+//! may live to end of scope, so "acquired earlier in the function" is
+//! the conservative approximation. Same-lock re-acquisition (`A -> A`)
+//! is *not* reported — sequential `lock(); drop; lock();` is idiomatic
+//! and the token stream cannot see the drop (documented false
+//! negative: a true double-lock self-deadlock is invisible here).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::report::Finding;
+use crate::rules::RuleCode;
+use crate::symbols::SymbolGraph;
+
+/// One acquisition or call event inside a function, in token order.
+enum Event {
+    /// Acquired the named lock at (line, col).
+    Acquire(String, u32, u32),
+    /// Called these candidate functions at (line, col).
+    Call(Vec<usize>, u32, u32),
+}
+
+/// Collects every lock binding name in the file: `name: [&] [Arc<]
+/// Mutex<..>`/`RwLock<..>` type ascriptions (fields, params, statics)
+/// and `let name = Mutex::new(..)` initializers.
+pub fn lock_bindings(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident && matches!(toks.get(i + 1), Some(t) if t.is_punct(":")) {
+            let mut angle = 0i32;
+            for t in toks.iter().skip(i + 2).take(12) {
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                    if angle < 0 {
+                        break;
+                    }
+                } else if angle == 0
+                    && (t.is_punct(";") || t.is_punct("=") || t.is_punct(",") || t.is_punct(")"))
+                {
+                    break;
+                } else if t.is_ident("Mutex") || t.is_ident("RwLock") {
+                    names.push(toks[i].text.clone());
+                    break;
+                }
+            }
+        }
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if matches!(toks.get(j), Some(t) if t.is_ident("mut")) {
+                j += 1;
+            }
+            if matches!(toks.get(j), Some(t) if t.kind == TokKind::Ident)
+                && matches!(toks.get(j + 1), Some(t) if t.is_punct("="))
+            {
+                for k in j + 2..(j + 14).min(toks.len()) {
+                    if toks[k].is_punct(";") {
+                        break;
+                    }
+                    if (toks[k].is_ident("Mutex") || toks[k].is_ident("RwLock"))
+                        && matches!(toks.get(k + 1), Some(t) if t.is_punct("::"))
+                    {
+                        names.push(toks[j].text.clone());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Acquisition methods on a lock binding.
+fn is_acquire(name: &str) -> bool {
+    matches!(name, "lock" | "read" | "write")
+}
+
+/// One directed edge in the lock graph, with its provenance.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    /// Function the edge was observed in.
+    via: String,
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+/// Runs the L1 pass. `files` pairs each path with its lexed tokens and
+/// test-skip mask, in the same order the graph was built from.
+pub fn check(graph: &SymbolGraph, files: &[(String, Lexed, Vec<bool>)]) -> Vec<Finding> {
+    // Workspace-global lock name set: a field name is acquired through
+    // `self.` or a clone in a different file than its declaration.
+    let mut lock_names: BTreeSet<String> = BTreeSet::new();
+    for (_, lexed, _) in files {
+        lock_names.extend(lock_bindings(&lexed.tokens));
+    }
+    if lock_names.is_empty() {
+        return Vec::new();
+    }
+
+    // Per-function event sequences.
+    let mut events: Vec<Vec<Event>> = (0..graph.fns.len()).map(|_| Vec::new()).collect();
+    for (fn_idx, def) in graph.fns.iter().enumerate() {
+        let Some((body_start, body_end)) = def.body else {
+            continue;
+        };
+        let toks = &files[def.file].1.tokens;
+        // Call sites of this function, in token order (calls_from
+        // preserves source order within a file).
+        let mut calls: Vec<&crate::symbols::CallSite> = graph.calls_from[fn_idx]
+            .iter()
+            .map(|&ci| &graph.calls[ci])
+            .collect();
+        calls.sort_by_key(|c| (c.line, c.col));
+        let mut call_iter = calls.into_iter().peekable();
+        for i in body_start..body_end.min(toks.len()) {
+            let t = &toks[i];
+            // Interleave calls by position.
+            while let Some(c) = call_iter.peek() {
+                if (c.line, c.col) <= (t.line, t.col) {
+                    events[fn_idx].push(Event::Call(c.callees.clone(), c.line, c.col));
+                    call_iter.next();
+                } else {
+                    break;
+                }
+            }
+            if t.kind == TokKind::Ident
+                && is_acquire(&t.text)
+                && i >= 2
+                && toks[i - 1].is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+                && toks[i - 2].kind == TokKind::Ident
+                && lock_names.contains(&toks[i - 2].text)
+            {
+                events[fn_idx].push(Event::Acquire(toks[i - 2].text.clone(), t.line, t.col));
+            }
+        }
+        for c in call_iter {
+            events[fn_idx].push(Event::Call(c.callees.clone(), c.line, c.col));
+        }
+    }
+
+    // First-acquisition table per function, for one-level inlining.
+    let acquires_of: Vec<Vec<String>> = events
+        .iter()
+        .map(|evs| {
+            let mut names: Vec<String> = evs
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Acquire(n, _, _) => Some(n.clone()),
+                    Event::Call(..) => None,
+                })
+                .collect();
+            names.sort();
+            names.dedup();
+            names
+        })
+        .collect();
+
+    // Edges: held-lock × (later acquisition ∪ callee acquisitions).
+    let mut edges: Vec<Edge> = Vec::new();
+    for (fn_idx, evs) in events.iter().enumerate() {
+        let via = graph.label(fn_idx);
+        let file = graph.files[graph.fns[fn_idx].file].clone();
+        let mut held: Vec<String> = Vec::new();
+        for e in evs {
+            match e {
+                Event::Acquire(name, line, col) => {
+                    for h in &held {
+                        if h != name {
+                            edges.push(Edge {
+                                from: h.clone(),
+                                to: name.clone(),
+                                via: via.clone(),
+                                file: file.clone(),
+                                line: *line,
+                                col: *col,
+                            });
+                        }
+                    }
+                    held.push(name.clone());
+                }
+                Event::Call(callees, line, col) => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    for &callee in callees {
+                        for inner in &acquires_of[callee] {
+                            for h in &held {
+                                if h != inner {
+                                    edges.push(Edge {
+                                        from: h.clone(),
+                                        to: inner.clone(),
+                                        via: format!("{via} -> {}", graph.label(callee)),
+                                        file: file.clone(),
+                                        line: *line,
+                                        col: *col,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the lock-name graph.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let first_edge = |from: &str, to: &str| {
+        edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .expect("edge exists")
+    };
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    // DFS from each node in sorted order; a path returning to its
+    // start is a cycle. Paths are short (lock counts are tiny), so the
+    // simple enumeration is fine.
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack: Vec<(Vec<&str>,)> = vec![(vec![start],)];
+        while let Some((path,)) = stack.pop() {
+            let last = *path.last().expect("non-empty path");
+            let Some(nexts) = adj.get(last) else { continue };
+            for &next in nexts {
+                if next == start && path.len() >= 2 {
+                    // Canonical form: rotate so the smallest name leads.
+                    let mut cycle: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                    let min_pos = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    cycle.rotate_left(min_pos);
+                    if !reported.insert(cycle.clone()) {
+                        continue;
+                    }
+                    let mut legs = Vec::new();
+                    for w in 0..cycle.len() {
+                        let a = &cycle[w];
+                        let b = &cycle[(w + 1) % cycle.len()];
+                        let e = first_edge(a, b);
+                        legs.push(format!(
+                            "`{a}` then `{b}` in {} ({}:{})",
+                            e.via, e.file, e.line
+                        ));
+                    }
+                    let anchor = first_edge(&cycle[0], &cycle[1 % cycle.len()]);
+                    let ring: Vec<&str> = cycle
+                        .iter()
+                        .map(|s| s.as_str())
+                        .chain(std::iter::once(cycle[0].as_str()))
+                        .collect();
+                    out.push(Finding::new(
+                        RuleCode::L1,
+                        &anchor.file,
+                        anchor.line,
+                        anchor.col,
+                        format!(
+                            "lock-order cycle {}: {}",
+                            ring.join(" -> "),
+                            legs.join("; "),
+                        ),
+                    ));
+                } else if !path.contains(&next) && next > start {
+                    // Only walk nodes after `start` so each cycle is
+                    // discovered from its smallest member exactly once.
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((p,));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn l1(src: &str) -> Vec<String> {
+        let lexed = lex(src);
+        let n = lexed.tokens.len();
+        let files = vec![("t.rs".to_string(), lexed, vec![false; n])];
+        let g = SymbolGraph::build(&files);
+        check(&g, &files).into_iter().map(|f| f.message).collect()
+    }
+
+    const STATE: &str = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n";
+
+    #[test]
+    fn opposite_order_is_a_cycle() {
+        let src = format!(
+            "{STATE}impl S {{\n fn one(&self) {{ let x = self.a.lock(); let y = self.b.lock(); }}\n \
+             fn two(&self) {{ let y = self.b.lock(); let x = self.a.lock(); }}\n}}"
+        );
+        let got = l1(&src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(
+            got[0].contains("a -> b") || got[0].contains("b -> a"),
+            "{got:?}"
+        );
+        assert!(got[0].contains("one") && got[0].contains("two"), "{got:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "{STATE}impl S {{\n fn one(&self) {{ let x = self.a.lock(); let y = self.b.lock(); }}\n \
+             fn two(&self) {{ let x = self.a.lock(); let y = self.b.lock(); }}\n}}"
+        );
+        assert!(l1(&src).is_empty());
+    }
+
+    #[test]
+    fn one_level_inlining_sees_helper_acquisitions() {
+        let src = format!(
+            "{STATE}impl S {{\n fn helper(&self) {{ let y = self.b.lock(); }}\n \
+             fn one(&self) {{ let x = self.a.lock(); self.helper(); }}\n \
+             fn two(&self) {{ let y = self.b.lock(); let x = self.a.lock(); }}\n}}"
+        );
+        let got = l1(&src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("helper"), "{got:?}");
+    }
+
+    #[test]
+    fn rwlock_read_write_count_as_acquisitions() {
+        let src = "struct S { a: RwLock<u32>, b: RwLock<u32> }\n\
+                   impl S {\n fn one(&self) { let x = self.a.read(); let y = self.b.write(); }\n \
+                   fn two(&self) { let y = self.b.read(); let x = self.a.write(); }\n}";
+        assert_eq!(l1(src).len(), 1);
+    }
+
+    #[test]
+    fn unrelated_read_write_methods_are_ignored() {
+        let src = "fn io(f: File, buf: Vec<u8>) { f.read(buf); f.write(buf); }";
+        assert!(l1(src).is_empty());
+    }
+
+    #[test]
+    fn same_lock_reacquisition_is_not_reported() {
+        let src = "struct S { a: Mutex<u32> }\n\
+                   impl S { fn f(&self) { self.a.lock(); self.a.lock(); } }";
+        assert!(l1(src).is_empty());
+    }
+}

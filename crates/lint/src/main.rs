@@ -2,7 +2,7 @@
 //! nonzero when the tree is not lint-clean.
 //!
 //! ```text
-//! gpuflow-lint [--root DIR] [--json] [--out FILE] [--explain]
+//! gpuflow-lint [--root DIR] [--json | --sarif] [--out FILE] [--explain]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage/IO error.
@@ -15,6 +15,7 @@ use gpuflow_lint::rules::RuleCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut sarif = false;
     let mut out: Option<PathBuf> = None;
     let mut explain = false;
     let mut argv = std::env::args().skip(1);
@@ -25,6 +26,7 @@ fn main() -> ExitCode {
                 None => return usage("--root needs a directory"),
             },
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--out" => match argv.next() {
                 Some(f) => out = Some(PathBuf::from(f)),
                 None => return usage("--out needs a file"),
@@ -36,6 +38,10 @@ fn main() -> ExitCode {
             }
             other => return usage(&format!("unknown argument '{other}'")),
         }
+    }
+
+    if json && sarif {
+        return usage("--json and --sarif are mutually exclusive");
     }
 
     if explain {
@@ -70,7 +76,9 @@ fn main() -> ExitCode {
         }
     };
 
-    let rendered = if json {
+    let rendered = if sarif {
+        report.to_sarif()
+    } else if json {
         report.to_json()
     } else {
         report.render()
@@ -82,12 +90,12 @@ fn main() -> ExitCode {
         }
         // Keep the human verdict on stdout even when the report goes
         // to a file, so CI logs show the outcome inline.
-        if json {
+        if json || sarif {
             print!("{}", report.render());
         }
     } else {
         print!("{rendered}");
-        if json && !rendered.ends_with('\n') {
+        if (json || sarif) && !rendered.ends_with('\n') {
             println!();
         }
     }
@@ -107,11 +115,12 @@ fn usage(msg: &str) -> ExitCode {
 fn help() -> String {
     "gpuflow-lint — workspace determinism & integer-time static analysis\n\
      \n\
-     USAGE: gpuflow-lint [--root DIR] [--json] [--out FILE] [--explain]\n\
+     USAGE: gpuflow-lint [--root DIR] [--json | --sarif] [--out FILE] [--explain]\n\
      \n\
      OPTIONS:\n\
        --root DIR   workspace root (default: nearest [workspace] above cwd)\n\
        --json       emit the machine-readable report\n\
+       --sarif      emit a SARIF 2.1.0 report\n\
        --out FILE   write the report to FILE instead of stdout\n\
        --explain    print the rule catalog with rationale and exit\n\
      \n\

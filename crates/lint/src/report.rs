@@ -7,6 +7,17 @@
 
 use crate::rules::RuleCode;
 
+/// One hop of an interprocedural call chain, sink first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Function label (`name` or `Owner::name`).
+    pub func: String,
+    /// File the function is defined in.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+}
+
 /// One diagnostic: a rule violation at a source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -20,6 +31,9 @@ pub struct Finding {
     pub col: u32,
     /// Site-specific explanation.
     pub message: String,
+    /// Interprocedural call chain, sink first (empty for per-function
+    /// rules).
+    pub chain: Vec<ChainHop>,
 }
 
 impl Finding {
@@ -37,7 +51,14 @@ impl Finding {
             line,
             col,
             message: message.into(),
+            chain: Vec::new(),
         }
+    }
+
+    /// Attaches an interprocedural call chain (sink first).
+    pub fn with_chain(mut self, chain: Vec<ChainHop>) -> Finding {
+        self.chain = chain;
+        self
     }
 }
 
@@ -71,6 +92,19 @@ impl Report {
                 f.col,
                 f.message
             ));
+            for (i, h) in f.chain.iter().enumerate() {
+                let role = if i == 0 {
+                    "sink"
+                } else if i + 1 == f.chain.len() {
+                    "source"
+                } else {
+                    "via"
+                };
+                out.push_str(&format!(
+                    "    {role} `{}` at {}:{}\n",
+                    h.func, h.file, h.line
+                ));
+            }
         }
         let mut by_rule: Vec<(RuleCode, usize)> = Vec::new();
         for f in &self.findings {
@@ -97,7 +131,8 @@ impl Report {
         out
     }
 
-    /// JSON rendering (stable key order, findings pre-sorted).
+    /// JSON rendering (stable key order, findings pre-sorted). The
+    /// shape is pinned by `tests/schemas/lint_report.json`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"findings\":[");
         for (i, f) in self.findings.iter().enumerate() {
@@ -105,19 +140,88 @@ impl Report {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"chain\":[",
                 f.rule,
                 json_escape(&f.file),
                 f.line,
                 f.col,
                 json_escape(&f.message)
             ));
+            for (j, h) in f.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"func\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                    json_escape(&h.func),
+                    json_escape(&h.file),
+                    h.line
+                ));
+            }
+            out.push_str("]}");
         }
         out.push_str(&format!(
             "],\"total\":{},\"files_scanned\":{}}}",
             self.findings.len(),
             self.files_scanned
         ));
+        out
+    }
+
+    /// SARIF 2.1.0 rendering (one run, one result per finding, code
+    /// flows for interprocedural chains) so findings surface in code
+    /// hosts' security tabs without any extra tooling.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+             \"name\":\"gpuflow-lint\",\"informationUri\":\
+             \"docs/static_analysis.md\",\"rules\":[",
+        );
+        for (i, code) in RuleCode::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":\"{code}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                json_escape(code.summary())
+            ));
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]",
+                f.rule,
+                json_escape(&f.message),
+                json_escape(&f.file),
+                f.line,
+                f.col
+            ));
+            if !f.chain.is_empty() {
+                out.push_str(",\"codeFlows\":[{\"threadFlows\":[{\"locations\":[");
+                for (j, h) in f.chain.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"location\":{{\"physicalLocation\":{{\"artifactLocation\":\
+                         {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}},\
+                         \"message\":{{\"text\":\"{}\"}}}}}}",
+                        json_escape(&h.file),
+                        h.line,
+                        json_escape(&h.func)
+                    ));
+                }
+                out.push_str("]}]}]");
+            }
+            out.push('}');
+        }
+        out.push_str("]}]}");
         out
     }
 }
@@ -187,5 +291,83 @@ mod tests {
     #[test]
     fn json_escaping_handles_quotes_and_newlines() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    fn chained() -> Report {
+        Report {
+            findings: vec![Finding::new(
+                RuleCode::D5,
+                "src/render.rs",
+                10,
+                5,
+                "wall clock reaches sink",
+            )
+            .with_chain(vec![
+                ChainHop {
+                    func: "render_report".into(),
+                    file: "src/render.rs".into(),
+                    line: 8,
+                },
+                ChainHop {
+                    func: "host_nanos".into(),
+                    file: "src/time.rs".into(),
+                    line: 3,
+                },
+            ])],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn chain_appears_in_both_renderings() {
+        let r = chained();
+        let text = r.render();
+        assert!(
+            text.contains("sink `render_report` at src/render.rs:8"),
+            "{text}"
+        );
+        assert!(
+            text.contains("source `host_nanos` at src/time.rs:3"),
+            "{text}"
+        );
+        let v = crate::json::parse(&r.to_json()).unwrap();
+        let chain = v.get("findings").and_then(|f| f.as_array()).unwrap()[0]
+            .get("chain")
+            .and_then(|c| c.as_array())
+            .unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(
+            chain[1].get("func").and_then(|f| f.as_str()),
+            Some("host_nanos")
+        );
+        // Per-function findings carry an empty chain, not a missing key.
+        let v = crate::json::parse(&sample().to_json()).unwrap();
+        let chain = v.get("findings").and_then(|f| f.as_array()).unwrap()[0]
+            .get("chain")
+            .and_then(|c| c.as_array())
+            .unwrap();
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn sarif_parses_and_carries_rules_results_and_flows() {
+        let s = chained().to_sarif();
+        let v = crate::json::parse(&s).unwrap();
+        assert_eq!(v.get("version").and_then(|x| x.as_str()), Some("2.1.0"));
+        let run = &v.get("runs").and_then(|r| r.as_array()).unwrap()[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(|r| r.as_array())
+            .unwrap();
+        assert_eq!(rules.len(), RuleCode::ALL.len());
+        let results = run.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get("ruleId").and_then(|r| r.as_str()),
+            Some("D5")
+        );
+        assert!(results[0].get("codeFlows").is_some());
     }
 }

@@ -11,7 +11,7 @@
 //! use wall clocks, unwraps, and hash iteration freely.
 
 use crate::allow::Allow;
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
 use crate::report::Finding;
 use crate::rules::RuleCode;
 
@@ -107,15 +107,13 @@ struct AllowSite {
     used: bool,
 }
 
-/// Scans one file's source text. `path` is used verbatim in findings.
-pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
+/// Parses suppression annotations outside test code, reporting
+/// malformed ones as A0 findings.
+fn parse_allows(path: &str, lexed: &Lexed, skipped: &[bool]) -> (Vec<AllowSite>, Vec<Finding>) {
     let toks = &lexed.tokens;
-    let skipped = test_skipped(toks);
-    let skipped_lines = skipped_line_ranges(toks, &skipped);
-
-    let mut findings = Vec::new();
+    let skipped_lines = skipped_line_ranges(toks, skipped);
     let mut allows = Vec::new();
+    let mut findings = Vec::new();
     for c in &lexed.comments {
         if skipped_lines
             .iter()
@@ -137,11 +135,17 @@ pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
             Err(e) => findings.push(Finding::new(RuleCode::A0, path, c.line, 1, e)),
         }
     }
+    (allows, findings)
+}
 
+/// Runs the per-function (v1) rule passes — D1–D4, T1, R1 — with no
+/// suppression applied.
+fn v1_findings(path: &str, toks: &[Tok], skipped: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
     let ctx = FileCtx {
         path,
         toks,
-        skipped: &skipped,
+        skipped,
         fn_of: enclosing_fns(toks),
         hash_names: hash_bindings(toks),
         float_names: float_bindings(toks),
@@ -151,9 +155,12 @@ pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
     rule_d3(&ctx, &mut findings);
     rule_t1(&ctx, &mut findings);
     rule_r1(&ctx, &mut findings);
+    findings
+}
 
-    // Suppression matching: drop findings an annotation covers, then
-    // report stale annotations (A1). Meta findings (A0/A1) never match.
+/// Drops findings an annotation covers, marking the annotation used.
+/// Meta findings (A0/A1/A2) never match.
+fn apply_suppressions(findings: &mut Vec<Finding>, allows: &mut [AllowSite]) {
     findings.retain(|f| {
         if !f.rule.suppressible() {
             return true;
@@ -167,21 +174,153 @@ pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
         }
         !hit
     });
+}
+
+/// The stale-annotation finding for an unused allow: A1 for the
+/// per-function rules, A2 for the interprocedural ones.
+fn stale_allow_finding(path: &str, a: &AllowSite) -> Finding {
+    if a.allow.code.interprocedural() {
+        Finding::new(
+            RuleCode::A2,
+            path,
+            a.line,
+            1,
+            format!(
+                "interprocedural suppression allow({}, {}) matched no finding \
+                 in the workspace pass — the chain it silenced is gone; delete it",
+                a.allow.code, a.allow.reason
+            ),
+        )
+    } else {
+        Finding::new(
+            RuleCode::A1,
+            path,
+            a.line,
+            1,
+            format!(
+                "suppression allow({}, {}) matched no finding — delete or move it",
+                a.allow.code, a.allow.reason
+            ),
+        )
+    }
+}
+
+/// Scans one file's source text with the per-function rules only.
+/// `path` is used verbatim in findings.
+///
+/// Interprocedural findings (D5/T2/L1) need the whole workspace — use
+/// [`analyze`] for those. Accordingly, allows naming interprocedural
+/// codes are left *unjudged* here: a lone-file scan cannot tell whether
+/// they are stale, so it never reports A1/A2 for them.
+pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let skipped = test_skip_mask(&lexed.tokens);
+    let (mut allows, mut findings) = parse_allows(path, &lexed, &skipped);
+    findings.extend(v1_findings(path, &lexed.tokens, &skipped));
+    apply_suppressions(&mut findings, &mut allows);
     for a in &allows {
-        if !a.used {
-            findings.push(Finding::new(
-                RuleCode::A1,
-                path,
-                a.line,
-                1,
-                format!(
-                    "suppression allow({}, {}) matched no finding — delete or move it",
-                    a.allow.code, a.allow.reason
-                ),
-            ));
+        if !a.used && !a.allow.code.interprocedural() {
+            findings.push(stale_allow_finding(path, a));
         }
     }
     findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+/// The workspace-level analysis: per-file v1 rules plus the
+/// interprocedural passes (D5 taint, T2 units, L1 lock order) over the
+/// symbol graph, with unified suppression. `files` pairs each display
+/// path with its source text. This is what `gpuflow lint` runs.
+pub fn analyze(files: &[(String, String)]) -> Vec<Finding> {
+    // Lex everything once; the graph and every pass share the tokens.
+    let lexed_files: Vec<(String, Lexed, Vec<bool>)> = files
+        .iter()
+        .map(|(path, src)| {
+            let lexed = lex(src);
+            let skipped = test_skip_mask(&lexed.tokens);
+            (path.clone(), lexed, skipped)
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut file_allows: Vec<(String, Vec<AllowSite>)> = Vec::new();
+    for (path, lexed, skipped) in &lexed_files {
+        let (allows, mut a0) = parse_allows(path, lexed, skipped);
+        findings.append(&mut a0);
+        findings.extend(v1_findings(path, &lexed.tokens, skipped));
+        file_allows.push((path.clone(), allows));
+    }
+
+    let graph = crate::symbols::SymbolGraph::build(&lexed_files);
+
+    // D5: local sources per function body, then taint reachability.
+    let hash_names: Vec<Vec<String>> = lexed_files
+        .iter()
+        .map(|(_, lexed, _)| hash_bindings(&lexed.tokens))
+        .collect();
+    // An allow(D1) covering a hash iteration records the human judgment
+    // that the reduction is order-total — which also voids the taint
+    // premise, so such sites are not D5 sources either. (The allow is
+    // kept live by the suppressed D1 finding itself.)
+    let d1_allowed = |file: usize, line: u32| {
+        file_allows[file]
+            .1
+            .iter()
+            .any(|a| a.allow.code == RuleCode::D1 && line >= a.cover.0 && line <= a.cover.1)
+    };
+    let fn_sources: Vec<Vec<crate::taint::Source>> = graph
+        .fns
+        .iter()
+        .map(|d| match d.body {
+            Some((a, b)) => {
+                let toks = &lexed_files[d.file].1.tokens;
+                crate::taint::local_sources(&toks[a..b.min(toks.len())], &hash_names[d.file])
+                    .into_iter()
+                    .filter(|s| !(s.kind == "hash-order iteration" && d1_allowed(d.file, s.line)))
+                    .collect()
+            }
+            None => Vec::new(),
+        })
+        .collect();
+    findings.extend(crate::taint::check(&graph, &fn_sources));
+
+    // T2: per-file token checks plus call-boundary inference.
+    for (path, lexed, skipped) in &lexed_files {
+        findings.extend(crate::units::check_file(
+            path,
+            &lexed.tokens,
+            &|i| !skipped.get(i).copied().unwrap_or(false),
+            &graph,
+        ));
+    }
+
+    // L1: workspace lock graph.
+    findings.extend(crate::locks::check(&graph, &lexed_files));
+
+    // Unified suppression: match each file's findings against its own
+    // allows, then report stale annotations (A1 for v1 codes, A2 for
+    // interprocedural ones — only the workspace pass can judge those).
+    for (path, allows) in file_allows.iter_mut() {
+        let mut own: Vec<Finding> = Vec::new();
+        let mut rest = Vec::with_capacity(findings.len());
+        for f in findings.drain(..) {
+            if f.file == *path {
+                own.push(f);
+            } else {
+                rest.push(f);
+            }
+        }
+        apply_suppressions(&mut own, allows);
+        findings = rest;
+        findings.append(&mut own);
+        for a in allows.iter() {
+            if !a.used {
+                findings.push(stale_allow_finding(path, a));
+            }
+        }
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     findings
 }
 
@@ -209,8 +348,9 @@ impl FileCtx<'_> {
 // ---------------------------------------------------------------------
 
 /// Marks tokens inside `#[cfg(test)]`-gated items (and any stacked
-/// attributes between the gate and the item).
-fn test_skipped(toks: &[Tok]) -> Vec<bool> {
+/// attributes between the gate and the item). Shared with the symbol
+/// graph so test items define no symbols.
+pub(crate) fn test_skip_mask(toks: &[Tok]) -> Vec<bool> {
     let mut skip = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -527,6 +667,31 @@ fn in_for_head(toks: &[Tok], i: usize) -> bool {
         return false;
     };
     (lo..in_at).any(|j| toks[j].is_ident("for"))
+}
+
+/// Whether a method name begins a hash-order iteration. Shared with
+/// the taint pass's hash-escape source detector.
+pub(crate) fn is_iter_family(name: &str) -> bool {
+    ITER_FAMILY.contains(&name)
+}
+
+/// Whether the method chain rooted at index `m` (`NAME . m (`) is
+/// order-neutral: it ends in an order-insensitive reduction, or
+/// collects and is sorted immediately after. Shared with the taint
+/// pass so neutral chains are not D5 sources.
+pub(crate) fn chain_is_neutral(toks: &[Tok], m: usize) -> bool {
+    match walk_chain(toks, m) {
+        ChainVerdict::Neutral => true,
+        ChainVerdict::CollectVec(c) => sorted_after_collect(toks, m.saturating_sub(2), c),
+        ChainVerdict::Flagged(_) | ChainVerdict::FloatSum(_) | ChainVerdict::End => false,
+    }
+}
+
+/// For a `)` at `close`, the name of the called function, if the shape
+/// is `name ( ... )` or `recv . name ( ... )`. Shared with the unit
+/// pass's conversion-call classifier.
+pub(crate) fn call_name_before(toks: &[Tok], close: usize) -> Option<String> {
+    call_name_of(toks, close).map(|t| t.text.clone())
 }
 
 /// Walks a method chain starting at the method-ident index `m`

@@ -1,0 +1,402 @@
+//! Time-unit dimensional analysis (rule `T2`).
+//!
+//! The workspace keeps four integer time grids — nanoseconds (the
+//! simulation core), microseconds (the daemon journal), milliseconds
+//! (tolerance floors), whole seconds — plus float seconds for display.
+//! Every one of them is "a u64", so the type system is blind to a
+//! mixed-unit `+` or `<`: the classic silent 1000x. This pass assigns
+//! each value a unit from three evidence kinds and flags cross-unit
+//! arithmetic, comparison, and assignment that shows no conversion:
+//!
+//! * **suffixes and field names** — `*_ns`/`*_nanos` is ns, `*_us` /
+//!   `*_micros` is us, `*_ms`/`*_millis` is ms, `*_secs`/`*_sec` is
+//!   seconds;
+//! * **the conversion-call table** ([`CONVERSIONS`]) — `as_nanos()`
+//!   yields ns, `as_secs_f64()` yields float seconds, and so on. The
+//!   classifier round-trips through this table (proptest-pinned);
+//! * **call boundaries** (via the [`SymbolGraph`]) — passing `x_ns`
+//!   into a parameter named `delay_ms` is a unit error even though both
+//!   are bare `u64`s, and a call of `elapsed_us()` assigned to `t_ns`
+//!   is one too (return units come from the callee's name).
+//!
+//! A statement that multiplies or divides — by anything — is treated as
+//! converting and never flagged; dimensional analysis cannot tell a
+//! scale factor from arithmetic, so the rule stays conservative
+//! (an honest false-negative, documented in docs/static_analysis.md).
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+use crate::rules::RuleCode;
+use crate::symbols::SymbolGraph;
+
+/// A time unit in the lattice. `FloatSecs` is kept distinct from
+/// `Secs`: comparing `as_secs()` against `as_secs_f64()` silently
+/// truncates sub-second precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// Integer nanoseconds.
+    Ns,
+    /// Integer microseconds.
+    Us,
+    /// Integer milliseconds.
+    Ms,
+    /// Integer whole seconds.
+    Secs,
+    /// Float seconds.
+    FloatSecs,
+}
+
+impl Unit {
+    /// Stable display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::Ns => "ns",
+            Unit::Us => "us",
+            Unit::Ms => "ms",
+            Unit::Secs => "secs",
+            Unit::FloatSecs => "float-secs",
+        }
+    }
+
+    /// Parses a display name back (round-trips with [`Unit::as_str`]).
+    pub fn parse(s: &str) -> Option<Unit> {
+        [Unit::Ns, Unit::Us, Unit::Ms, Unit::Secs, Unit::FloatSecs]
+            .into_iter()
+            .find(|u| u.as_str() == s)
+    }
+}
+
+/// The conversion-call table: calling one of these yields a value of
+/// the paired unit. The unit classifier round-trips through this table
+/// (pinned by the proptest suite).
+pub const CONVERSIONS: [(&str, Unit); 10] = [
+    ("as_nanos", Unit::Ns),
+    ("subsec_nanos", Unit::Ns),
+    ("as_micros", Unit::Us),
+    ("subsec_micros", Unit::Us),
+    ("as_millis", Unit::Ms),
+    ("subsec_millis", Unit::Ms),
+    ("as_secs", Unit::Secs),
+    ("as_secs_f64", Unit::FloatSecs),
+    ("as_secs_f32", Unit::FloatSecs),
+    ("from_secs_f64", Unit::FloatSecs),
+];
+
+/// Unit of an identifier, from its suffix or full name.
+pub fn classify_ident(name: &str) -> Option<Unit> {
+    // Conversion-call names classify identically whether seen as calls
+    // or as bare idents (method-reference positions).
+    if let Some(u) = classify_call(name) {
+        return Some(u);
+    }
+    if name.ends_with("_ns") || name == "nanos" || name.ends_with("_nanos") {
+        Some(Unit::Ns)
+    } else if name.ends_with("_us") || name == "micros" || name.ends_with("_micros") {
+        Some(Unit::Us)
+    } else if name.ends_with("_ms") || name == "millis" || name.ends_with("_millis") {
+        Some(Unit::Ms)
+    } else if name.ends_with("_secs") || name.ends_with("_sec") {
+        Some(Unit::Secs)
+    } else {
+        None
+    }
+}
+
+/// Unit produced by a call, from the conversion table or the callee
+/// name's own suffix (`elapsed_us()` yields us).
+pub fn classify_call(name: &str) -> Option<Unit> {
+    CONVERSIONS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, u)| *u)
+}
+
+/// Binary operators that demand unit agreement. `*` and `/` are
+/// conversions, not mixtures, so they are absent.
+const UNIT_STRICT_OPS: [&str; 9] = ["+", "-", "<", ">", "<=", ">=", "==", "!=", "+="];
+
+/// A value with a known unit at a token position.
+struct UnitAt {
+    unit: Unit,
+    /// Name shown in the diagnostic.
+    name: String,
+}
+
+/// The unit of the value *ending* at token `i` (an identifier, or the
+/// `)` of a conversion/unit-suffixed call).
+fn unit_ending_at(toks: &[Tok], i: usize) -> Option<UnitAt> {
+    let t = toks.get(i)?;
+    if t.kind == TokKind::Ident {
+        // Exclude the callee name position itself (`name (`): that
+        // value ends at the close paren, not here.
+        if matches!(toks.get(i + 1), Some(n) if n.is_punct("(")) {
+            return None;
+        }
+        return classify_ident(&t.text).map(|unit| UnitAt {
+            unit,
+            name: t.text.clone(),
+        });
+    }
+    if t.is_punct(")") {
+        let name = crate::scan::call_name_before(toks, i)?;
+        let unit = classify_call(&name).or_else(|| classify_ident(&name))?;
+        return Some(UnitAt {
+            unit,
+            name: format!("{name}()"),
+        });
+    }
+    None
+}
+
+/// The unit of the value *starting* at token `i` (an identifier or a
+/// call; leading `&` is transparent).
+fn unit_starting_at(toks: &[Tok], mut i: usize) -> Option<UnitAt> {
+    while matches!(toks.get(i), Some(t) if t.is_punct("&") || t.is_ident("mut")) {
+        i += 1;
+    }
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    // A call: unit from the conversion table or the callee suffix.
+    if matches!(toks.get(i + 1), Some(n) if n.is_punct("(")) {
+        let unit = classify_call(&t.text).or_else(|| classify_ident(&t.text))?;
+        return Some(UnitAt {
+            unit,
+            name: format!("{}()", t.text),
+        });
+    }
+    // A (possibly dotted) path: the unit of its last suffixed segment.
+    let mut j = i;
+    let mut best: Option<UnitAt> = None;
+    loop {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident {
+            if let Some(unit) = classify_ident(&t.text) {
+                best = Some(UnitAt {
+                    unit,
+                    name: t.text.clone(),
+                });
+            }
+        }
+        match toks.get(j + 1) {
+            Some(n) if n.is_punct(".") => {
+                if matches!(toks.get(j + 2), Some(m) if m.kind == TokKind::Ident) {
+                    // A method call ends the simple path; its name is
+                    // the decisive unit evidence (`d.as_nanos()`).
+                    if matches!(toks.get(j + 3), Some(m) if m.is_punct("(")) {
+                        let m = &toks[j + 2];
+                        if let Some(unit) =
+                            classify_call(&m.text).or_else(|| classify_ident(&m.text))
+                        {
+                            best = Some(UnitAt {
+                                unit,
+                                name: format!("{}()", m.text),
+                            });
+                        }
+                        break;
+                    }
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    best
+}
+
+/// Whether the statement containing token `i` shows an explicit
+/// conversion: any `*` or `/` (scale factors), or a `from_*`/`as_*`
+/// conversion call. Statements are delimited by `;`, `{`, `}`.
+fn statement_converts(toks: &[Tok], i: usize) -> bool {
+    let stmt_start = (0..i)
+        .rev()
+        .find(|&j| toks[j].is_punct(";") || toks[j].is_punct("{") || toks[j].is_punct("}"))
+        .map_or(0, |j| j + 1);
+    let stmt_end = (i..toks.len())
+        .find(|&j| toks[j].is_punct(";") || toks[j].is_punct("{") || toks[j].is_punct("}"))
+        .unwrap_or(toks.len());
+    toks[stmt_start..stmt_end].iter().any(|t| {
+        t.is_punct("*")
+            || t.is_punct("/")
+            || t.is_punct("*=")
+            || t.is_punct("/=")
+            || (t.kind == TokKind::Ident
+                && (t.text.starts_with("from_") || t.text.starts_with("checked_")))
+    })
+}
+
+/// Runs the T2 pass over one file's live tokens, using the symbol
+/// graph for call-boundary inference. `live` masks out `#[cfg(test)]`
+/// tokens.
+pub fn check_file(
+    path: &str,
+    toks: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+    graph: &SymbolGraph,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !live(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // (a) cross-unit binary op / comparison: `LHS op RHS`.
+        if t.kind == TokKind::Punct && UNIT_STRICT_OPS.contains(&t.text.as_str()) && i > 0 {
+            if let (Some(lhs), Some(rhs)) =
+                (unit_ending_at(toks, i - 1), unit_starting_at(toks, i + 1))
+            {
+                if lhs.unit != rhs.unit && !statement_converts(toks, i) {
+                    out.push(Finding::new(
+                        RuleCode::T2,
+                        path,
+                        t.line,
+                        t.col,
+                        format!(
+                            "`{}` ({}) {} `{}` ({}) mixes time units without a conversion",
+                            lhs.name,
+                            lhs.unit.as_str(),
+                            t.text,
+                            rhs.name,
+                            rhs.unit.as_str(),
+                        ),
+                    ));
+                }
+            }
+        }
+        // (b) cross-unit assignment: `let [mut] X = RHS;` / `X = RHS;`
+        // where X and the first unitful value of RHS disagree.
+        if t.is_punct("=") && i > 0 && toks[i - 1].kind == TokKind::Ident {
+            let lhs_tok = &toks[i - 1];
+            if let Some(lhs_unit) = classify_ident(&lhs_tok.text) {
+                if let Some(rhs) = unit_starting_at(toks, i + 1) {
+                    if lhs_unit != rhs.unit && !statement_converts(toks, i) {
+                        out.push(Finding::new(
+                            RuleCode::T2,
+                            path,
+                            t.line,
+                            t.col,
+                            format!(
+                                "`{}` ({}) assigned from `{}` ({}) without a conversion",
+                                lhs_tok.text,
+                                lhs_unit.as_str(),
+                                rhs.name,
+                                rhs.unit.as_str(),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // (c) call boundaries: unitful argument into a differently-unitful
+    // parameter. Flag only when every candidate definition conflicts —
+    // name-based resolution can be ambiguous, and one agreeing
+    // candidate is the benefit of the doubt.
+    for c in &graph.calls {
+        if graph.files[graph.fns[c.caller].file] != path {
+            continue;
+        }
+        for (pos, arg) in c.args.iter().enumerate() {
+            let Some(arg_name) = arg else { continue };
+            let Some(arg_unit) = classify_ident(arg_name) else {
+                continue;
+            };
+            let param_units: Vec<(String, Unit)> = c
+                .callees
+                .iter()
+                .filter_map(|&k| {
+                    let p = graph.fns[k].params.get(pos)?;
+                    classify_ident(p).map(|u| (p.clone(), u))
+                })
+                .collect();
+            if !param_units.is_empty() && param_units.iter().all(|(_, u)| *u != arg_unit) {
+                let (pname, punit) = &param_units[0];
+                out.push(Finding::new(
+                    RuleCode::T2,
+                    path,
+                    c.line,
+                    c.col,
+                    format!(
+                        "`{arg_name}` ({}) passed to parameter `{pname}` ({}) of `{}`",
+                        arg_unit.as_str(),
+                        punit.as_str(),
+                        graph.label(c.callees[0]),
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::SymbolGraph;
+
+    fn t2(src: &str) -> Vec<(u32, String)> {
+        let lexed = lex(src);
+        let n = lexed.tokens.len();
+        let g = SymbolGraph::build(&[("t.rs".to_string(), lexed.clone(), vec![false; n])]);
+        check_file("t.rs", &lexed.tokens, &|_| true, &g)
+            .into_iter()
+            .map(|f| (f.line, f.message))
+            .collect()
+    }
+
+    #[test]
+    fn cross_unit_addition_and_comparison_flagged() {
+        let got = t2("fn f(a_ns: u64, b_ms: u64) -> bool { a_ns < b_ms }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(
+            got[0].1.contains("(ns)") && got[0].1.contains("(ms)"),
+            "{got:?}"
+        );
+        assert!(t2("fn f(a_ns: u64, b_ns: u64) -> u64 { a_ns + b_ns }").is_empty());
+    }
+
+    #[test]
+    fn scale_factor_counts_as_conversion() {
+        assert!(t2("fn f(a_ns: u64, b_ms: u64) -> u64 { a_ns + b_ms * 1_000_000 }").is_empty());
+        assert!(t2("fn f(a_us: u64) -> u64 { let t_ns = a_us * 1000; t_ns }").is_empty());
+    }
+
+    #[test]
+    fn cross_unit_assignment_flagged() {
+        let got = t2("fn f(a_us: u64) { let t_ns = a_us; }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].1.contains("assigned from"), "{got:?}");
+    }
+
+    #[test]
+    fn conversion_calls_classify() {
+        let got = t2("fn f(d: SimDuration, cut_ms: u64) -> bool { d.as_nanos() > cut_ms }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].1.contains("as_nanos()"), "{got:?}");
+    }
+
+    #[test]
+    fn call_boundary_mismatch_flagged() {
+        let got = t2("fn wait(delay_ms: u64) {}\nfn f(t_ns: u64) { wait(t_ns); }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].1.contains("delay_ms"), "{got:?}");
+        assert!(t2("fn wait(delay_ms: u64) {}\nfn f(t_ms: u64) { wait(t_ms); }").is_empty());
+    }
+
+    #[test]
+    fn return_name_inference_flags_assignments() {
+        let got = t2("fn elapsed_us() -> u64 { 5 }\nfn f() { let t_ns = elapsed_us(); }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].1.contains("elapsed_us()"), "{got:?}");
+    }
+
+    #[test]
+    fn dotted_field_units_are_seen() {
+        let got = t2("fn f(cfg: Config, t_ns: u64) -> bool { t_ns < cfg.tick_us }");
+        assert_eq!(got.len(), 1, "{got:?}");
+    }
+}

@@ -33,7 +33,7 @@ fn printable(chars: &[u32]) -> String {
 proptest! {
     #[test]
     fn parse_inverts_render(
-        code_idx in 0usize..6,
+        code_idx in 0usize..9,
         chars in prop::collection::vec(0u32..94, 1..60),
     ) {
         let codes = suppressible();
@@ -66,7 +66,7 @@ proptest! {
 
 #[test]
 fn unsuppressible_codes_are_rejected() {
-    for code in ["A0", "A1"] {
+    for code in ["A0", "A1", "A2"] {
         let line = format!("// lint: allow({code}, trying to silence the meta rule)");
         assert!(
             Allow::parse(&line).is_err(),

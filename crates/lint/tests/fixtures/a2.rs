@@ -1,0 +1,12 @@
+//! A2 fixture: an interprocedural suppression whose chain no longer
+//! exists — the workspace pass must report it stale.
+
+fn compute(x: u64) -> u64 {
+    x.saturating_add(1)
+}
+
+fn render_values(out: &mut String) {
+    // lint: allow(D5, the helper used to read the host clock)
+    let v = compute(1);
+    out.push_str(&v.to_string());
+}

@@ -1,0 +1,29 @@
+//! D5 fixture: a nondeterministic value escaping through a helper
+//! chain into a render sink, plus a sink-side suppression.
+
+fn jitter_seed() -> u64 {
+    let mut v = vec![3u64, 1, 2];
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v[0]
+}
+
+fn widen(x: u64) -> u64 {
+    jitter_seed() + x
+}
+
+fn render_summary(out: &mut String) {
+    let x = widen(1);
+    out.push_str(&x.to_string());
+}
+
+fn render_scratch(out: &mut String) {
+    // lint: allow(D5, scratch output is never part of an artifact)
+    let x = widen(2);
+    out.push_str(&x.to_string());
+}
+
+fn unrelated(out: &mut String) {
+    // Calls the tainted helper but is not a sink by name: no finding.
+    let x = widen(3);
+    out.push_str(&x.to_string());
+}

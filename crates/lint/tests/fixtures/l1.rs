@@ -1,0 +1,40 @@
+//! L1 fixture: two locks taken in opposite orders across two methods
+//! (one side through a helper, exercising one-level inlining), plus a
+//! consistently-ordered pair that stays clean.
+
+struct Shared {
+    queue: Mutex<Vec<u32>>,
+    state: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+impl Shared {
+    fn grab_state(&self) -> u32 {
+        *self.state.lock().unwrap()
+    }
+
+    fn enqueue(&self) {
+        let q = self.queue.lock().unwrap();
+        let s = self.grab_state();
+        drop(q);
+        let _ = s;
+    }
+
+    fn drain(&self) {
+        let s = self.state.lock().unwrap();
+        let q = self.queue.lock().unwrap();
+        let _ = (s, q);
+    }
+
+    fn consistent_a(&self) {
+        let q = self.queue.lock().unwrap();
+        let j = self.journal.lock().unwrap();
+        let _ = (q, j);
+    }
+
+    fn consistent_b(&self) {
+        let q = self.queue.lock().unwrap();
+        let j = self.journal.lock().unwrap();
+        let _ = (q, j);
+    }
+}

@@ -1,0 +1,25 @@
+//! T2 fixture: cross-unit arithmetic, assignment, and call-boundary
+//! mixes, with explicit conversions staying clean.
+
+fn wait_for(delay_ms: u64) -> u64 {
+    delay_ms
+}
+
+fn compare(t_ns: u64, cutoff_ms: u64) -> bool {
+    t_ns < cutoff_ms
+}
+
+fn mislabel(tick_us: u64) -> u64 {
+    let budget_ns = tick_us;
+    budget_ns
+}
+
+fn wrong_grid(t_ns: u64) -> u64 {
+    wait_for(t_ns)
+}
+
+fn converted(tick_us: u64) -> bool {
+    let t_ns = tick_us * 1000;
+    let floor_ms = 5u64;
+    t_ns > floor_ms * 1_000_000
+}

@@ -6,14 +6,17 @@
 
 use std::path::{Path, PathBuf};
 
-use gpuflow_lint::scan::scan_file;
+use gpuflow_lint::scan::analyze;
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
+/// Each fixture is analyzed as a one-file workspace, so both the
+/// per-function rules and the interprocedural passes (D5/T2/L1/A2)
+/// apply — self-contained fixtures carry their own source and sink.
 fn render_findings(name: &str, src: &str) -> String {
-    scan_file(name, src)
+    analyze(&[(name.to_string(), src.to_string())])
         .iter()
         .map(|f| format!("{} {}:{}\n", f.rule, f.line, f.col))
         .collect()
@@ -28,7 +31,7 @@ fn fixtures_match_expected_diagnostics() {
         .collect();
     fixtures.sort();
     assert!(
-        fixtures.len() >= 7,
+        fixtures.len() >= 11,
         "expected one fixture per rule family, found {}",
         fixtures.len()
     );
@@ -65,6 +68,10 @@ fn every_rule_code_has_a_firing_fixture() {
         ("r1_fault.expected", "R1"),
         ("a0.expected", "A0"),
         ("a1.expected", "A1"),
+        ("d5.expected", "D5"),
+        ("t2.expected", "T2"),
+        ("l1.expected", "L1"),
+        ("a2.expected", "A2"),
     ] {
         let path = fixtures_dir().join(fixture);
         let text = std::fs::read_to_string(&path)
@@ -83,7 +90,7 @@ fn every_rule_code_has_a_firing_fixture() {
 fn deliberate_violations_are_caught_with_spans() {
     let src = "fn probe() -> u64 {\n    let t = std::time::Instant::now();\n    \
                let span_ns: u128 = 1;\n    span_ns as u64\n}\n";
-    let findings = scan_file("scratch.rs", src);
+    let findings = analyze(&[("scratch.rs".to_string(), src.to_string())]);
     let d2 = findings
         .iter()
         .find(|f| f.rule.as_str() == "D2")

@@ -1,0 +1,103 @@
+//! Property tests for the interprocedural layer.
+//!
+//! * Taint propagation is **monotone**: adding a call edge can only add
+//!   (sink, source) findings, never remove one. This is the property
+//!   that makes triage sound — fixing one chain cannot conjure a
+//!   different finding out of thin air elsewhere.
+//! * The unit classifier **round-trips** through the conversion-call
+//!   table and the suffix grammar, and `Unit::parse` inverts
+//!   `Unit::as_str`.
+
+use std::collections::BTreeSet;
+
+use gpuflow_lint::taint::sink_source_pairs;
+use gpuflow_lint::units::{classify_call, classify_ident, Unit, CONVERSIONS};
+use proptest::prelude::*;
+
+/// The (sink, source) pair set, ignoring chains (a new edge may
+/// legitimately shorten a chain; the pair set is what must only grow).
+fn pair_set(
+    n: usize,
+    edges: &[(usize, usize)],
+    sources: &[usize],
+    sinks: &[usize],
+) -> BTreeSet<(usize, usize)> {
+    sink_source_pairs(n, edges, sources, sinks)
+        .into_iter()
+        .map(|(sink, src, _)| (sink, src))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn adding_a_call_edge_never_removes_a_finding(
+        n in 2usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10), 0..25),
+        extra in (0usize..10, 0usize..10),
+        sources in prop::collection::vec(0usize..10, 1..4),
+        sinks in prop::collection::vec(0usize..10, 1..4),
+    ) {
+        let before = pair_set(n, &edges, &sources, &sinks);
+        let mut grown = edges.clone();
+        grown.push(extra);
+        let after = pair_set(n, &grown, &sources, &sinks);
+        prop_assert!(
+            before.is_subset(&after),
+            "edge {extra:?} removed findings: before={before:?} after={after:?}"
+        );
+    }
+
+    #[test]
+    fn chains_always_link_sink_to_source_through_edges(
+        n in 2usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10), 0..25),
+        sources in prop::collection::vec(0usize..10, 1..4),
+        sinks in prop::collection::vec(0usize..10, 1..4),
+    ) {
+        let edge_set: BTreeSet<(usize, usize)> = edges.iter().copied()
+            .filter(|&(a, b)| a < n && b < n)
+            .collect();
+        for (sink, src, chain) in sink_source_pairs(n, &edges, &sources, &sinks) {
+            prop_assert!(chain.len() >= 2, "chain must cross at least one edge");
+            prop_assert_eq!(chain[0], sink);
+            prop_assert_eq!(*chain.last().unwrap(), src);
+            for hop in chain.windows(2) {
+                prop_assert!(
+                    edge_set.contains(&(hop[0], hop[1])),
+                    "chain hop {hop:?} is not a call edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_classification_matches_the_declared_grid(
+        chars in prop::collection::vec(0u32..26, 1..8),
+        suffix_idx in 0usize..4,
+    ) {
+        let base: String = chars.iter().map(|c| char::from(b'a' + *c as u8)).collect();
+        let (suffix, expected) = [
+            ("_ns", Unit::Ns),
+            ("_us", Unit::Us),
+            ("_ms", Unit::Ms),
+            ("_secs", Unit::Secs),
+        ][suffix_idx];
+        let name = format!("{base}{suffix}");
+        prop_assert_eq!(classify_ident(&name), Some(expected), "{}", name);
+    }
+
+    #[test]
+    fn unit_display_round_trips(unit_idx in 0usize..5) {
+        let unit = [Unit::Ns, Unit::Us, Unit::Ms, Unit::Secs, Unit::FloatSecs][unit_idx];
+        prop_assert_eq!(Unit::parse(unit.as_str()), Some(unit));
+    }
+}
+
+#[test]
+fn classifier_round_trips_through_the_conversion_table() {
+    for (name, unit) in CONVERSIONS {
+        assert_eq!(classify_call(name), Some(unit), "{name}");
+        // Conversion names classify identically in ident position.
+        assert_eq!(classify_ident(name), Some(unit), "{name}");
+    }
+}

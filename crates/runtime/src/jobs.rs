@@ -302,7 +302,7 @@ impl JobSchedule {
             .iter()
             .map(|j| (j.task_lo, j.task_hi, j.tenant))
             .collect();
-        ranges.sort_unstable();
+        ranges.sort();
         ranges
     }
 }

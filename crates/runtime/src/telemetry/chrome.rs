@@ -94,7 +94,7 @@ pub fn to_chrome_trace(log: &TelemetryLog) -> String {
         }
     }
     for v in cores.values_mut().chain(gpus.values_mut()) {
-        v.sort_unstable();
+        v.sort();
         v.dedup();
     }
     let master_pid = max_node + 1;

@@ -254,7 +254,7 @@ impl RunProfile {
 
         // Per-node busy intervals: merge overlapping task residencies.
         for (node, mut evs) in node_events {
-            evs.sort_unstable();
+            evs.sort();
             let (mut depth, mut open_at, mut busy, mut intervals) = (0i32, 0u64, 0u64, 0u64);
             for (t, d) in evs {
                 if depth == 0 && d > 0 {

@@ -40,7 +40,7 @@ impl Histogram {
     /// The exact nearest-rank digest of the samples recorded so far.
     pub fn digest(&self) -> HistogramDigest {
         let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
+        sorted.sort();
         HistogramDigest::from_sorted(&sorted)
     }
 }

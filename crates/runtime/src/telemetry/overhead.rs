@@ -158,7 +158,7 @@ impl OverheadReport {
                 _ => {}
             }
         }
-        deltas.sort_unstable();
+        deltas.sort();
         let makespan_ns = SimDuration::from_secs_f64(makespan).as_nanos();
         let mut depth = [0i64; 4];
         let mut acc_ns = [0u64; 4]; // compute, data, master, recovery

@@ -277,7 +277,7 @@ pub fn cpu_busy_gpu_idle_nanos_from_telemetry(log: &TelemetryLog, cpu_threshold:
             _ => {}
         }
     }
-    events.sort_unstable();
+    events.sort();
     let (mut cpu, mut gpu) = (0i32, 0i32);
     let mut wasted = 0u64;
     let mut prev = 0u64;

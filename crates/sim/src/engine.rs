@@ -260,7 +260,9 @@ impl<E> Engine<E> {
         for b in &mut self.buckets {
             all.append(b);
         }
-        all.sort_unstable_by_key(|e| (e.time, e.seq));
+        // Stable sort: (time, seq) is already total, but stable keeps
+        // the determinism obvious to the taint lint and to readers.
+        all.sort_by_key(|e| (e.time, e.seq));
         self.shift = estimate_shift(&all);
         if self.buckets.len() != nb {
             self.buckets = std::iter::repeat_with(|| Vec::with_capacity(4))

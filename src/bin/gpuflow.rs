@@ -380,7 +380,9 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     };
     let report =
         gpuflow_lint::run(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
-    let output = if args.flag("json") {
+    let output = if args.flag("sarif") {
+        report.to_sarif()
+    } else if args.flag("json") {
         report.to_json()
     } else {
         report.render()
@@ -561,7 +563,7 @@ fn help() {
          \u{20} gpuflow ctl    <drain|health|report|metrics|alerts|log|shutdown> --port P\n\
          \u{20}                client verbs for the gpuflowd scheduler daemon (see docs/daemon.md)\n\
          \u{20} gpuflow diff   A.profile B.profile [--json] [--out FILE]\n\
-         \u{20} gpuflow lint   [--root DIR] [--json] [--out FILE]   determinism & integer-time lints\n\
+         \u{20} gpuflow lint   [--root DIR] [--json | --sarif] [--out FILE]  determinism & time lints\n\
          \u{20} gpuflow doctor --workload <w> --rows N --cols N --grid G [options] [--json]\n\
          \u{20} gpuflow doctor --profile FILE [--json]   (findings only, no what-ifs)\n\
          \u{20} gpuflow advise --workload <w> --rows N --cols N\n\
@@ -635,7 +637,7 @@ fn main() -> ExitCode {
                 "diff needs two profile files: gpuflow diff A.profile B.profile [--json] [--out FILE]",
             )),
         },
-        "lint" => Args::parse_with(rest, &["json"]).and_then(|a| cmd_lint(&a)),
+        "lint" => Args::parse_with(rest, &["json", "sarif"]).and_then(|a| cmd_lint(&a)),
         "doctor" => Args::parse_with(rest, &["json"]).and_then(|a| cmd_doctor(&a)),
         "advise" => Args::parse(rest).and_then(|a| cmd_advise(&a)),
         "dag" => Args::parse(rest).and_then(|a| cmd_dag(&a)),

@@ -124,3 +124,77 @@ fn diff_json_matches_schema() {
         "grid change missing from factor_changes: {out}"
     );
 }
+
+#[test]
+fn lint_report_json_matches_schema() {
+    // The live tree is lint-clean, so its findings array is empty —
+    // parse the real CLI output for the envelope, then validate a
+    // constructed report carrying a chain-bearing D5 finding so the
+    // per-finding shape (including "chain") is actually exercised.
+    let out = gpuflow(&["lint", "--json"]);
+    let value = json::parse(&out).expect("lint --json output parses");
+    json::check_shape(&schema("lint_report.json"), &value)
+        .unwrap_or_else(|e| panic!("lint --json shape drifted: {e}\noutput: {out}"));
+
+    use gpuflow_lint::{ChainHop, Finding, Report, RuleCode};
+    let report = Report {
+        findings: vec![
+            Finding::new(
+                RuleCode::D2,
+                "src/a.rs",
+                3,
+                7,
+                "host clock on a result path",
+            ),
+            Finding::new(
+                RuleCode::D5,
+                "src/render.rs",
+                10,
+                5,
+                "wall clock reaches sink",
+            )
+            .with_chain(vec![
+                ChainHop {
+                    func: "render_report".into(),
+                    file: "src/render.rs".into(),
+                    line: 8,
+                },
+                ChainHop {
+                    func: "host_nanos".into(),
+                    file: "src/time.rs".into(),
+                    line: 3,
+                },
+            ]),
+        ],
+        files_scanned: 2,
+    };
+    let synthetic = report.to_json();
+    let value = json::parse(&synthetic).expect("synthetic report parses");
+    json::check_shape(&schema("lint_report.json"), &value)
+        .unwrap_or_else(|e| panic!("synthetic lint report shape drifted: {e}\n{synthetic}"));
+}
+
+#[test]
+fn lint_sarif_is_valid_and_carries_the_rule_catalog() {
+    let out = gpuflow(&["lint", "--sarif"]);
+    let value = json::parse(&out).expect("lint --sarif output parses");
+    assert_eq!(
+        value.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0"),
+        "SARIF version pinned: {out}"
+    );
+    let rules = value
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .and_then(|r| r.first())
+        .and_then(|run| run.get("tool"))
+        .and_then(|t| t.get("driver"))
+        .and_then(|d| d.get("rules"))
+        .and_then(|r| r.as_array())
+        .expect("runs[0].tool.driver.rules");
+    assert_eq!(
+        rules.len(),
+        gpuflow_lint::RuleCode::ALL.len(),
+        "every rule code is declared in the SARIF catalog"
+    );
+}
